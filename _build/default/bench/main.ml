@@ -1,0 +1,347 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 3) from our implementation, plus Bechamel
+   micro-benchmarks of the cost of the compiler stages behind each
+   artifact.
+
+   Usage:
+     main.exe                 run everything (tables, figures, summary,
+                              ablation) except the Bechamel section
+     main.exe fig8 ... fig15  specific figures
+     main.exe table1 table2 summary ablation csv bechamel
+*)
+
+open Impact_ir
+open Impact_core
+
+let subjects : Experiment.subject list =
+  List.map
+    (fun (w : Impact_workloads.Suite.t) ->
+      {
+        Experiment.sname = w.Impact_workloads.Suite.name;
+        group = Impact_workloads.Suite.ltype_to_string w.Impact_workloads.Suite.ltype;
+        ast = w.Impact_workloads.Suite.ast;
+      })
+    Impact_workloads.Suite.all
+
+let machines = [ Machine.issue_2; Machine.issue_4; Machine.issue_8 ]
+
+(* The full evaluation matrix, computed once on demand. *)
+let cells : Experiment.cell list Lazy.t =
+  lazy
+    (Experiment.run_all
+       ~progress:(fun name -> Printf.eprintf "  [run] %s\n%!" name)
+       machines Level.all subjects)
+
+let print_table1 () = print_string (Report.table1 ())
+
+let print_table2 () =
+  Printf.printf "Table 2: loop nest descriptions (our kernels vs. paper labels)\n";
+  Printf.printf "%-12s %-8s %4s %5s %4s %-9s %-9s %5s\n" "Name" "Origin" "Size" "Iters"
+    "Nest" "Type" "OurClass" "Conds";
+  print_string (String.make 70 '-');
+  print_newline ();
+  List.iter
+    (fun (w : Impact_workloads.Suite.t) ->
+      let p = Impact_opt.Conv.run (Impact_fir.Lower.lower w.Impact_workloads.Suite.ast) in
+      let ours =
+        match List.filter Block.is_innermost (Block.loops p.Prog.entry) with
+        | l :: _ ->
+          Impact_analysis.Classify.to_string (Impact_analysis.Classify.classify l)
+        | [] -> "?"
+      in
+      Printf.printf "%-12s %-8s %4d %5d %4d %-9s %-9s %5s\n"
+        w.Impact_workloads.Suite.name w.Impact_workloads.Suite.origin
+        w.Impact_workloads.Suite.size w.Impact_workloads.Suite.iters
+        w.Impact_workloads.Suite.nest
+        (Impact_workloads.Suite.ltype_to_string w.Impact_workloads.Suite.ltype)
+        ours
+        (if w.Impact_workloads.Suite.conds then "yes" else "no"))
+    Impact_workloads.Suite.all
+
+let speedup_figure ~title ?group ~bounds ~labels machine =
+  let dist = Experiment.speedup_distribution ?group ~bounds machine (Lazy.force cells) in
+  print_string (Report.distribution_table ~title ~labels dist)
+
+let register_figure ~title ?group machine =
+  let dist = Experiment.register_distribution ?group machine (Lazy.force cells) in
+  print_string (Report.distribution_table ~title ~labels:Experiment.reg_labels dist)
+
+let print_fig8 () =
+  speedup_figure ~title:"Figure 8: speedup distribution, issue-2"
+    ~bounds:Experiment.fig8_bounds ~labels:Experiment.fig8_labels Machine.issue_2
+
+let print_fig9 () =
+  speedup_figure ~title:"Figure 9: speedup distribution, issue-4"
+    ~bounds:Experiment.fig9_bounds ~labels:Experiment.fig9_labels Machine.issue_4
+
+let print_fig10 () =
+  speedup_figure ~title:"Figure 10: speedup distribution, issue-8"
+    ~bounds:Experiment.fig10_bounds ~labels:Experiment.fig10_labels Machine.issue_8
+
+let print_fig11 () =
+  register_figure ~title:"Figure 11: register usage distribution, issue-8"
+    Machine.issue_8
+
+let print_fig12 () =
+  speedup_figure ~title:"Figure 12: speedup distribution of DOALL loops, issue-8"
+    ~group:"doall" ~bounds:Experiment.fig10_bounds ~labels:Experiment.fig10_labels
+    Machine.issue_8
+
+let print_fig13 () =
+  register_figure ~title:"Figure 13: register usage of DOALL loops, issue-8"
+    ~group:"doall" Machine.issue_8
+
+let print_fig14 () =
+  speedup_figure ~title:"Figure 14: speedup distribution of non-DOALL loops, issue-8"
+    ~group:"non-doall" ~bounds:Experiment.fig10_bounds ~labels:Experiment.fig10_labels
+    Machine.issue_8
+
+let print_fig15 () =
+  register_figure ~title:"Figure 15: register usage of non-DOALL loops, issue-8"
+    ~group:"non-doall" Machine.issue_8
+
+let print_summary () =
+  let cs = Lazy.force cells in
+  let avg ?group level machine =
+    Experiment.avg_speedup (Experiment.filter_cells ?group ~level ~machine cs)
+  in
+  let avg_r level =
+    Experiment.avg_regs (Experiment.filter_cells ~level ~machine:Machine.issue_8 cs)
+  in
+  Printf.printf "Summary (Section 3.2 / Section 4 quantities; paper values in parens)\n";
+  Printf.printf "%s\n" (String.make 72 '-');
+  Printf.printf "avg speedup issue-4: Lev3 %.2f (3.73)   Lev4 %.2f (4.35)\n"
+    (avg Level.Lev3 Machine.issue_4) (avg Level.Lev4 Machine.issue_4);
+  Printf.printf "avg speedup issue-8: Lev3 %.2f (5.10)   Lev4 %.2f (6.68)\n"
+    (avg Level.Lev3 Machine.issue_8) (avg Level.Lev4 Machine.issue_8);
+  Printf.printf "issue-8 Lev2 overall %.2f (5.1)  doall %.2f (6.8)  non-doall %.2f (3.7)\n"
+    (avg Level.Lev2 Machine.issue_8)
+    (avg ~group:"doall" Level.Lev2 Machine.issue_8)
+    (avg ~group:"non-doall" Level.Lev2 Machine.issue_8);
+  Printf.printf "issue-8 Lev4 doall %.2f (7.8)  non-doall %.2f (5.8)\n"
+    (avg ~group:"doall" Level.Lev4 Machine.issue_8)
+    (avg ~group:"non-doall" Level.Lev4 Machine.issue_8);
+  Printf.printf
+    "avg registers issue-8: Lev1 %.0f (28)  Lev2 %.0f (57)  Lev3 %.0f (65)  Lev4 %.0f (71)\n"
+    (avg_r Level.Lev1) (avg_r Level.Lev2) (avg_r Level.Lev3) (avg_r Level.Lev4);
+  Printf.printf "register growth Conv->Lev4 issue-8: %.1fx (2.6x)\n"
+    (avg_r Level.Lev4 /. avg_r Level.Conv);
+  let within128 =
+    List.length
+      (List.filter
+         (fun c -> Experiment.total_regs c < 128)
+         (Experiment.filter_cells ~level:Level.Lev4 ~machine:Machine.issue_8 cs))
+  in
+  Printf.printf "loops under 128 registers at Lev4, issue-8: %d/40 (37/40)\n" within128
+
+(* Leave-one-out ablation of the Lev4 pipeline at issue-8. *)
+let print_ablation () =
+  let variants =
+    [
+      ("full Lev4", fun p -> Level.apply Level.Lev4 p);
+      ( "no renaming",
+        Level.apply_custom ?unroll_factor:None ~unroll:true ~accum:true ~ind:true ~search:true
+          ~rename:false ~combine:true ~strength:true ~thr:true );
+      ( "no accumulator exp.",
+        Level.apply_custom ?unroll_factor:None ~unroll:true ~accum:false ~ind:true ~search:true
+          ~rename:true ~combine:true ~strength:true ~thr:true );
+      ( "no induction exp.",
+        Level.apply_custom ?unroll_factor:None ~unroll:true ~accum:true ~ind:false ~search:true
+          ~rename:true ~combine:true ~strength:true ~thr:true );
+      ( "no search exp.",
+        Level.apply_custom ?unroll_factor:None ~unroll:true ~accum:true ~ind:true ~search:false
+          ~rename:true ~combine:true ~strength:true ~thr:true );
+      ( "no combining",
+        Level.apply_custom ?unroll_factor:None ~unroll:true ~accum:true ~ind:true ~search:true
+          ~rename:true ~combine:false ~strength:true ~thr:true );
+      ( "no strength red.",
+        Level.apply_custom ?unroll_factor:None ~unroll:true ~accum:true ~ind:true ~search:true
+          ~rename:true ~combine:true ~strength:false ~thr:true );
+      ( "no tree height red.",
+        Level.apply_custom ?unroll_factor:None ~unroll:true ~accum:true ~ind:true ~search:true
+          ~rename:true ~combine:true ~strength:true ~thr:false );
+    ]
+  in
+  Printf.printf "Ablation: average issue-8 speedup of Lev4 with one transformation removed\n";
+  Printf.printf "%s\n" (String.make 72 '-');
+  List.iter
+    (fun (name, pipeline) ->
+      let speedups =
+        List.map
+          (fun (s : Experiment.subject) ->
+            let lower () = Impact_fir.Lower.lower s.Experiment.ast in
+            let base = Compile.measure Level.Conv Machine.issue_1 (lower ()) in
+            let p = pipeline (lower ()) in
+            let p = Impact_sched.Superblock.run p in
+            let p = Impact_sched.List_sched.run Machine.issue_8 p in
+            let r = Impact_sim.Sim.run Machine.issue_8 p in
+            float_of_int base.Compile.cycles /. float_of_int r.Impact_sim.Sim.cycles)
+          subjects
+      in
+      let avg = List.fold_left ( +. ) 0.0 speedups /. float_of_int (List.length speedups) in
+      Printf.printf "%-24s %.2f\n%!" name avg)
+    variants
+
+let print_csv () = print_string (Report.cells_csv (Lazy.force cells))
+
+(* Extension figure (ours): average speedup per level across issue rates
+   1..16, showing the paper's claim that the demand for higher
+   transformation levels grows with the issue rate. *)
+let print_issue_sweep () =
+  Printf.printf
+    "Issue-rate sweep (ours): average speedup per level, issue 1..16\n";
+  Printf.printf "%s\n" (String.make 60 '-');
+  let issues = [ 1; 2; 4; 8; 16 ] in
+  let machines = List.map (fun i -> Machine.make ~issue:i ()) issues in
+  let cells = Experiment.run_all machines Level.all subjects in
+  Printf.printf "%-7s" "issue";
+  List.iter (fun l -> Printf.printf " %6s" (Level.to_string l)) Level.all;
+  print_newline ();
+  List.iter
+    (fun machine ->
+      Printf.printf "%-7d" machine.Machine.issue;
+      List.iter
+        (fun level ->
+          Printf.printf " %6.2f"
+            (Experiment.avg_speedup (Experiment.filter_cells ~level ~machine cells)))
+        Level.all;
+      print_newline ())
+    machines
+
+(* Extension table (ours): dynamic-instruction overhead of the
+   transformations — the preconditioning loops, expansion bookkeeping and
+   tail duplication all add instructions; this shows the price paid for
+   the cycle reductions. *)
+let print_overhead () =
+  Printf.printf
+    "Dynamic instruction overhead (ours): dyn insns relative to Conv, issue-8\n";
+  Printf.printf "%s\n" (String.make 60 '-');
+  let cs = Lazy.force cells in
+  let conv_of name =
+    match
+      List.find_opt
+        (fun (c : Experiment.cell) ->
+          c.Experiment.subject.Experiment.sname = name
+          && c.Experiment.level = Level.Conv
+          && c.Experiment.machine.Machine.name = "issue-8")
+        cs
+    with
+    | Some c -> float_of_int c.Experiment.dyn_insns
+    | None -> nan
+  in
+  List.iter
+    (fun level ->
+      let ratios =
+        List.filter_map
+          (fun (c : Experiment.cell) ->
+            if c.Experiment.level = level && c.Experiment.machine.Machine.name = "issue-8"
+            then Some (float_of_int c.Experiment.dyn_insns /. conv_of c.Experiment.subject.Experiment.sname)
+            else None)
+          cs
+      in
+      let avg = List.fold_left ( +. ) 0.0 ratios /. float_of_int (List.length ratios) in
+      let mx = List.fold_left max 0.0 ratios in
+      Printf.printf "%-6s avg %.2fx   max %.2fx\n" (Level.to_string level) avg mx)
+    Level.all
+
+(* ---- Bechamel micro-benchmarks: one Test.make per table/figure,
+   measuring the compiler work behind one representative row. ---- *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let kernel name =
+    (Option.get (Impact_workloads.Suite.find name)).Impact_workloads.Suite.ast
+  in
+  let compile_test name level machine wname =
+    Test.make ~name
+      (Staged.stage (fun () ->
+         ignore (Compile.compile level machine (Impact_fir.Lower.lower (kernel wname)))))
+  in
+  let measure_test name level machine wname =
+    Test.make ~name
+      (Staged.stage (fun () ->
+         ignore (Compile.measure level machine (Impact_fir.Lower.lower (kernel wname)))))
+  in
+  [
+    Test.make ~name:"table1:machine-description"
+      (Staged.stage (fun () -> ignore (Report.table1 ())));
+    Test.make ~name:"table2:classify-row"
+      (Staged.stage (fun () ->
+         let p = Impact_opt.Conv.run (Impact_fir.Lower.lower (kernel "dotprod")) in
+         match List.filter Block.is_innermost (Block.loops p.Prog.entry) with
+         | l :: _ -> ignore (Impact_analysis.Classify.classify l)
+         | [] -> ()));
+    compile_test "fig8:compile-lev4-issue2" Level.Lev4 Machine.issue_2 "add";
+    compile_test "fig9:compile-lev4-issue4" Level.Lev4 Machine.issue_4 "add";
+    measure_test "fig10:measure-lev4-issue8" Level.Lev4 Machine.issue_8 "sum";
+    Test.make ~name:"fig11:regalloc-lev4-issue8"
+      (Staged.stage
+         (let p =
+            Compile.compile Level.Lev4 Machine.issue_8
+              (Impact_fir.Lower.lower (kernel "dotprod"))
+          in
+          fun () -> ignore (Impact_regalloc.Regalloc.measure p)));
+    measure_test "fig12:doall-row" Level.Lev2 Machine.issue_8 "add";
+    measure_test "fig13:doall-regs-row" Level.Lev4 Machine.issue_8 "merge";
+    measure_test "fig14:serial-row" Level.Lev4 Machine.issue_8 "dotprod";
+    measure_test "fig15:serial-regs-row" Level.Lev4 Machine.issue_8 "maxval";
+    measure_test "summary:lev3-issue8" Level.Lev3 Machine.issue_8 "sum";
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let tests = bechamel_tests () in
+  Printf.printf "Bechamel: per-artifact compiler cost (monotonic clock, ns/run)\n";
+  Printf.printf "%s\n" (String.make 72 '-');
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances (Test.make_grouped ~name:"g" ~fmt:"%s %s" [ test ])
+      in
+      let analyzed = Analyze.all ols (List.hd instances) results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let est =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ x ] -> Printf.sprintf "%12.0f ns/run" x
+            | _ -> "n/a"
+          in
+          Printf.printf "%-44s %s\n%!" name est)
+        analyzed)
+    tests
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let args =
+    if args = [] then
+      [
+        "table1"; "table2"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13";
+        "fig14"; "fig15"; "summary"; "ablation"; "issue-sweep"; "overhead";
+      ]
+    else args
+  in
+  List.iter
+    (fun arg ->
+      (match arg with
+      | "table1" -> print_table1 ()
+      | "table2" -> print_table2 ()
+      | "fig8" -> print_fig8 ()
+      | "fig9" -> print_fig9 ()
+      | "fig10" -> print_fig10 ()
+      | "fig11" -> print_fig11 ()
+      | "fig12" -> print_fig12 ()
+      | "fig13" -> print_fig13 ()
+      | "fig14" -> print_fig14 ()
+      | "fig15" -> print_fig15 ()
+      | "summary" -> print_summary ()
+      | "ablation" -> print_ablation ()
+      | "csv" -> print_csv ()
+      | "issue-sweep" -> print_issue_sweep ()
+      | "overhead" -> print_overhead ()
+      | "bechamel" -> run_bechamel ()
+      | other -> Printf.eprintf "unknown argument %s\n" other);
+      print_newline ())
+    args

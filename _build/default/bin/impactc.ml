@@ -1,0 +1,200 @@
+(* impactc: command-line driver for the IMPACT-reproduction compiler.
+
+   Subcommands:
+     list                     list the 40 Table-2 loop nests
+     show    -l NAME          print a loop nest's generated code at a level
+     run     -l NAME          compile, simulate and report one loop nest
+     sweep   -l NAME          run one loop nest across all levels/machines
+     run-file FILE            compile and run a mini-Fortran source file
+     show-file FILE           print a source file's generated code
+*)
+
+open Cmdliner
+open Impact_ir
+open Impact_core
+
+let find_workload name =
+  match Impact_workloads.Suite.find name with
+  | Some w -> w
+  | None ->
+    Printf.eprintf "unknown loop nest %s (try `impactc list`)\n" name;
+    exit 1
+
+let level_conv =
+  let parse s =
+    match Level.of_string s with
+    | Some l -> Ok l
+    | None -> Error (`Msg (Printf.sprintf "unknown level %s" s))
+  in
+  Arg.conv (parse, fun ppf l -> Format.pp_print_string ppf (Level.to_string l))
+
+let loop_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "l"; "loop" ] ~docv:"NAME" ~doc:"Loop nest name from Table 2.")
+
+let level_arg =
+  Arg.(
+    value
+    & opt level_conv Level.Lev4
+    & info [ "O"; "level" ] ~docv:"LEVEL" ~doc:"Transformation level (Conv, Lev1..Lev4).")
+
+let issue_arg =
+  Arg.(
+    value
+    & opt int 8
+    & info [ "issue" ] ~docv:"N" ~doc:"Processor issue rate (instructions/cycle).")
+
+let unroll_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "unroll" ] ~docv:"N" ~doc:"Override the unroll factor (default 8).")
+
+let machine_of_issue issue = Machine.make ~issue ()
+
+(* -- list -- *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-12s %-8s %5s %5s %4s %-9s %5s\n" "name" "origin" "size" "iters"
+      "nest" "type" "conds";
+    List.iter
+      (fun (w : Impact_workloads.Suite.t) ->
+        Printf.printf "%-12s %-8s %5d %5d %4d %-9s %5s\n" w.Impact_workloads.Suite.name
+          w.Impact_workloads.Suite.origin w.Impact_workloads.Suite.size
+          w.Impact_workloads.Suite.iters w.Impact_workloads.Suite.nest
+          (Impact_workloads.Suite.ltype_to_string w.Impact_workloads.Suite.ltype)
+          (if w.Impact_workloads.Suite.conds then "yes" else "no"))
+      Impact_workloads.Suite.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the Table 2 loop nests")
+    Term.(const run $ const ())
+
+(* -- show -- *)
+
+let show_cmd =
+  let run name level issue unroll scheduled =
+    let w = find_workload name in
+    let p = Impact_fir.Lower.lower w.Impact_workloads.Suite.ast in
+    let p = Level.apply ?unroll_factor:unroll level p in
+    let p =
+      if scheduled then
+        Impact_sched.List_sched.run (machine_of_issue issue)
+          (Impact_sched.Superblock.run p)
+      else p
+    in
+    print_string (Pp.prog_to_string p)
+  in
+  let scheduled_arg =
+    Arg.(value & flag & info [ "scheduled" ] ~doc:"Apply superblock formation and scheduling.")
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print the generated code of a loop nest at a level")
+    Term.(const run $ loop_arg $ level_arg $ issue_arg $ unroll_arg $ scheduled_arg)
+
+(* -- run -- *)
+
+let run_cmd =
+  let run name level issue unroll =
+    let w = find_workload name in
+    let lower () = Impact_fir.Lower.lower w.Impact_workloads.Suite.ast in
+    let machine = machine_of_issue issue in
+    let base = Compile.measure Level.Conv Machine.issue_1 (lower ()) in
+    let m = Compile.measure ?unroll_factor:unroll level machine (lower ()) in
+    Printf.printf "loop %s at %s on %s\n" name (Level.to_string level)
+      machine.Machine.name;
+    Printf.printf "  cycles        %d (base issue-1 Conv: %d)\n" m.Compile.cycles
+      base.Compile.cycles;
+    Printf.printf "  dyn insns     %d\n" m.Compile.dyn_insns;
+    Printf.printf "  speedup       %.2f\n" (Compile.speedup ~base ~this:m);
+    Printf.printf "  registers     %d int + %d float\n"
+      m.Compile.usage.Impact_regalloc.Regalloc.int_used
+      m.Compile.usage.Impact_regalloc.Regalloc.float_used;
+    List.iter
+      (fun (n, v) -> Printf.printf "  output %-6s %s\n" n (Impact_sim.Sim.value_to_string v))
+      m.Compile.result.Impact_sim.Sim.outputs
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile, simulate and report one loop nest")
+    Term.(const run $ loop_arg $ level_arg $ issue_arg $ unroll_arg)
+
+(* -- sweep -- *)
+
+let sweep_cmd =
+  let run name unroll =
+    let w = find_workload name in
+    let lower () = Impact_fir.Lower.lower w.Impact_workloads.Suite.ast in
+    let base = Compile.measure Level.Conv Machine.issue_1 (lower ()) in
+    Printf.printf "%-6s %-9s %10s %8s %6s\n" "level" "machine" "cycles" "speedup" "regs";
+    List.iter
+      (fun machine ->
+        List.iter
+          (fun level ->
+            let m = Compile.measure ?unroll_factor:unroll level machine (lower ()) in
+            Printf.printf "%-6s %-9s %10d %8.2f %6d\n" (Level.to_string level)
+              machine.Machine.name m.Compile.cycles
+              (Compile.speedup ~base ~this:m)
+              (Impact_regalloc.Regalloc.total m.Compile.usage))
+          Level.all)
+      [ Machine.issue_2; Machine.issue_4; Machine.issue_8 ]
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Run one loop nest across all levels and machines")
+    Term.(const run $ loop_arg $ unroll_arg)
+
+(* -- run-file / show-file -- *)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Mini-Fortran source file (see examples/kernels).")
+
+let load_file path =
+  try Impact_fir.Parse.parse_file path
+  with
+  | Impact_fir.Parse.Parse_error msg | Impact_fir.Typecheck.Type_error msg ->
+    Printf.eprintf "%s: %s\n" path msg;
+    exit 1
+
+let run_file_cmd =
+  let run path level issue unroll =
+    let ast = load_file path in
+    let machine = machine_of_issue issue in
+    let base = Compile.measure Level.Conv Machine.issue_1 (Impact_fir.Lower.lower ast) in
+    let m =
+      Compile.measure ?unroll_factor:unroll level machine (Impact_fir.Lower.lower ast)
+    in
+    Printf.printf "%s at %s on %s\n" path (Level.to_string level) machine.Machine.name;
+    Printf.printf "  cycles        %d (base issue-1 Conv: %d)\n" m.Compile.cycles
+      base.Compile.cycles;
+    Printf.printf "  speedup       %.2f\n" (Compile.speedup ~base ~this:m);
+    Printf.printf "  registers     %d int + %d float\n"
+      m.Compile.usage.Impact_regalloc.Regalloc.int_used
+      m.Compile.usage.Impact_regalloc.Regalloc.float_used;
+    List.iter
+      (fun (n, v) -> Printf.printf "  output %-6s %s\n" n (Impact_sim.Sim.value_to_string v))
+      m.Compile.result.Impact_sim.Sim.outputs
+  in
+  Cmd.v
+    (Cmd.info "run-file" ~doc:"Compile and run a mini-Fortran source file")
+    Term.(const run $ file_arg $ level_arg $ issue_arg $ unroll_arg)
+
+let show_file_cmd =
+  let run path level unroll =
+    let ast = load_file path in
+    let p = Level.apply ?unroll_factor:unroll level (Impact_fir.Lower.lower ast) in
+    print_string (Pp.prog_to_string p)
+  in
+  Cmd.v
+    (Cmd.info "show-file" ~doc:"Print a source file's generated code at a level")
+    Term.(const run $ file_arg $ level_arg $ unroll_arg)
+
+let () =
+  let doc = "IMPACT-style ILP transformation compiler (SC'92 reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "impactc" ~doc)
+          [ list_cmd; show_cmd; run_cmd; sweep_cmd; run_file_cmd; show_file_cmd ]))

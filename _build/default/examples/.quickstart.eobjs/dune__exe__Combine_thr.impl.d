@@ -1,0 +1,1 @@
+examples/combine_thr.ml: Compile Impact_core Impact_fir Impact_ir Impact_opt Impact_sched Impact_sim Level List Printf Tree_height

@@ -1,0 +1,1 @@
+examples/combine_thr.mli:

@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Compile Impact_analysis Impact_core Impact_fir Impact_ir Impact_opt Level List Printf

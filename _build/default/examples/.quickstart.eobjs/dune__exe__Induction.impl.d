@@ -1,0 +1,1 @@
+examples/induction.ml: Compile Impact_core Impact_fir Impact_ir Level List Printf

@@ -1,0 +1,1 @@
+examples/induction.mli:

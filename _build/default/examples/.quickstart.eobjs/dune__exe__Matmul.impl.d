@@ -1,0 +1,1 @@
+examples/matmul.ml: Array Compile Impact_core Impact_fir Impact_ir Impact_sim Level List Printf

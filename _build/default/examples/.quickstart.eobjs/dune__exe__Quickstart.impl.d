@@ -1,0 +1,1 @@
+examples/quickstart.ml: Compile Impact_core Impact_fir Impact_ir Level List Printf

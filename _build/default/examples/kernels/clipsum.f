@@ -1,0 +1,17 @@
+! conditional accumulation with a running maximum and an early continue
+integer j
+integer cnt = 0
+real s = 0.0
+real mx = -1.0e30
+real A(128) seed 5
+
+do j = 1, 128
+  if (A(j) .lt. 0.5) cycle
+  s = s + A(j)
+  cnt = cnt + 1
+  if (A(j) .gt. mx) then
+    mx = A(j)
+  end
+end
+
+output s, mx, cnt

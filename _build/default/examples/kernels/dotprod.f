@@ -1,0 +1,11 @@
+! dot product: a serial accumulation the Lev4 expansions parallelize
+integer j
+real s = 0.0
+real A(256) seed 3
+real B(256) seed 4
+
+do j = 1, 256
+  s = s + A(j) * B(j)
+end
+
+output s

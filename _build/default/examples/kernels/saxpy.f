@@ -1,0 +1,11 @@
+! saxpy: Y = Y + a*X, a DOALL loop
+integer j
+real a = 1.75
+real X(200) seed 1
+real Y(200) seed 2
+real Z(200) zero
+
+do j = 1, 200
+  Y(j) = Y(j) + a * X(j)
+  Z(j) = X(j) * 0.5
+end

@@ -1,0 +1,50 @@
+(* Quickstart: write a kernel in the mini-Fortran AST, compile it at each
+   transformation level, and simulate it — reproducing the paper's
+   Figure 1 walk-through (vector add at 7.0 / 6.3 / 2.7 cycles per
+   iteration for Conv / unrolling / unrolling+renaming on a machine with
+   unbounded issue).
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Impact_fir.Ast
+open Impact_core
+
+let n = 768
+
+(* DO 10 j = 1,n : C(j) = A(j) + B(j) *)
+let kernel =
+  {
+    decls =
+      [
+        scalar "j" TInt;
+        array1 "A" TReal n (fun k -> float_of_int k);
+        array1 "B" TReal n (fun k -> float_of_int (2 * k));
+        array1 "C" TReal n (fun _ -> 0.0);
+      ];
+    stmts =
+      [ do_ "j" (i 1) (i n) [ astore "C" [ v "j" ] (idx "A" [ v "j" ] +: idx "B" [ v "j" ]) ] ];
+    outs = [];
+  }
+
+let () =
+  print_endline "Figure 1 walk-through: vector add, unroll factor 3, unlimited issue";
+  print_endline "(paper: Conv 7.0, Lev1 6.33, Lev2 2.67 cycles/iteration)";
+  print_newline ();
+  let machine = Impact_ir.Machine.unlimited in
+  let base = Compile.measure Level.Conv Impact_ir.Machine.issue_1 (Impact_fir.Lower.lower kernel) in
+  Printf.printf "%-5s %10s %12s %9s\n" "level" "cycles" "cycles/iter" "speedup";
+  List.iter
+    (fun level ->
+      let m =
+        Compile.measure ~unroll_factor:3 level machine (Impact_fir.Lower.lower kernel)
+      in
+      Printf.printf "%-5s %10d %12.2f %9.2f\n" (Level.to_string level) m.Compile.cycles
+        (float_of_int m.Compile.cycles /. float_of_int n)
+        (Compile.speedup ~base ~this:m))
+    Level.all;
+  print_newline ();
+  print_endline "Lev2 code (after unrolling and renaming):";
+  let p =
+    Level.apply ~unroll_factor:3 Level.Lev2 (Impact_fir.Lower.lower kernel)
+  in
+  print_string (Impact_ir.Pp.prog_to_string p)

@@ -1,0 +1,1 @@
+lib/analysis/classify.ml: Array Block Dom Hashtbl Impact_ir Insn Linval List Operand Option Reg Sb

@@ -1,0 +1,1 @@
+lib/analysis/classify.mli: Block Impact_ir Linval Reg Sb

@@ -1,0 +1,1 @@
+lib/analysis/ddg.ml: Array Block Hashtbl Impact_ir Insn Linval List Machine Operand Option Reg Sb

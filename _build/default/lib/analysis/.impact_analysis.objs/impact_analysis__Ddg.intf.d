@@ -1,0 +1,1 @@
+lib/analysis/ddg.mli: Impact_ir Insn Linval Reg Sb

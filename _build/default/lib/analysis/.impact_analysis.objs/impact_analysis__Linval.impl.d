@@ -1,0 +1,1 @@
+lib/analysis/linval.ml: Array Block Dom Hashtbl Impact_ir Insn List Map Operand Option Printf Reg Sb Stdlib String

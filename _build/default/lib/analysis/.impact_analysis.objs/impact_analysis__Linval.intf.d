@@ -1,0 +1,1 @@
+lib/analysis/linval.mli: Block Hashtbl Impact_ir Map Reg Sb

@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Array Flatten Hashtbl Impact_ir Insn List Prog Reg

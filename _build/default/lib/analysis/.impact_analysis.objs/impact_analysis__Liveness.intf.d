@@ -1,0 +1,1 @@
+lib/analysis/liveness.mli: Flatten Impact_ir Insn Prog Reg

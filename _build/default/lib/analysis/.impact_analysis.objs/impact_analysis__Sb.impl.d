@@ -1,0 +1,1 @@
+lib/analysis/sb.ml: Array Block Hashtbl Impact_ir Insn List Option Reg

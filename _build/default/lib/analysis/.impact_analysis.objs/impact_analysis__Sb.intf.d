@@ -1,0 +1,1 @@
+lib/analysis/sb.mli: Block Hashtbl Impact_ir Insn Reg

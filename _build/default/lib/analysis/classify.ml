@@ -1,0 +1,107 @@
+(* DOALL / DOACROSS / serial classification of innermost loops, standing
+   in for the KAP-derived classification of the paper's Table 2.
+
+   - Serial: the loop carries a scalar recurrence other than a linear
+     induction variable (accumulators, search variables, general
+     recurrences).
+   - DOACROSS: no scalar recurrence, but a loop-carried memory dependence
+     (a store hits an address some later iteration reads or writes).
+   - DOALL: neither; all iterations are independent. *)
+
+open Impact_ir
+
+type loop_class = Doall | Doacross | Serial
+
+let to_string = function
+  | Doall -> "doall"
+  | Doacross -> "doacross"
+  | Serial -> "serial"
+
+(* Loop-carried scalar registers: defined in the body and whose incoming
+   value may be observed by some use — i.e. some use position is not
+   strictly dominated by a definition of the register. (A use in the same
+   instruction as a definition, e.g. [s = s + t], reads the incoming
+   value.) *)
+let carried_scalars (sb : Sb.t) : Reg.t list =
+  match Dom.dominators sb with
+  | None -> []
+  | Some dom ->
+    let defs_of : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+    let uses_of : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+    let push tbl (r : Reg.t) p =
+      Hashtbl.replace tbl r.Reg.id (p :: Option.value ~default:[] (Hashtbl.find_opt tbl r.Reg.id))
+    in
+    Sb.iter_insns
+      (fun p i ->
+        List.iter (fun r -> push defs_of r p) (Insn.defs i);
+        List.iter (fun r -> push uses_of r p) (Insn.uses i))
+      sb;
+    Reg.Set.elements
+      (Reg.Set.filter
+         (fun r ->
+           match Hashtbl.find_opt defs_of r.Reg.id with
+           | None -> false
+           | Some defs ->
+             let uses = Option.value ~default:[] (Hashtbl.find_opt uses_of r.Reg.id) in
+             List.exists
+               (fun u ->
+                 not (List.exists (fun d -> d <> u && Dom.mem dom.(u) d) defs))
+               uses)
+         (Sb.all_defs sb))
+
+(* Scalar recurrences: carried scalars that are not linear induction
+   variables. *)
+let recurrences (sb : Sb.t) (lv : Linval.t) : Reg.t list =
+  List.filter
+    (fun r ->
+      match Linval.iv_step lv r with Some _ -> false | None -> true)
+    (carried_scalars sb)
+
+(* Is there a loop-carried memory dependence? *)
+let carried_memory_dep (sb : Sb.t) (lv : Linval.t) : bool =
+  let mems = ref [] in
+  Sb.iter_insns
+    (fun p i -> if Insn.is_mem i then mems := (p, i) :: !mems)
+    sb;
+  let mems = !mems in
+  let label_of (i : Insn.t) =
+    match i.Insn.srcs.(0) with Operand.Lab s -> Some s | _ -> None
+  in
+  let pair_carried (p, (i : Insn.t)) (q, (j : Insn.t)) =
+    if not (Insn.is_store i || Insn.is_store j) then false
+    else
+      match Linval.address lv p, Linval.address lv q with
+      | Some a, Some b -> (
+        match Linval.lin_step lv a, Linval.lin_step lv b with
+        | Some sa, Some sb' when sa = sb' -> (
+          match Linval.diff a b with
+          | Some 0 -> sa = 0 (* same location every iteration *)
+          | Some d -> sa <> 0 && d mod sa = 0
+          | None -> (
+            (* Incomparable symbolic bases: distinct arrays are disjoint. *)
+            match label_of i, label_of j with
+            | Some la, Some lb -> la = lb
+            | _ -> true))
+        | _ -> (
+          (* Unknown strides: disjoint only if in different arrays. *)
+          match label_of i, label_of j with
+          | Some la, Some lb -> la = lb
+          | _ -> true))
+      | _ -> (
+        match label_of i, label_of j with
+        | Some la, Some lb -> la = lb
+        | _ -> true)
+  in
+  let rec any_pair = function
+    | [] -> false
+    | m :: rest -> List.exists (fun m' -> pair_carried m m') (m :: rest) || any_pair rest
+  in
+  any_pair mems
+
+let classify_body (sb : Sb.t) : loop_class =
+  let lv = Linval.analyze sb in
+  if recurrences sb lv <> [] then Serial
+  else if carried_memory_dep sb lv then Doacross
+  else Doall
+
+let classify (l : Block.loop) : loop_class = classify_body (Sb.of_loop l)

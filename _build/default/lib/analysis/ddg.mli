@@ -1,0 +1,41 @@
+(** Data-dependence graph of a superblock. Edges carry the latencies the
+    list scheduler must respect; control edges encode branch ordering,
+    store/branch ordering, and the superblock speculation rules (an
+    instruction may move above a branch only if it is speculatable and
+    its destination is dead at the branch target, and may not sink below
+    a branch whose taken path needs its result). *)
+
+open Impact_ir
+
+type kind = Flow | Anti | Output | Mem | Ctrl
+
+type edge = { esrc : int; edst : int; kind : kind; lat : int }
+
+type t = {
+  sb : Sb.t;
+  nodes : int list;  (** instruction positions in program order *)
+  edges : edge list;
+  succs : (int * int) list array;  (** position -> (successor, latency) *)
+  preds : (int * int) list array;
+}
+
+val kind_to_string : kind -> string
+
+val no_speculation : Insn.t -> Reg.Set.t option
+(** Default [live_at_target]: treats every destination as live (no
+    speculation). *)
+
+val build :
+  ?live_at_target:(Insn.t -> Reg.Set.t option) ->
+  ?pre_env:Linval.lin Reg.Map.t ->
+  Sb.t ->
+  t
+(** [pre_env] supplies preheader-established relations between live-in
+    registers (e.g. expanded induction pointers), used to disambiguate
+    addresses whose difference is iteration-invariant. *)
+
+val heights : t -> int array
+(** Longest-latency path from each node to the segment end (the list
+    scheduling priority). *)
+
+val critical_path : t -> int

@@ -1,0 +1,86 @@
+(* Always-executed analysis for a loop body: a position is
+   "unconditional" if it lies on every path from the body entry to the
+   back-branch, i.e. it dominates the back-branch in the body's internal
+   control-flow graph. Transformations that must fire exactly once per
+   iteration (induction-variable rewrites, renaming of definitions)
+   restrict themselves to unconditional positions.
+
+   Dominator sets are packed bitsets (one int array per node), since
+   unrolled bodies can reach a few thousand instructions. *)
+
+let bits_per_word = Sys.int_size
+
+let words n = ((n - 1) / bits_per_word) + 1
+
+let set bs k = bs.(k / bits_per_word) <- bs.(k / bits_per_word) lor (1 lsl (k mod bits_per_word))
+
+let clear_all bs = Array.fill bs 0 (Array.length bs) 0
+
+let mem bs k = bs.(k / bits_per_word) land (1 lsl (k mod bits_per_word)) <> 0
+
+let inter_into dst src =
+  let changed = ref false in
+  for w = 0 to Array.length dst - 1 do
+    let v = dst.(w) land src.(w) in
+    if v <> dst.(w) then begin
+      dst.(w) <- v;
+      changed := true
+    end
+  done;
+  !changed
+
+let dominators (sb : Sb.t) : int array array option =
+  let n = Sb.length sb in
+  if n = 0 then None
+  else begin
+    let preds = Array.make n [] in
+    for k = 0 to n - 1 do
+      List.iter (fun s -> if s < n then preds.(s) <- k :: preds.(s)) (Sb.succs sb k)
+    done;
+    let nw = words n in
+    let dom = Array.init n (fun _ -> Array.make nw (-1)) in
+    clear_all dom.(0);
+    set dom.(0) 0;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for v = 1 to n - 1 do
+        (match preds.(v) with
+        | [] -> () (* unreachable within the body; keep the top element *)
+        | ps ->
+          let tmp = Array.make nw (-1) in
+          List.iter (fun p -> ignore (inter_into tmp dom.(p))) ps;
+          set tmp v;
+          if inter_into dom.(v) tmp then changed := true)
+      done
+    done;
+    Some dom
+  end
+
+(* Position of the back-branch (branch targeting the loop head); falls
+   back to the last instruction position. *)
+let end_position (sb : Sb.t) : int option =
+  let n = Sb.length sb in
+  let rec from k =
+    if k < 0 then None
+    else
+      match Sb.insn sb k with
+      | Some i when Sb.is_back_branch sb i -> Some k
+      | Some _ | None -> from (k - 1)
+  in
+  match from (n - 1) with
+  | Some k -> Some k
+  | None ->
+    let rec last k =
+      if k < 0 then None
+      else match Sb.insn sb k with Some _ -> Some k | None -> last (k - 1)
+    in
+    last (n - 1)
+
+(* [unconditional sb] maps each item position to whether it executes on
+   every complete iteration of the loop. *)
+let unconditional (sb : Sb.t) : bool array =
+  let n = Sb.length sb in
+  match dominators sb, end_position sb with
+  | Some dom, Some e -> Array.init n (fun p -> mem dom.(e) p)
+  | _ -> Array.make n false

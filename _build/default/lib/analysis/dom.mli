@@ -1,0 +1,17 @@
+(** Always-executed analysis for a loop body: a position is unconditional
+    when it lies on every path from the body entry to the back-branch.
+    Transformations that must fire exactly once per iteration restrict
+    themselves to unconditional positions. *)
+
+val dominators : Sb.t -> int array array option
+(** Packed-bitset dominator sets of the body's internal control-flow
+    graph; [None] for an empty body. *)
+
+val mem : int array -> int -> bool
+(** Bitset membership: [mem dom.(v) u] means u dominates v. *)
+
+val end_position : Sb.t -> int option
+(** Position of the back-branch (or the last instruction). *)
+
+val unconditional : Sb.t -> bool array
+(** Per-position flag: executes on every complete iteration. *)

@@ -1,0 +1,78 @@
+(* Global liveness over the flattened instruction stream. Used by dead
+   code elimination, by the superblock scheduler's speculation rule
+   (an instruction may move above a branch only if its destination is
+   dead at the branch target), and by the register allocator. *)
+
+open Impact_ir
+
+type t = {
+  flat : Flatten.t;
+  live_in : Reg.Set.t array;
+  live_out : Reg.Set.t array;
+  exit_live : Reg.Set.t;
+}
+
+let successors (flat : Flatten.t) k =
+  let n = Array.length flat.Flatten.code in
+  let i = flat.Flatten.code.(k) in
+  match i.Insn.op with
+  | Insn.Jmp -> [ Flatten.target_index flat i ]
+  | Insn.Br _ ->
+    let t = Flatten.target_index flat i in
+    if k + 1 < n then [ k + 1; t ] else [ t ]
+  | _ -> if k + 1 < n then [ k + 1 ] else []
+
+let analyze ?(exit_live = Reg.Set.empty) (flat : Flatten.t) : t =
+  let code = flat.Flatten.code in
+  let n = Array.length code in
+  let live_in = Array.make n Reg.Set.empty in
+  let live_out = Array.make n Reg.Set.empty in
+  let uses = Array.map (fun i -> Reg.Set.of_list (Insn.uses i)) code in
+  let defs = Array.map (fun i -> Reg.Set.of_list (Insn.defs i)) code in
+  let succs = Array.init n (successors flat) in
+  let falls_off =
+    Array.init n (fun k ->
+      k = n - 1 && (match code.(k).Insn.op with Insn.Jmp -> false | _ -> true))
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for k = n - 1 downto 0 do
+      let out =
+        List.fold_left
+          (fun acc s ->
+            (* A successor past the end is program exit (e.g. a branch to a
+               trailing label). *)
+            if s >= n then Reg.Set.union acc exit_live else Reg.Set.union acc live_in.(s))
+          Reg.Set.empty succs.(k)
+      in
+      let out = if falls_off.(k) then Reg.Set.union out exit_live else out in
+      let inn = Reg.Set.union uses.(k) (Reg.Set.diff out defs.(k)) in
+      if not (Reg.Set.equal out live_out.(k)) || not (Reg.Set.equal inn live_in.(k))
+      then begin
+        live_out.(k) <- out;
+        live_in.(k) <- inn;
+        changed := true
+      end
+    done
+  done;
+  { flat; live_in; live_out; exit_live }
+
+(* Live set at a label: the live-in of the instruction the label points
+   at, or the exit-live set when the label is at the end of the code. *)
+let live_at_label (t : t) lbl =
+  match Hashtbl.find_opt t.flat.Flatten.labels lbl with
+  | None -> invalid_arg ("Liveness.live_at_label: unknown label " ^ lbl)
+  | Some k ->
+    if k >= Array.length t.live_in then t.exit_live else t.live_in.(k)
+
+(* Live set at the target of a branch instruction. *)
+let live_at_target (t : t) (i : Insn.t) =
+  match i.Insn.target with
+  | None -> invalid_arg "Liveness.live_at_target: not a branch"
+  | Some l -> live_at_label t l
+
+(* Liveness of a program: the program outputs are live at exit. *)
+let of_prog (p : Prog.t) : t =
+  let exit_live = Reg.Set.of_list (List.map snd p.Prog.outputs) in
+  analyze ~exit_live (Flatten.of_prog p)

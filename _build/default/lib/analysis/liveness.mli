@@ -1,0 +1,25 @@
+(** Global liveness over the flattened instruction stream. Used by dead
+    code elimination, the scheduler's speculation rule, and the register
+    allocator. *)
+
+open Impact_ir
+
+type t = {
+  flat : Flatten.t;
+  live_in : Reg.Set.t array;
+  live_out : Reg.Set.t array;
+  exit_live : Reg.Set.t;
+}
+
+val successors : Flatten.t -> int -> int list
+
+val analyze : ?exit_live:Reg.Set.t -> Flatten.t -> t
+
+val live_at_label : t -> string -> Reg.Set.t
+(** Live set at a label (the exit-live set for a trailing label). *)
+
+val live_at_target : t -> Insn.t -> Reg.Set.t
+(** Live set at a branch's target. *)
+
+val of_prog : Prog.t -> t
+(** Liveness with the program outputs live at exit. *)

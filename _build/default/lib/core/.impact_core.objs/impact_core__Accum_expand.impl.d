@@ -1,0 +1,1 @@
+lib/core/accum_expand.ml: Array Block Build Expand_util Hashtbl Impact_analysis Impact_ir Impact_opt Insn List Operand Option Prog Reg Sb

@@ -1,0 +1,1 @@
+lib/core/accum_expand.mli: Impact_ir

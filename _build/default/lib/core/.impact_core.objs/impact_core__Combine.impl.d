@@ -1,0 +1,1 @@
+lib/core/combine.ml: Array Block Build Dom Hashtbl Impact_analysis Impact_ir Insn List Operand Option Prog Reg Sb

@@ -1,0 +1,1 @@
+lib/core/compile.ml: Impact_ir Impact_regalloc Impact_sched Impact_sim Level Machine Prog

@@ -1,0 +1,1 @@
+lib/core/compile.mli: Impact_ir Impact_regalloc Impact_sim Level Machine Prog

@@ -1,0 +1,1 @@
+lib/core/expand_util.ml: Block Impact_ir Insn List

@@ -1,0 +1,1 @@
+lib/core/expand_util.mli: Impact_ir

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Array Compile Impact_fir Impact_ir Impact_regalloc Level List Machine

@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Impact_fir Impact_ir Level Machine

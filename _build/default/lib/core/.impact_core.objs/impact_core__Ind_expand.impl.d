@@ -1,0 +1,1 @@
+lib/core/ind_expand.ml: Array Block Build Dom Expand_util Hashtbl Impact_analysis Impact_ir Impact_opt Insn List Operand Option Prog Reg Sb

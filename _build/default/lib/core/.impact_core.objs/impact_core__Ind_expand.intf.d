@@ -1,0 +1,1 @@
+lib/core/ind_expand.mli: Impact_ir

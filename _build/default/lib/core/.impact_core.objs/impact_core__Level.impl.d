@@ -1,0 +1,1 @@
+lib/core/level.ml: Accum_expand Combine Impact_ir Impact_opt Ind_expand Prog Rename Search_expand Strength Tree_height Unroll

@@ -1,0 +1,1 @@
+lib/core/rename.ml: Array Block Dom Hashtbl Impact_analysis Impact_ir Insn List Operand Option Prog Reg Sb

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Experiment Impact_ir Level List Printf String

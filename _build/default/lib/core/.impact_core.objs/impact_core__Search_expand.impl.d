@@ -1,0 +1,1 @@
+lib/core/search_expand.ml: Array Block Build Expand_util Hashtbl Impact_analysis Impact_ir Impact_opt Insn List Operand Prog Reg Sb

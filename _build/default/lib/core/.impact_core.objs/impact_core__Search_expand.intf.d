@@ -1,0 +1,1 @@
+lib/core/search_expand.mli: Impact_ir

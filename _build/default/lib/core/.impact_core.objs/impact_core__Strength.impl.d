@@ -1,0 +1,1 @@
+lib/core/strength.ml: Array Block Build Hashtbl Impact_ir Insn List Machine Operand Prog Reg

@@ -1,0 +1,1 @@
+lib/core/strength.mli: Impact_ir

@@ -1,0 +1,1 @@
+lib/core/tree_height.ml: Array Block Build Hashtbl Impact_ir Impact_opt Insn List Machine Operand Option Prog Reg

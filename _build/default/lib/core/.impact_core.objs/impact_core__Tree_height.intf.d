@@ -1,0 +1,1 @@
+lib/core/tree_height.mli: Impact_ir

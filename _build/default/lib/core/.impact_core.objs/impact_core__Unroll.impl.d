@@ -1,0 +1,1 @@
+lib/core/unroll.ml: Array Block Build Dom Hashtbl Impact_analysis Impact_ir Impact_opt Insn List Operand Option Printf Prog Reg Sb

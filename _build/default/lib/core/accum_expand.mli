@@ -1,0 +1,8 @@
+(** Accumulator variable expansion (paper Figure 2): each of the k
+    accumulation instructions of an accumulator register gets its own
+    temporary accumulator (first initialized to the original, the rest
+    to zero); the temporaries are summed back at loop exit. Removes all
+    flow/anti/output dependences between the accumulations, at the cost
+    of reordering the floating-point reduction. *)
+
+val run : Impact_ir.Prog.t -> Impact_ir.Prog.t

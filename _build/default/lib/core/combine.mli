@@ -1,0 +1,11 @@
+(** Operation combining (paper Section 2, after Nakatani & Ebcioglu):
+    a flow dependence between two instructions with compile-time
+    constant operands is eliminated by substituting the producer's
+    non-constant operand into the consumer and folding the constants.
+    Integer add/sub feed add/sub/compare/branch/load/store (memory
+    consumers absorb the constant into their displacement); integer
+    multiplies feed multiplies; FP add/sub feed add/sub/compare/branch;
+    FP mul/div feed mul/div. Self-feeding producers exchange position
+    with an adjacent non-branch consumer. *)
+
+val run : Impact_ir.Prog.t -> Impact_ir.Prog.t

@@ -1,0 +1,38 @@
+(* End-to-end compilation and measurement driver: transformation level,
+   superblock formation, list scheduling for the target machine, then
+   execution-driven simulation and register-usage measurement. *)
+
+open Impact_ir
+
+type measurement = {
+  level : Level.t;
+  machine : Machine.t;
+  cycles : int;
+  dyn_insns : int;
+  usage : Impact_regalloc.Regalloc.usage;
+  result : Impact_sim.Sim.result;
+}
+
+let compile ?unroll_factor (level : Level.t) (machine : Machine.t) (p : Prog.t) :
+    Prog.t =
+  let p = Level.apply ?unroll_factor level p in
+  let p = Impact_sched.Superblock.run p in
+  Impact_sched.List_sched.run machine p
+
+let measure ?unroll_factor ?fuel (level : Level.t) (machine : Machine.t)
+    (p : Prog.t) : measurement =
+  let compiled = compile ?unroll_factor level machine p in
+  let result = Impact_sim.Sim.run ?fuel machine compiled in
+  let usage = Impact_regalloc.Regalloc.measure compiled in
+  {
+    level;
+    machine;
+    cycles = result.Impact_sim.Sim.cycles;
+    dyn_insns = result.Impact_sim.Sim.dyn_insns;
+    usage;
+    result;
+  }
+
+(* Speedup of a measurement against the paper's base configuration: an
+   issue-1 processor with conventional optimizations. *)
+let speedup ~base ~this = float_of_int base.cycles /. float_of_int this.cycles

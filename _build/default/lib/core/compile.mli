@@ -1,0 +1,22 @@
+(** End-to-end compilation and measurement: transformation level,
+    superblock formation, list scheduling, then execution-driven
+    simulation and register-usage measurement. *)
+
+open Impact_ir
+
+type measurement = {
+  level : Level.t;
+  machine : Machine.t;
+  cycles : int;
+  dyn_insns : int;
+  usage : Impact_regalloc.Regalloc.usage;
+  result : Impact_sim.Sim.result;
+}
+
+val compile : ?unroll_factor:int -> Level.t -> Machine.t -> Prog.t -> Prog.t
+
+val measure :
+  ?unroll_factor:int -> ?fuel:int -> Level.t -> Machine.t -> Prog.t -> measurement
+
+val speedup : base:measurement -> this:measurement -> float
+(** Speedup against the paper's base configuration (issue-1, Conv). *)

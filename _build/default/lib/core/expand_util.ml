@@ -1,0 +1,20 @@
+(* Shared placement helper for the expansion transformations.
+
+   Expansion preheader code (temporary initializations) must execute even
+   when a zero-remaining-trip guard skips the loop, because the matching
+   exit code (summations / combines) sits at the loop exit, which is the
+   guard's target. Initializing first makes the exit code an identity when
+   the loop body never runs. *)
+
+open Impact_ir
+
+(* Insert [code] into [pre] before a trailing guard branch that targets
+   [exit_lbl]; appends at the end when no such guard exists. *)
+let insert_before_guard (pre : Block.item list) ~(exit_lbl : string)
+    (code : Insn.t list) : Block.item list =
+  let items = List.map (fun i -> Block.Ins i) code in
+  match List.rev pre with
+  | Block.Ins i :: rev_rest
+    when Insn.is_cond_branch i && i.Insn.target = Some exit_lbl ->
+    List.rev rev_rest @ items @ [ Block.Ins i ]
+  | _ -> pre @ items

@@ -1,0 +1,9 @@
+(** Placement helper shared by the expansion transformations: their
+    initialization code must execute even when a zero-remaining-trip
+    guard skips the loop, so the matching exit code is an identity. *)
+
+val insert_before_guard :
+  Impact_ir.Block.item list ->
+  exit_lbl:string ->
+  Impact_ir.Insn.t list ->
+  Impact_ir.Block.item list

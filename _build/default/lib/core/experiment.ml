@@ -1,0 +1,136 @@
+(* The paper's evaluation harness (Section 3): compile each loop nest at
+   each transformation level, simulate on each machine configuration, and
+   aggregate speedups (vs. the issue-1 Conv base configuration) and
+   register usage. *)
+
+open Impact_ir
+
+type subject = {
+  sname : string;
+  group : string;  (* "doall" | "doacross" | "serial" *)
+  ast : Impact_fir.Ast.program;
+}
+
+type cell = {
+  subject : subject;
+  level : Level.t;
+  machine : Machine.t;
+  cycles : int;
+  dyn_insns : int;
+  speedup : float;
+  int_regs : int;
+  float_regs : int;
+}
+
+let total_regs c = c.int_regs + c.float_regs
+
+(* Run one subject across levels and machines. *)
+let run_subject ?unroll_factor (machines : Machine.t list) (levels : Level.t list)
+    (s : subject) : cell list =
+  let lower () = Impact_fir.Lower.lower s.ast in
+  let base = Compile.measure ?unroll_factor Level.Conv Machine.issue_1 (lower ()) in
+  List.concat_map
+    (fun machine ->
+      List.map
+        (fun level ->
+          let m = Compile.measure ?unroll_factor level machine (lower ()) in
+          {
+            subject = s;
+            level;
+            machine;
+            cycles = m.Compile.cycles;
+            dyn_insns = m.Compile.dyn_insns;
+            speedup = Compile.speedup ~base ~this:m;
+            int_regs = m.Compile.usage.Impact_regalloc.Regalloc.int_used;
+            float_regs = m.Compile.usage.Impact_regalloc.Regalloc.float_used;
+          })
+        levels)
+    machines
+
+let run_all ?unroll_factor ?(progress = fun _ -> ())
+    (machines : Machine.t list) (levels : Level.t list) (subjects : subject list) :
+    cell list =
+  List.concat_map
+    (fun s ->
+      progress s.sname;
+      run_subject ?unroll_factor machines levels s)
+    subjects
+
+(* ---- Aggregation ---- *)
+
+let filter_cells ?group ?level ?machine (cells : cell list) =
+  List.filter
+    (fun c ->
+      (match group with
+      | Some g -> (if g = "non-doall" then c.subject.group <> "doall" else c.subject.group = g)
+      | None -> true)
+      && (match level with Some l -> c.level = l | None -> true)
+      && match machine with Some m -> c.machine.Machine.name = m.Machine.name | None -> true)
+    cells
+
+let average f cells =
+  match cells with
+  | [] -> nan
+  | _ -> List.fold_left (fun acc c -> acc +. f c) 0.0 cells /. float_of_int (List.length cells)
+
+let avg_speedup cells = average (fun c -> c.speedup) cells
+
+let avg_regs cells = average (fun c -> float_of_int (total_regs c)) cells
+
+(* Histogram of [f] over cells using right-open bins given by their lower
+   bounds; the last bin is unbounded. *)
+let histogram ~(bounds : float list) (f : cell -> float) (cells : cell list) : int array
+    =
+  let bounds = Array.of_list bounds in
+  let counts = Array.make (Array.length bounds) 0 in
+  List.iter
+    (fun c ->
+      let x = f c in
+      let bin = ref 0 in
+      Array.iteri (fun k b -> if x >= b then bin := k) bounds;
+      counts.(!bin) <- counts.(!bin) + 1)
+    cells;
+  counts
+
+(* The paper's figure bin boundaries. *)
+
+let fig8_bounds = [ 0.0; 1.25; 1.5; 1.75; 2.0; 2.5; 3.0 ]
+
+let fig8_labels =
+  [ "0.00-1.24"; "1.25-1.49"; "1.50-1.74"; "1.75-1.99"; "2.00-2.49"; "2.50-2.99"; "3.00+" ]
+
+let fig9_bounds = [ 0.0; 1.5; 2.0; 2.5; 3.0; 3.5; 4.0; 5.0; 6.0 ]
+
+let fig9_labels =
+  [
+    "0.00-1.49"; "1.50-1.99"; "2.00-2.49"; "2.50-2.99"; "3.00-3.49"; "3.50-3.99";
+    "4.00-4.99"; "5.00-5.99"; "6.00+";
+  ]
+
+let fig10_bounds = [ 0.0; 2.0; 2.5; 3.0; 4.0; 5.0; 6.0; 7.0; 8.0 ]
+
+let fig10_labels =
+  [
+    "0.00-1.99"; "2.00-2.49"; "2.50-2.99"; "3.00-3.99"; "4.00-4.99"; "5.00-5.99";
+    "6.00-6.99"; "7.00-7.99"; "8.00+";
+  ]
+
+let reg_bounds = [ 0.0; 16.0; 32.0; 48.0; 64.0; 96.0; 128.0 ]
+
+let reg_labels = [ "0-15"; "16-31"; "32-47"; "48-63"; "64-95"; "96-127"; "128+" ]
+
+(* Speedup distribution for a machine (per level). *)
+let speedup_distribution ?group ~bounds machine cells :
+    (Level.t * int array) list =
+  List.map
+    (fun level ->
+      let cs = filter_cells ?group ~level ~machine cells in
+      (level, histogram ~bounds (fun c -> c.speedup) cs))
+    Level.all
+
+let register_distribution ?group machine cells : (Level.t * int array) list =
+  List.map
+    (fun level ->
+      let cs = filter_cells ?group ~level ~machine cells in
+      (level, histogram ~bounds:reg_bounds (fun c -> float_of_int (total_regs c)) cs))
+    Level.all

@@ -1,0 +1,71 @@
+(** The paper's evaluation harness (Section 3): compile each loop nest
+    at each level, simulate on each machine, aggregate speedups (vs. the
+    issue-1 Conv base) and register usage into the distributions of
+    Figures 8-15. *)
+
+open Impact_ir
+
+type subject = {
+  sname : string;
+  group : string;  (** "doall" | "doacross" | "serial" *)
+  ast : Impact_fir.Ast.program;
+}
+
+type cell = {
+  subject : subject;
+  level : Level.t;
+  machine : Machine.t;
+  cycles : int;
+  dyn_insns : int;
+  speedup : float;
+  int_regs : int;
+  float_regs : int;
+}
+
+val total_regs : cell -> int
+
+val run_subject :
+  ?unroll_factor:int -> Machine.t list -> Level.t list -> subject -> cell list
+
+val run_all :
+  ?unroll_factor:int ->
+  ?progress:(string -> unit) ->
+  Machine.t list ->
+  Level.t list ->
+  subject list ->
+  cell list
+
+val filter_cells :
+  ?group:string -> ?level:Level.t -> ?machine:Machine.t -> cell list -> cell list
+(** [~group:"non-doall"] selects everything that is not DOALL. *)
+
+val average : (cell -> float) -> cell list -> float
+
+val avg_speedup : cell list -> float
+
+val avg_regs : cell list -> float
+
+val histogram : bounds:float list -> (cell -> float) -> cell list -> int array
+
+val fig8_bounds : float list
+
+val fig8_labels : string list
+
+val fig9_bounds : float list
+
+val fig9_labels : string list
+
+val fig10_bounds : float list
+
+val fig10_labels : string list
+
+val reg_bounds : float list
+
+val reg_labels : string list
+
+val speedup_distribution :
+  ?group:string -> bounds:float list -> Machine.t -> cell list ->
+  (Level.t * int array) list
+
+val register_distribution :
+  ?group:string -> Machine.t -> cell list -> (Level.t * int array) list

@@ -1,0 +1,7 @@
+(** Induction variable expansion (paper Figure 4): k increments of an
+    induction register give k+1 temporary induction registers
+    initialized to V + p*m; references are remapped by region, the
+    original increments disappear, and all temporaries are bumped by k*m
+    before each branch back to the loop start. *)
+
+val run : Impact_ir.Prog.t -> Impact_ir.Prog.t

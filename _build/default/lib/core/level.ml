@@ -1,0 +1,65 @@
+(* The five cumulative transformation levels of the paper's evaluation
+   (Section 3.2):
+
+     Conv  conventional scalar optimizations
+     Lev1  + loop unrolling
+     Lev2  + register renaming
+     Lev3  + operation combining, strength reduction, tree height reduction
+     Lev4  + accumulator / induction / search variable expansion
+
+   Within a level the passes are ordered so each sees the code shape it
+   expects: the expansion transformations run on the raw unrolled body
+   (where an induction variable still has k identical increments, as in
+   the paper's Figure 4), and renaming runs after them. *)
+
+open Impact_ir
+
+type t = Conv | Lev1 | Lev2 | Lev3 | Lev4
+
+let all = [ Conv; Lev1; Lev2; Lev3; Lev4 ]
+
+let to_string = function
+  | Conv -> "Conv"
+  | Lev1 -> "Lev1"
+  | Lev2 -> "Lev2"
+  | Lev3 -> "Lev3"
+  | Lev4 -> "Lev4"
+
+let of_string = function
+  | "conv" | "Conv" -> Some Conv
+  | "lev1" | "Lev1" -> Some Lev1
+  | "lev2" | "Lev2" -> Some Lev2
+  | "lev3" | "Lev3" -> Some Lev3
+  | "lev4" | "Lev4" -> Some Lev4
+  | _ -> None
+
+let rank = function Conv -> 0 | Lev1 -> 1 | Lev2 -> 2 | Lev3 -> 3 | Lev4 -> 4
+
+let includes a b = rank a >= rank b
+
+let cleanup = Impact_opt.Conv.cleanup
+
+(* Custom pipeline with individual transformations switchable; used by the
+   level pipeline and by the leave-one-out ablation benchmarks. *)
+let apply_custom ?unroll_factor ~unroll ~accum ~ind ~search ~rename ~combine
+    ~strength ~thr (p : Prog.t) : Prog.t =
+  let p = Impact_opt.Conv.run p in
+  if not unroll then p
+  else begin
+    let p = Unroll.run ?factor:unroll_factor p in
+    let p = cleanup p in
+    let p = if accum then Accum_expand.run p else p in
+    let p = if ind then Ind_expand.run p else p in
+    let p = if search then Search_expand.run p else p in
+    let p = if rename then Rename.run p else p in
+    let p = if combine then Combine.run p else p in
+    let p = if strength then Strength.run p else p in
+    let p = if thr then Tree_height.run p else p in
+    cleanup p
+  end
+
+let apply ?unroll_factor (level : t) (p : Prog.t) : Prog.t =
+  let r = rank level in
+  apply_custom ?unroll_factor ~unroll:(r >= 1) ~accum:(r >= 4) ~ind:(r >= 4)
+    ~search:(r >= 4) ~rename:(r >= 2) ~combine:(r >= 3) ~strength:(r >= 3)
+    ~thr:(r >= 3) p

@@ -1,0 +1,9 @@
+(** Register renaming (paper Section 2, Figure 1d): within each loop
+    body, every definition of a multiply-defined register except the
+    last gets a fresh register and intervening uses are rewritten; the
+    last definition keeps the original name so loop-carried values stay
+    consistent. Definitions under internal guards are left alone. *)
+
+val rename_loop : Impact_ir.Prog.ctx -> Impact_ir.Block.loop -> Impact_ir.Block.loop
+
+val run : Impact_ir.Prog.t -> Impact_ir.Prog.t

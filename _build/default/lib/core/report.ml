@@ -1,0 +1,55 @@
+(* Text rendering of the paper's tables and figures. *)
+
+let fmt = Printf.sprintf
+
+let hr width = String.make width '-'
+
+(* A distribution table: rows are bins, columns are levels. *)
+let distribution_table ~title ~(labels : string list)
+    (dist : (Level.t * int array) list) : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (title ^ "\n");
+  let header =
+    fmt "%-12s %s" "range"
+      (String.concat " " (List.map (fun (l, _) -> fmt "%6s" (Level.to_string l)) dist))
+  in
+  Buffer.add_string buf (header ^ "\n");
+  Buffer.add_string buf (hr (String.length header) ^ "\n");
+  List.iteri
+    (fun k label ->
+      Buffer.add_string buf (fmt "%-12s" label);
+      List.iter (fun (_, counts) -> Buffer.add_string buf (fmt " %6d" counts.(k))) dist;
+      Buffer.add_string buf "\n")
+    labels;
+  Buffer.contents buf
+
+(* Per-level averages of a quantity. *)
+let averages_row ~title (f : Level.t -> float) : string =
+  let cells =
+    List.map (fun l -> fmt "%s=%.2f" (Level.to_string l) (f l)) Level.all
+  in
+  fmt "%-28s %s\n" title (String.concat "  " cells)
+
+let table1 () : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "Table 1: instruction latencies\n";
+  List.iter
+    (fun (name, lat) -> Buffer.add_string buf (fmt "  %-16s %d\n" name lat))
+    Impact_ir.Machine.table1_rows;
+  Buffer.contents buf
+
+(* Per-cell listing, useful for debugging and EXPERIMENTS.md. *)
+let cells_csv (cells : Experiment.cell list) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "name,group,level,machine,cycles,dyn_insns,speedup,int_regs,float_regs\n";
+  List.iter
+    (fun (c : Experiment.cell) ->
+      Buffer.add_string buf
+        (fmt "%s,%s,%s,%s,%d,%d,%.3f,%d,%d\n" c.Experiment.subject.Experiment.sname
+           c.Experiment.subject.Experiment.group
+           (Level.to_string c.Experiment.level)
+           c.Experiment.machine.Impact_ir.Machine.name c.Experiment.cycles
+           c.Experiment.dyn_insns c.Experiment.speedup c.Experiment.int_regs
+           c.Experiment.float_regs))
+    cells;
+  Buffer.contents buf

@@ -1,0 +1,10 @@
+(** Text rendering of the paper's tables and figures. *)
+
+val distribution_table :
+  title:string -> labels:string list -> (Level.t * int array) list -> string
+
+val averages_row : title:string -> (Level.t -> float) -> string
+
+val table1 : unit -> string
+
+val cells_csv : Experiment.cell list -> string

@@ -1,0 +1,7 @@
+(** Search variable expansion (paper Section 2): each guarded
+    min/max-style update site gets its own temporary search register
+    (initialized to the original); the temporaries are combined back at
+    loop exit with the same guarded-move pattern, removing the chain of
+    flow dependences between successive tests. *)
+
+val run : Impact_ir.Prog.t -> Impact_ir.Prog.t

@@ -1,0 +1,147 @@
+(* Strength reduction (paper Section 2): integer multiplies by
+   compile-time constants become shift/add sequences. On a scalar machine
+   the replacement is rarely profitable, but the shifts are independent
+   and execute concurrently on a superscalar/VLIW processor, so a
+   3-cycle multiply becomes a 2-cycle shift+add pair (the paper's
+   [r2 = r1 * 10] example). A sequence is only emitted when its critical
+   path is shorter than the multiply latency. *)
+
+open Impact_ir
+
+let mul_latency = Machine.latency (Insn.IBin Insn.Mul)
+
+let is_pow2 c = c > 0 && c land (c - 1) = 0
+
+let log2 c =
+  let rec go k v = if v <= 1 then k else go (k + 1) (v asr 1) in
+  go 0 c
+
+let popcount c =
+  let rec go acc v = if v = 0 then acc else go (acc + (v land 1)) (v asr 1) in
+  go 0 c
+
+(* Bit positions of set bits, most significant first. *)
+let bits c =
+  let rec go k acc = if k > 62 then acc else go (k + 1) (if c land (1 lsl k) <> 0 then k :: acc else acc) in
+  go 0 []
+
+(* Expansion of [d = x * c]; returns None when a multiply is at least as
+   fast. Critical path of the emitted sequence: parallel shifts (1 cycle)
+   followed by an add or sub (1 cycle) = 2 < 3. *)
+let expand_mul ctx (d : Reg.t) (x : Operand.t) (c : int) : Insn.t list option =
+  let neg = c < 0 in
+  let a = abs c in
+  let shl r k = Build.ib ctx Insn.Shl r x (Operand.Int k) in
+  let finish body result_op =
+    if neg then body @ [ Build.ib ctx Insn.Sub d (Operand.Int 0) result_op ]
+    else
+      match result_op with
+      | Operand.Reg r when Reg.equal r d -> body
+      | o -> body @ [ Build.imov ctx d o ]
+  in
+  if a = 0 || a = 1 then None (* folded elsewhere *)
+  else if is_pow2 a then begin
+    (* Single shift: 1 cycle (plus a negate when c < 0: 2 cycles). *)
+    if neg then
+      let t = Reg.fresh ctx.Prog.rgen Reg.Int in
+      Some (finish [ shl t (log2 a) ] (Operand.Reg t))
+    else Some [ shl d (log2 a) ]
+  end
+  else if neg then None (* extra negate makes it 3 cycles: no gain *)
+  else if popcount a = 2 then begin
+    (* (x << hi) + (x << lo): two independent shifts and one add. *)
+    match bits a with
+    | [ hi; lo ] ->
+      let t1 = Reg.fresh ctx.Prog.rgen Reg.Int in
+      if lo = 0 then
+        Some [ shl t1 hi; Build.ib ctx Insn.Add d (Operand.Reg t1) x ]
+      else begin
+        let t2 = Reg.fresh ctx.Prog.rgen Reg.Int in
+        Some [ shl t1 hi; shl t2 lo; Build.ib ctx Insn.Add d (Operand.Reg t1) (Operand.Reg t2) ]
+      end
+    | _ -> None
+  end
+  else if is_pow2 (a + 1) then begin
+    (* (x << k) - x: one shift and one subtract. *)
+    let t = Reg.fresh ctx.Prog.rgen Reg.Int in
+    Some [ shl t (log2 (a + 1)); Build.ib ctx Insn.Sub d (Operand.Reg t) x ]
+  end
+  else None
+
+(* Division and remainder by powers of two become shifts/masks, but only
+   when the dividend is provably non-negative (truncating division
+   rounds toward zero, arithmetic shifting toward minus infinity). The
+   proof is a cheap syntactic walk over the defining chain within the
+   block. *)
+
+let div_latency = Machine.latency (Insn.IBin Insn.Div)
+
+let rec nonneg_operand (defs : (int, Insn.t) Hashtbl.t) depth (o : Operand.t) =
+  depth < 8
+  &&
+  match o with
+  | Operand.Int n -> n >= 0
+  | Operand.Lab _ -> true (* array base addresses are non-negative *)
+  | Operand.Flt _ -> false
+  | Operand.Reg r -> (
+    match Hashtbl.find_opt defs r.Reg.id with
+    | None -> false
+    | Some i -> (
+      let nn k = nonneg_operand defs (depth + 1) i.Insn.srcs.(k) in
+      match i.Insn.op with
+      | Insn.IMov -> nn 0
+      (* AND clears bits: one non-negative operand suffices. *)
+      | Insn.IBin Insn.And -> nn 0 || nn 1
+      | Insn.IBin (Insn.Add | Insn.Mul | Insn.Div | Insn.Or | Insn.Xor
+                  | Insn.Shl | Insn.Shr) -> nn 0 && nn 1
+      | Insn.IBin Insn.Rem -> nn 0
+      | _ -> false))
+
+let expand_divrem ctx ~is_rem (d : Reg.t) (x : Operand.t) (c : int) :
+    Insn.t list option =
+  if not (is_pow2 c && c > 1) then None
+  else if div_latency <= 2 then None
+  else if is_rem then Some [ Build.ib ctx Insn.And d x (Operand.Int (c - 1)) ]
+  else Some [ Build.ib ctx Insn.Shr d x (Operand.Int (log2 c)) ]
+
+(* Per-block defining-instruction table: sound only for singly-defined
+   registers, so multiply-defined ones are dropped. *)
+let def_table (block : Block.t) : (int, Insn.t) Hashtbl.t =
+  let defs = Hashtbl.create 32 in
+  let dead = Hashtbl.create 8 in
+  Block.iter_insns
+    (fun i ->
+      List.iter
+        (fun (r : Reg.t) ->
+          if Hashtbl.mem defs r.Reg.id then Hashtbl.replace dead r.Reg.id ()
+          else Hashtbl.replace defs r.Reg.id i)
+        (Insn.defs i))
+    block;
+  Hashtbl.iter (fun k () -> Hashtbl.remove defs k) dead;
+  defs
+
+let reduce_insn ctx defs (i : Insn.t) : Insn.t list =
+  match i.Insn.op, i.Insn.dst with
+  | Insn.IBin Insn.Mul, Some d -> (
+    let attempt x c = if mul_latency <= 2 then None else expand_mul ctx d x c in
+    match i.Insn.srcs.(0), i.Insn.srcs.(1) with
+    | (Operand.Reg _ as x), Operand.Int c -> (
+      match attempt x c with Some seq -> seq | None -> [ i ])
+    | Operand.Int c, (Operand.Reg _ as x) -> (
+      match attempt x c with Some seq -> seq | None -> [ i ])
+    | _ -> [ i ])
+  | Insn.IBin ((Insn.Div | Insn.Rem) as op), Some d -> (
+    match i.Insn.srcs.(0), i.Insn.srcs.(1) with
+    | (Operand.Reg _ as x), Operand.Int c when nonneg_operand defs 0 x -> (
+      match expand_divrem ctx ~is_rem:(op = Insn.Rem) d x c with
+      | Some seq -> seq
+      | None -> [ i ])
+    | _ -> [ i ])
+  | _ -> [ i ]
+
+let run (p : Prog.t) : Prog.t =
+  (* The non-negativity walk uses whole-program single definitions, which
+     is conservative and sound: a register with any second definition is
+     excluded. *)
+  let defs = def_table p.Prog.entry in
+  Prog.with_entry p (Block.concat_map_insns (reduce_insn p.Prog.ctx defs) p.Prog.entry)

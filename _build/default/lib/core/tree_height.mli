@@ -1,0 +1,8 @@
+(** Tree height reduction (paper Section 2, Figure 7), after Baer-Bovet:
+    maximal single-use chains of associative arithmetic are flattened
+    and rebuilt balanced (earliest-ready-first), with denominators
+    divided into one numerator early so the long divide overlaps the
+    multiply tree. Only associativity/commutativity are used. Chains are
+    rebuilt only when the critical path strictly improves. *)
+
+val run : Impact_ir.Prog.t -> Impact_ir.Prog.t

@@ -1,0 +1,1 @@
+lib/fir/lower.ml: Array Ast Block Build Float Hashtbl Impact_ir Insn List Operand Printf Prog Reg Typecheck

@@ -1,0 +1,1 @@
+lib/fir/lower.mli: Ast Impact_ir

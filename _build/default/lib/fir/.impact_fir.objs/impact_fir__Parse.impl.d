@@ -1,0 +1,1 @@
+lib/fir/parse.ml: Ast List Printf String

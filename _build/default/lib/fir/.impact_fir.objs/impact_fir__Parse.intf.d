@@ -1,0 +1,1 @@
+lib/fir/parse.mli: Ast

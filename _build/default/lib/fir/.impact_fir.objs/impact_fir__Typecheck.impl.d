@@ -1,0 +1,1 @@
+lib/fir/typecheck.ml: Ast Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/fir/typecheck.mli: Ast Hashtbl

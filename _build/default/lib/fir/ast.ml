@@ -1,0 +1,113 @@
+(* Abstract syntax for the mini-Fortran source language in which the
+   40 workload loop nests are written. Arrays are column-major and
+   1-indexed, DO loops have entry-evaluated bounds, and IF/CYCLE give the
+   conditional constructs that appear in the paper's loops. *)
+
+type ty = TInt | TReal
+
+type binop = BAdd | BSub | BMul | BDiv | BRem
+
+type cmp = CLt | CLe | CGt | CGe | CEq | CNe
+
+type expr =
+  | EInt of int
+  | EReal of float
+  | EVar of string
+  | EIdx of string * expr list
+  | EBin of binop * expr * expr
+  | ENeg of expr
+  | ECvt of ty * expr
+
+type cond = { rel : cmp; lhs : expr; rhs : expr }
+
+type stmt =
+  | SAssign of lval * expr
+  | SIf of cond * stmt list * stmt list
+  | SDo of doloop
+  | SCycle  (** skip to the next iteration of the innermost enclosing loop *)
+
+and lval = LVar of string | LIdx of string * expr list
+
+and doloop = { v : string; lo : expr; hi : expr; step : expr; body : stmt list }
+
+type decl =
+  | DScalar of string * ty * float  (** name, type, initial value *)
+  | DArray of string * ty * int list * (int -> float)
+      (** name, element type, dimensions, initializer by linear index *)
+
+type program = {
+  decls : decl list;
+  stmts : stmt list;
+  outs : string list;  (** scalar variables observed after execution *)
+}
+
+(* Constructors used pervasively by the workload definitions. *)
+
+let i n = EInt n
+
+let r x = EReal x
+
+let v name = EVar name
+
+let idx name es = EIdx (name, es)
+
+let ( +: ) a b = EBin (BAdd, a, b)
+
+let ( -: ) a b = EBin (BSub, a, b)
+
+let ( *: ) a b = EBin (BMul, a, b)
+
+let ( /: ) a b = EBin (BDiv, a, b)
+
+let rem a b = EBin (BRem, a, b)
+
+let neg a = ENeg a
+
+let assign name e = SAssign (LVar name, e)
+
+let astore name es e = SAssign (LIdx (name, es), e)
+
+let if_ rel lhs rhs then_ else_ = SIf ({ rel; lhs; rhs }, then_, else_)
+
+let do_ voname lo hi body = SDo { v = voname; lo; hi; step = EInt 1; body }
+
+let do_step voname lo hi step body = SDo { v = voname; lo; hi; step; body }
+
+let scalar ?(init = 0.0) name ty = DScalar (name, ty, init)
+
+let array1 name ty n f = DArray (name, ty, [ n ], f)
+
+let array2 name ty n m f = DArray (name, ty, [ n; m ], f)
+
+let array3 name ty n m k f = DArray (name, ty, [ n; m; k ], f)
+
+let rec stmt_count stmts =
+  List.fold_left
+    (fun acc s ->
+      acc
+      +
+      match s with
+      | SAssign _ | SCycle -> 1
+      | SIf (_, a, b) -> 1 + stmt_count a + stmt_count b
+      | SDo d -> 1 + stmt_count d.body)
+    0 stmts
+
+(* Nesting depth of the deepest DO loop. *)
+let rec loop_depth stmts =
+  List.fold_left
+    (fun acc s ->
+      max acc
+        (match s with
+        | SAssign _ | SCycle -> 0
+        | SIf (_, a, b) -> max (loop_depth a) (loop_depth b)
+        | SDo d -> 1 + loop_depth d.body))
+    0 stmts
+
+(* Whether any innermost loop body contains a conditional. *)
+let rec has_conditional stmts =
+  List.exists
+    (function
+      | SAssign _ | SCycle -> false
+      | SIf _ -> true
+      | SDo d -> has_conditional d.body)
+    stmts

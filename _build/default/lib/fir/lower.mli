@@ -1,0 +1,7 @@
+(** Lowering from mini-Fortran to the RISC IR. Generated code is naive
+    (explicit subscript arithmetic per access); the classical optimizer
+    produces baseline code of the quality shown in the paper's figures. *)
+
+exception Lower_error of string
+
+val lower : Ast.program -> Impact_ir.Prog.t

@@ -1,0 +1,13 @@
+(** Text front-end for the mini-Fortran language: one statement per
+    line, case-insensitive keywords, '!' comments, .lt.-style or symbolic
+    relational operators, DO/END loops, block and one-line IF, CYCLE,
+    array declarations with [zero], [seed N] or [linear A B]
+    initializers, and OUTPUT directives naming the observable scalars.
+    See [examples/kernels/] for complete programs. *)
+
+exception Parse_error of string
+
+val parse_program : string -> Ast.program
+(** Parse from a string; raises {!Parse_error} with a line number. *)
+
+val parse_file : string -> Ast.program

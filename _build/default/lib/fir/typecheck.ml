@@ -1,0 +1,108 @@
+(* Static checks on mini-Fortran programs: declared names, index arity,
+   index and bound integrality, and expression typing with the implicit
+   int->real promotion rule. *)
+
+exception Type_error of string
+
+type tenv = {
+  scalars : (string, Ast.ty) Hashtbl.t;
+  arrays : (string, Ast.ty * int list) Hashtbl.t;
+}
+
+let err fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+let make_tenv (p : Ast.program) =
+  let scalars = Hashtbl.create 16 in
+  let arrays = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      match d with
+      | Ast.DScalar (n, ty, _) ->
+        if Hashtbl.mem scalars n || Hashtbl.mem arrays n then
+          err "duplicate declaration of %s" n;
+        Hashtbl.replace scalars n ty
+      | Ast.DArray (n, ty, dims, _) ->
+        if Hashtbl.mem scalars n || Hashtbl.mem arrays n then
+          err "duplicate declaration of %s" n;
+        if dims = [] || List.exists (fun d -> d <= 0) dims then
+          err "array %s has invalid dimensions" n;
+        Hashtbl.replace arrays n (ty, dims))
+    p.Ast.decls;
+  { scalars; arrays }
+
+let rec expr_type env (e : Ast.expr) : Ast.ty =
+  match e with
+  | Ast.EInt _ -> Ast.TInt
+  | Ast.EReal _ -> Ast.TReal
+  | Ast.EVar n -> (
+    match Hashtbl.find_opt env.scalars n with
+    | Some ty -> ty
+    | None -> err "undeclared scalar %s" n)
+  | Ast.EIdx (n, idxs) -> (
+    match Hashtbl.find_opt env.arrays n with
+    | None -> err "undeclared array %s" n
+    | Some (ty, dims) ->
+      if List.length idxs <> List.length dims then
+        err "array %s indexed with %d subscripts, declared with %d" n
+          (List.length idxs) (List.length dims);
+      List.iter
+        (fun ix ->
+          if expr_type env ix <> Ast.TInt then err "non-integer subscript of %s" n)
+        idxs;
+      ty)
+  | Ast.EBin (op, a, b) -> (
+    let ta = expr_type env a and tb = expr_type env b in
+    match op, ta, tb with
+    | Ast.BRem, Ast.TInt, Ast.TInt -> Ast.TInt
+    | Ast.BRem, _, _ -> err "MOD requires integer operands"
+    | _, Ast.TInt, Ast.TInt -> Ast.TInt
+    | _, _, _ -> Ast.TReal (* implicit promotion *))
+  | Ast.ENeg a -> expr_type env a
+  | Ast.ECvt (ty, a) ->
+    ignore (expr_type env a);
+    ty
+
+let check_cond env (c : Ast.cond) =
+  ignore (expr_type env c.Ast.lhs);
+  ignore (expr_type env c.Ast.rhs)
+
+let rec check_stmt env ~in_loop (s : Ast.stmt) =
+  match s with
+  | Ast.SAssign (lv, e) -> (
+    let te = expr_type env e in
+    match lv with
+    | Ast.LVar n -> (
+      match Hashtbl.find_opt env.scalars n with
+      | None -> err "assignment to undeclared scalar %s" n
+      | Some Ast.TInt when te = Ast.TReal ->
+        err "implicit real->int assignment to %s (use ECvt)" n
+      | Some _ -> ())
+    | Ast.LIdx (n, idxs) ->
+      ignore (expr_type env (Ast.EIdx (n, idxs)));
+      let ty, _ = Hashtbl.find env.arrays n in
+      if ty = Ast.TInt && te = Ast.TReal then
+        err "implicit real->int store to %s" n)
+  | Ast.SIf (c, a, b) ->
+    check_cond env c;
+    List.iter (check_stmt env ~in_loop) a;
+    List.iter (check_stmt env ~in_loop) b
+  | Ast.SDo d ->
+    if not (Hashtbl.mem env.scalars d.Ast.v) then
+      err "undeclared loop variable %s" d.Ast.v;
+    if Hashtbl.find env.scalars d.Ast.v <> Ast.TInt then
+      err "loop variable %s must be integer" d.Ast.v;
+    List.iter
+      (fun e ->
+        if expr_type env e <> Ast.TInt then err "non-integer DO bound")
+      [ d.Ast.lo; d.Ast.hi; d.Ast.step ];
+    List.iter (check_stmt env ~in_loop:true) d.Ast.body
+  | Ast.SCycle -> if not in_loop then err "CYCLE outside of a loop"
+
+let check (p : Ast.program) : tenv =
+  let env = make_tenv p in
+  List.iter (check_stmt env ~in_loop:false) p.Ast.stmts;
+  List.iter
+    (fun o ->
+      if not (Hashtbl.mem env.scalars o) then err "undeclared output %s" o)
+    p.Ast.outs;
+  env

@@ -1,0 +1,1 @@
+lib/ir/flatten.ml: Array Block Hashtbl Insn List Prog

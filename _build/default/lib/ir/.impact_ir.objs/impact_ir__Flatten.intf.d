@@ -1,0 +1,1 @@
+lib/ir/flatten.mli: Block Hashtbl Insn Prog

@@ -1,0 +1,1 @@
+lib/ir/machine.mli: Insn

@@ -1,0 +1,1 @@
+lib/ir/operand.ml: Float Format Printf Reg String

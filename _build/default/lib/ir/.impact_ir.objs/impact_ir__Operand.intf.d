@@ -1,0 +1,1 @@
+lib/ir/operand.mli: Format Reg

@@ -1,0 +1,1 @@
+lib/ir/pp.ml: Block Format Insn List Prog Reg String

@@ -1,0 +1,1 @@
+lib/ir/prog.ml: Block List Printf Reg

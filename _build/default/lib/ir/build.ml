@@ -1,0 +1,41 @@
+(* Convenience constructors for instructions; every pass and the frontend
+   build code through these so that instruction ids stay unique. *)
+
+let ib ctx op dst a b =
+  Insn.make ~id:(Prog.fresh_insn_id ctx) ~op:(Insn.IBin op) ~dst ~srcs:[| a; b |] ()
+
+let fb ctx op dst a b =
+  Insn.make ~id:(Prog.fresh_insn_id ctx) ~op:(Insn.FBin op) ~dst ~srcs:[| a; b |] ()
+
+let imov ctx dst a =
+  Insn.make ~id:(Prog.fresh_insn_id ctx) ~op:Insn.IMov ~dst ~srcs:[| a |] ()
+
+let fmov ctx dst a =
+  Insn.make ~id:(Prog.fresh_insn_id ctx) ~op:Insn.FMov ~dst ~srcs:[| a |] ()
+
+let itof ctx dst a =
+  Insn.make ~id:(Prog.fresh_insn_id ctx) ~op:Insn.ItoF ~dst ~srcs:[| a |] ()
+
+let ftoi ctx dst a =
+  Insn.make ~id:(Prog.fresh_insn_id ctx) ~op:Insn.FtoI ~dst ~srcs:[| a |] ()
+
+let load ctx cls dst ?(disp = 0) base off =
+  Insn.make ~id:(Prog.fresh_insn_id ctx) ~op:(Insn.Load cls) ~dst
+    ~srcs:[| base; off; Operand.Int disp |] ()
+
+let store ctx cls ?(disp = 0) base off v =
+  Insn.make ~id:(Prog.fresh_insn_id ctx) ~op:(Insn.Store cls)
+    ~srcs:[| base; off; Operand.Int disp; v |] ()
+
+let br ctx cls cmp a b target =
+  Insn.make ~id:(Prog.fresh_insn_id ctx) ~op:(Insn.Br (cls, cmp)) ~srcs:[| a; b |] ~target ()
+
+let jmp ctx target =
+  Insn.make ~id:(Prog.fresh_insn_id ctx) ~op:Insn.Jmp ~target ()
+
+(* Clone an instruction under a fresh id, optionally replacing fields. *)
+let clone ctx ?dst ?srcs ?target (i : Insn.t) =
+  let dst = match dst with Some d -> Some d | None -> i.Insn.dst in
+  let srcs = match srcs with Some s -> s | None -> Array.copy i.Insn.srcs in
+  let target = match target with Some t -> Some t | None -> i.Insn.target in
+  { i with Insn.id = Prog.fresh_insn_id ctx; dst; srcs; target }

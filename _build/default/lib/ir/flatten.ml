@@ -1,0 +1,52 @@
+(* Resolve a structured block to a flat instruction stream with a label
+   table, for simulation. *)
+
+type t = { code : Insn.t array; labels : (string, int) Hashtbl.t }
+
+exception Unresolved_label of string
+
+exception Duplicate_label of string
+
+let of_block block =
+  let buf = ref [] in
+  let n = ref 0 in
+  let labels = Hashtbl.create 64 in
+  let define l =
+    if Hashtbl.mem labels l then raise (Duplicate_label l);
+    Hashtbl.replace labels l !n
+  in
+  let emit i =
+    buf := i :: !buf;
+    incr n
+  in
+  let rec go items =
+    List.iter
+      (function
+        | Block.Ins i -> emit i
+        | Block.Lbl l -> define l
+        | Block.Loop l ->
+          define l.Block.head;
+          go l.Block.body;
+          define l.Block.exit_lbl)
+      items
+  in
+  go block;
+  let code = Array.of_list (List.rev !buf) in
+  (* Every branch target must be defined. *)
+  Array.iter
+    (fun i ->
+      match i.Insn.target with
+      | Some l when not (Hashtbl.mem labels l) -> raise (Unresolved_label l)
+      | Some _ | None -> ())
+    code;
+  { code; labels }
+
+let target_index t i =
+  match i.Insn.target with
+  | None -> invalid_arg "Flatten.target_index: not a branch"
+  | Some l -> (
+    match Hashtbl.find_opt t.labels l with
+    | Some k -> k
+    | None -> raise (Unresolved_label l))
+
+let of_prog (p : Prog.t) = of_block p.Prog.entry

@@ -1,0 +1,51 @@
+(* Machine description: a parameterized in-order superscalar/VLIW node
+   processor. Latencies are the paper's Table 1; the issue rate is the
+   maximum number of instructions fetched and issued per cycle, with no
+   restriction on the mix except a single branch slot. *)
+
+type t = { name : string; issue : int; branch_slots : int }
+
+(* Table 1 instruction latencies. Register moves are modeled as 1-cycle
+   integer-unit operations (the paper does not list moves; renaming-style
+   moves are integer copies in IMPACT). *)
+let latency (op : Insn.op) =
+  match op with
+  | Insn.IBin (Insn.Mul) -> 3
+  | Insn.IBin (Insn.Div | Insn.Rem) -> 10
+  | Insn.IBin _ -> 1
+  | Insn.FBin (Insn.Fadd | Insn.Fsub) -> 3
+  | Insn.FBin Insn.Fmul -> 3
+  | Insn.FBin Insn.Fdiv -> 10
+  | Insn.IMov | Insn.FMov -> 1
+  | Insn.ItoF | Insn.FtoI -> 3
+  | Insn.Load _ -> 2
+  | Insn.Store _ -> 1
+  | Insn.Br _ | Insn.Jmp -> 1
+
+let make ?(branch_slots = 1) ~issue () =
+  { name = Printf.sprintf "issue-%d" issue; issue; branch_slots }
+
+let issue_1 = make ~issue:1 ()
+
+let issue_2 = make ~issue:2 ()
+
+let issue_4 = make ~issue:4 ()
+
+let issue_8 = make ~issue:8 ()
+
+(* "Infinite resources" model used for the paper's worked examples. *)
+let unlimited = { name = "issue-inf"; issue = max_int / 2; branch_slots = 1 }
+
+let table1_rows =
+  [
+    ("Int ALU", 1);
+    ("Int multiply", 3);
+    ("Int divide", 10);
+    ("branch", 1);
+    ("memory load", 2);
+    ("FP ALU", 3);
+    ("FP conversion", 3);
+    ("FP multiply", 3);
+    ("FP divide", 10);
+    ("memory store", 1);
+  ]

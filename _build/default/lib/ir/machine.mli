@@ -1,0 +1,28 @@
+(** Parameterized superscalar/VLIW node processor model (paper
+    Section 3.1 and Table 1). *)
+
+type t = {
+  name : string;
+  issue : int;  (** max instructions issued per cycle *)
+  branch_slots : int;  (** branches issued per cycle (Table 1: 1 slot) *)
+}
+
+val latency : Insn.op -> int
+(** Table 1 instruction latencies. *)
+
+val make : ?branch_slots:int -> issue:int -> unit -> t
+
+val issue_1 : t
+
+val issue_2 : t
+
+val issue_4 : t
+
+val issue_8 : t
+
+val unlimited : t
+(** Effectively infinite issue width, as assumed in the paper's worked
+    examples. *)
+
+val table1_rows : (string * int) list
+(** The rows of Table 1, for the benchmark harness. *)

@@ -1,0 +1,33 @@
+(** Virtual registers, separated into integer and floating-point classes
+    as in the paper's processor model. *)
+
+type cls = Int | Float
+
+type t = { id : int; cls : cls }
+
+(** Fresh-register generator; one per program. *)
+type gen
+
+val make_gen : unit -> gen
+
+val fresh : gen -> cls -> t
+
+val gen_count : gen -> int
+(** Upper bound (exclusive) on register ids issued so far. *)
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val cls_to_string : cls -> string
+
+val to_string : t -> string
+(** [to_string r] prints registers in the paper's style, e.g. [r4f]. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+
+module Map : Map.S with type key = t

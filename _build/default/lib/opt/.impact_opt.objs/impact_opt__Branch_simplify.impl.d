@@ -1,0 +1,1 @@
+lib/opt/branch_simplify.ml: Array Block Build Hashtbl Impact_ir Insn List Option Prog Walk

@@ -1,0 +1,1 @@
+lib/opt/branch_simplify.mli: Impact_ir

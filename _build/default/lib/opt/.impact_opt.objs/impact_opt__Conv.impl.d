@@ -1,0 +1,1 @@
+lib/opt/conv.ml: Branch_simplify Cse Dce Fold Impact_ir Ivopt Licm Propagate Walk

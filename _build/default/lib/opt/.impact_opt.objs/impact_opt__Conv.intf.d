@@ -1,0 +1,1 @@
+lib/opt/conv.mli: Impact_ir

@@ -1,0 +1,1 @@
+lib/opt/cse.ml: Array Block Build Hashtbl Impact_ir Insn List Operand Printf Prog Reg String Walk

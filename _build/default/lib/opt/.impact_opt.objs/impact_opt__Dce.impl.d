@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Array Block Flatten Hashtbl Impact_analysis Impact_ir Insn List Liveness Option Prog Queue Reg Walk

@@ -1,0 +1,1 @@
+lib/opt/fold.ml: Array Block Build Impact_ir Insn Operand Option Prog Reg

@@ -1,0 +1,1 @@
+lib/opt/fold.mli: Impact_ir

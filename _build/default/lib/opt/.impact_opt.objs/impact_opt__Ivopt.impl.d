@@ -1,0 +1,1 @@
+lib/opt/ivopt.ml: Array Block Build Dom Hashtbl Impact_analysis Impact_ir Insn Linval List Operand Option Prog Reg Sb Walk

@@ -1,0 +1,1 @@
+lib/opt/ivopt.mli: Impact_analysis Impact_ir

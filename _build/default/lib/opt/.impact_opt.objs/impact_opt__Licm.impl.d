@@ -1,0 +1,1 @@
+lib/opt/licm.ml: Array Block Classify Hashtbl Impact_analysis Impact_ir Insn List Operand Option Prog Reg Sb Walk

@@ -1,0 +1,1 @@
+lib/opt/propagate.ml: Array Block Hashtbl Impact_ir Insn List Operand Prog Reg Walk

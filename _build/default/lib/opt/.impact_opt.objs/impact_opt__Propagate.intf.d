@@ -1,0 +1,1 @@
+lib/opt/propagate.mli: Impact_ir

@@ -1,0 +1,1 @@
+lib/opt/walk.ml: Block Impact_ir Insn List Prog

@@ -1,0 +1,1 @@
+lib/opt/walk.mli: Block Impact_ir Prog

@@ -1,0 +1,20 @@
+(* The conventional-optimization pipeline (the paper's "Conv" level): a
+   complete set of classical local, global and loop transformations.
+   Cleanup passes are iterated to a fixpoint between the structural
+   passes. *)
+
+let cleanup (p : Impact_ir.Prog.t) : Impact_ir.Prog.t =
+  let round p = Dce.run (Cse.run (Propagate.run (Fold.run p))) in
+  Walk.fixpoint ~max_rounds:6 round p
+
+let run (p : Impact_ir.Prog.t) : Impact_ir.Prog.t =
+  p
+  |> Branch_simplify.run
+  |> cleanup
+  |> Licm.run
+  |> cleanup
+  |> Ivopt.reduce
+  |> cleanup
+  |> Ivopt.eliminate
+  |> cleanup
+  |> Branch_simplify.run

@@ -1,0 +1,8 @@
+(** The conventional-optimization pipeline (the paper's "Conv" level): a
+    complete set of classical local, global and loop transformations. *)
+
+val cleanup : Impact_ir.Prog.t -> Impact_ir.Prog.t
+(** The folding/propagation/CSE/DCE subset iterated to a fixpoint, used
+    between structural passes and after the ILP transformations. *)
+
+val run : Impact_ir.Prog.t -> Impact_ir.Prog.t

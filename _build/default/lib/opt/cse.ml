@@ -1,0 +1,148 @@
+(* Local common-subexpression elimination, redundant-load elimination and
+   store-to-load forwarding. A forward pass per block, resetting at labels
+   and nested loops. Memory knowledge is syntactic: a store invalidates
+   loads unless the base labels prove disjointness (distinct arrays never
+   overlap in this memory model). *)
+
+open Impact_ir
+
+let operand_repr (o : Operand.t) = Operand.to_string o
+
+let mentions_reg (o : Operand.t) (d : Reg.t) =
+  match o with Operand.Reg r -> Reg.equal r d | _ -> false
+
+(* Key of a pure computation, with commutative operand normalization. *)
+let key_of (i : Insn.t) : string option =
+  let srcs = Array.to_list i.Insn.srcs in
+  let reprs = List.map operand_repr srcs in
+  let commut = List.sort compare reprs in
+  match i.Insn.op with
+  | Insn.IBin op ->
+    let rs =
+      match op with
+      | Insn.Add | Insn.Mul | Insn.And | Insn.Or | Insn.Xor -> commut
+      | _ -> reprs
+    in
+    Some (Printf.sprintf "i%s:%s" (Insn.ibin_to_string op) (String.concat "," rs))
+  | Insn.FBin op ->
+    let rs = match op with Insn.Fadd | Insn.Fmul -> commut | _ -> reprs in
+    Some (Printf.sprintf "f%s:%s" (Insn.fbin_to_string op) (String.concat "," rs))
+  | Insn.ItoF -> Some (Printf.sprintf "itof:%s" (List.hd reprs))
+  | Insn.FtoI -> Some (Printf.sprintf "ftoi:%s" (List.hd reprs))
+  | Insn.Load cls ->
+    Some (Printf.sprintf "ld%s:%s" (Reg.cls_to_string cls) (String.concat "," reprs))
+  | Insn.IMov | Insn.FMov | Insn.Store _ | Insn.Br _ | Insn.Jmp -> None
+
+let is_load_key k = String.length k >= 2 && String.sub k 0 2 = "ld"
+
+let lab_of (o : Operand.t) = match o with Operand.Lab s -> Some s | _ -> None
+
+(* Can a store with base [sb] touch an address with base [lb]? *)
+let store_may_touch ~store_base ~other_base =
+  match lab_of store_base, lab_of other_base with
+  | Some a, Some b -> a = b
+  | _ -> true
+
+type entry = { result : Reg.t; srcs : Operand.t array }
+
+let run (p : Prog.t) : Prog.t =
+  let ctx = p.Prog.ctx in
+  let process (items : Block.t) : Block.t =
+    let avail : (string, entry) Hashtbl.t = Hashtbl.create 32 in
+    (* (base, off, disp) -> last stored value *)
+    let memtbl : (Operand.t * Operand.t * Operand.t, Operand.t) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let reset () =
+      Hashtbl.reset avail;
+      Hashtbl.reset memtbl
+    in
+    let kill_reg (d : Reg.t) =
+      let stale =
+        Hashtbl.fold
+          (fun k e acc ->
+            if Reg.equal e.result d || Array.exists (fun o -> mentions_reg o d) e.srcs
+            then k :: acc
+            else acc)
+          avail []
+      in
+      List.iter (Hashtbl.remove avail) stale;
+      let stale_mem =
+        Hashtbl.fold
+          (fun (b, o, dp) v acc ->
+            if mentions_reg b d || mentions_reg o d || mentions_reg v d then
+              (b, o, dp) :: acc
+            else acc)
+          memtbl []
+      in
+      List.iter (Hashtbl.remove memtbl) stale_mem
+    in
+    let apply_store (base : Operand.t) (off : Operand.t) (disp : Operand.t)
+        (v : Operand.t) =
+      let stale_loads =
+        Hashtbl.fold
+          (fun k e acc ->
+            if is_load_key k && store_may_touch ~store_base:base ~other_base:e.srcs.(0)
+            then k :: acc
+            else acc)
+          avail []
+      in
+      List.iter (Hashtbl.remove avail) stale_loads;
+      let stale_mem =
+        Hashtbl.fold
+          (fun (b, o, d) _ acc ->
+            if Operand.equal b base && Operand.equal o off && Operand.equal d disp then
+              acc
+            else if store_may_touch ~store_base:base ~other_base:b then (b, o, d) :: acc
+            else acc)
+          memtbl []
+      in
+      List.iter (Hashtbl.remove memtbl) stale_mem;
+      Hashtbl.replace memtbl (base, off, disp) v
+    in
+    List.map
+      (fun item ->
+        match item with
+        | Block.Lbl _ | Block.Loop _ ->
+          reset ();
+          item
+        | Block.Ins i -> (
+          match i.Insn.op with
+          | Insn.Store _ ->
+            apply_store i.Insn.srcs.(0) i.Insn.srcs.(1) i.Insn.srcs.(2) i.Insn.srcs.(3);
+            item
+          | _ -> (
+            (* Store-to-load forwarding first. *)
+            let i' =
+              match i.Insn.op, i.Insn.dst with
+              | Insn.Load cls, Some d -> (
+                match
+                  Hashtbl.find_opt memtbl
+                    (i.Insn.srcs.(0), i.Insn.srcs.(1), i.Insn.srcs.(2))
+                with
+                | Some v ->
+                  if cls = Reg.Int then Build.imov ctx d v else Build.fmov ctx d v
+                | None -> i)
+              | _ -> i
+            in
+            match key_of i', i'.Insn.dst with
+            | Some k, Some d -> (
+              let hit = Hashtbl.find_opt avail k in
+              kill_reg d;
+              match hit with
+              | Some e when not (Reg.equal e.result d) ->
+                let mv =
+                  if d.Reg.cls = Reg.Int then Build.imov ctx d (Operand.Reg e.result)
+                  else Build.fmov ctx d (Operand.Reg e.result)
+                in
+                Block.Ins mv
+              | Some _ | None ->
+                Hashtbl.replace avail k { result = d; srcs = i'.Insn.srcs };
+                Block.Ins i')
+            | _, Some d ->
+              kill_reg d;
+              Block.Ins i'
+            | _, None -> Block.Ins i')))
+      items
+  in
+  Walk.rewrite_blocks process p

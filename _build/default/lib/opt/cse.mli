@@ -1,0 +1,5 @@
+(** Local common-subexpression elimination, redundant-load elimination
+    and store-to-load forwarding. Memory knowledge is syntactic; a store
+    invalidates loads unless the base labels prove disjointness. *)
+
+val run : Impact_ir.Prog.t -> Impact_ir.Prog.t

@@ -1,0 +1,66 @@
+(* Global dead-code elimination: a flow-insensitive mark-and-sweep pass
+   (which removes self-sustaining dead cycles such as an induction
+   variable that only feeds its own increment) followed by
+   liveness-based rounds (which remove flow-sensitively dead
+   definitions). *)
+
+open Impact_ir
+open Impact_analysis
+
+(* Mark-and-sweep: essential instructions are stores, branches and the
+   definitions (transitively) feeding them or the program outputs. *)
+let mark_sweep (p : Prog.t) : Prog.t =
+  let defs_of_reg : (int, Insn.t list) Hashtbl.t = Hashtbl.create 64 in
+  Block.iter_insns
+    (fun i ->
+      List.iter
+        (fun (r : Reg.t) ->
+          let l = Option.value ~default:[] (Hashtbl.find_opt defs_of_reg r.Reg.id) in
+          Hashtbl.replace defs_of_reg r.Reg.id (i :: l))
+        (Insn.defs i))
+    p.Prog.entry;
+  let essential : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let work = Queue.create () in
+  let need_insn (i : Insn.t) =
+    if not (Hashtbl.mem essential i.Insn.id) then begin
+      Hashtbl.replace essential i.Insn.id ();
+      Queue.add i work
+    end
+  in
+  let need_reg (r : Reg.t) =
+    List.iter need_insn (Option.value ~default:[] (Hashtbl.find_opt defs_of_reg r.Reg.id))
+  in
+  Block.iter_insns
+    (fun i ->
+      match i.Insn.op with
+      | Insn.Store _ | Insn.Br _ | Insn.Jmp -> need_insn i
+      | _ -> ())
+    p.Prog.entry;
+  List.iter (fun (_, r) -> need_reg r) p.Prog.outputs;
+  while not (Queue.is_empty work) do
+    let i = Queue.pop work in
+    List.iter need_reg (Insn.uses i)
+  done;
+  Prog.with_entry p
+    (Block.concat_map_insns
+       (fun i -> if Hashtbl.mem essential i.Insn.id then [ i ] else [])
+       p.Prog.entry)
+
+let round (p : Prog.t) : Prog.t =
+  let live = Liveness.of_prog p in
+  let flat = live.Liveness.flat in
+  let pos_of_id = Hashtbl.create 64 in
+  Array.iteri (fun k (i : Insn.t) -> Hashtbl.replace pos_of_id i.Insn.id k) flat.Flatten.code;
+  let keep (i : Insn.t) =
+    match i.Insn.op, i.Insn.dst with
+    | (Insn.Store _ | Insn.Br _ | Insn.Jmp), _ -> true
+    | _, None -> true
+    | _, Some d -> (
+      match Hashtbl.find_opt pos_of_id i.Insn.id with
+      | None -> true
+      | Some k -> Reg.Set.mem d live.Liveness.live_out.(k))
+  in
+  Prog.with_entry p
+    (Block.concat_map_insns (fun i -> if keep i then [ i ] else []) p.Prog.entry)
+
+let run (p : Prog.t) : Prog.t = Walk.fixpoint ~max_rounds:6 round (mark_sweep p)

@@ -1,0 +1,7 @@
+(** Global dead-code elimination: mark-and-sweep (removing self-feeding
+    dead cycles such as orphaned induction variables) plus
+    liveness-based rounds. *)
+
+val mark_sweep : Impact_ir.Prog.t -> Impact_ir.Prog.t
+
+val run : Impact_ir.Prog.t -> Impact_ir.Prog.t

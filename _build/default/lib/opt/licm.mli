@@ -1,0 +1,6 @@
+(** Loop-invariant code motion for innermost loops: speculatable
+    instructions with invariant operands move to the preheader (after
+    the zero-trip guard); loads additionally require that no store in
+    the loop can touch the same array. *)
+
+val run : Impact_ir.Prog.t -> Impact_ir.Prog.t

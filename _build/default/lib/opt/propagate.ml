@@ -1,0 +1,59 @@
+(* Copy and constant propagation. A forward pass over each block,
+   conservatively resetting its knowledge at labels (join points) and at
+   nested-loop boundaries. Bindings are invalidated when either side of a
+   copy is redefined. *)
+
+open Impact_ir
+
+let run (p : Prog.t) : Prog.t =
+  let process (items : Block.t) : Block.t =
+    let env : (int, Operand.t) Hashtbl.t = Hashtbl.create 32 in
+    let kill (d : Reg.t) =
+      Hashtbl.remove env d.Reg.id;
+      let stale =
+        Hashtbl.fold
+          (fun k v acc ->
+            match v with
+            | Operand.Reg r when Reg.equal r d -> k :: acc
+            | _ -> acc)
+          env []
+      in
+      List.iter (Hashtbl.remove env) stale
+    in
+    let rewrite_operand (o : Operand.t) : Operand.t =
+      match o with
+      | Operand.Reg r -> (
+        match Hashtbl.find_opt env r.Reg.id with
+        | Some o' -> o'
+        | None -> o)
+      | _ -> o
+    in
+    List.map
+      (fun item ->
+        match item with
+        | Block.Lbl _ ->
+          Hashtbl.reset env;
+          item
+        | Block.Loop _ ->
+          Hashtbl.reset env;
+          item
+        | Block.Ins i ->
+          let srcs = Array.map rewrite_operand i.Insn.srcs in
+          let i = { i with Insn.srcs } in
+          (match i.Insn.dst with
+          | Some d -> (
+            kill d;
+            match i.Insn.op with
+            | Insn.IMov | Insn.FMov -> (
+              match srcs.(0) with
+              | Operand.Reg s when not (Reg.equal s d) ->
+                Hashtbl.replace env d.Reg.id (Operand.Reg s)
+              | (Operand.Int _ | Operand.Flt _ | Operand.Lab _) as c ->
+                Hashtbl.replace env d.Reg.id c
+              | Operand.Reg _ -> ())
+            | _ -> ())
+          | None -> ());
+          Block.Ins i)
+      items
+  in
+  Walk.rewrite_blocks process p

@@ -1,0 +1,4 @@
+(** Copy and constant propagation: a forward pass per block, resetting
+    conservatively at labels and nested loops. *)
+
+val run : Impact_ir.Prog.t -> Impact_ir.Prog.t

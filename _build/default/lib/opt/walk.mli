@@ -1,0 +1,20 @@
+(** Traversal helpers shared by the optimizer passes. *)
+
+open Impact_ir
+
+val rewrite_blocks : (Block.t -> Block.t) -> Prog.t -> Prog.t
+(** Apply a block rewriter to the entry block and every loop body,
+    innermost first. *)
+
+val rewrite_innermost : (Block.loop -> Block.loop) -> Prog.t -> Prog.t
+
+val rewrite_innermost_with_preheader :
+  (Block.item list -> Block.loop -> Block.item list) -> Prog.t -> Prog.t
+(** Rewrite each innermost loop together with the items preceding it in
+    its parent block (the preheader region); the callback returns the
+    replacement items for both. *)
+
+val insns_equal_prog : Prog.t -> Prog.t -> bool
+(** Structural equality of the printed instruction streams. *)
+
+val fixpoint : ?max_rounds:int -> (Prog.t -> Prog.t) -> Prog.t -> Prog.t

@@ -1,0 +1,1 @@
+lib/regalloc/regalloc.ml: Array Flatten Hashtbl Impact_analysis Impact_ir Insn List Liveness Operand Prog Reg

@@ -1,0 +1,1 @@
+lib/regalloc/regalloc.mli: Hashtbl Impact_ir Prog Reg

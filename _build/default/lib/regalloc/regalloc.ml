@@ -1,0 +1,133 @@
+(* Graph-coloring register allocation over the scheduled code, used as a
+   measurement: the simulated processor has an unbounded register file
+   (paper Section 3.1), and "the register allocator attempts to utilize
+   the least number of registers required for a given loop, so registers
+   are reused as soon as they become available". We build the
+   interference graph from liveness over the final schedule and color it
+   with a Chaitin-style simplify/select pass (smallest-degree-last
+   ordering); the color counts per class are the reported register
+   usage. *)
+
+open Impact_ir
+open Impact_analysis
+
+type usage = { int_used : int; float_used : int }
+
+let total u = u.int_used + u.float_used
+
+(* Interference graph per register class. *)
+let interference (p : Prog.t) : (Reg.t, Reg.Set.t) Hashtbl.t =
+  let live = Liveness.of_prog p in
+  let flat = live.Liveness.flat in
+  let graph : (Reg.t, Reg.Set.t) Hashtbl.t = Hashtbl.create 64 in
+  let node r = if not (Hashtbl.mem graph r) then Hashtbl.replace graph r Reg.Set.empty in
+  let add_edge a b =
+    if not (Reg.equal a b) && a.Reg.cls = b.Reg.cls then begin
+      node a;
+      node b;
+      Hashtbl.replace graph a (Reg.Set.add b (Hashtbl.find graph a));
+      Hashtbl.replace graph b (Reg.Set.add a (Hashtbl.find graph b))
+    end
+  in
+  Array.iteri
+    (fun k (i : Insn.t) ->
+      List.iter
+        (fun (d : Reg.t) ->
+          node d;
+          (* A definition interferes with everything live across it. For
+             a move, the source is exempt (coalescable). *)
+          let exempt =
+            match i.Insn.op, i.Insn.srcs with
+            | (Insn.IMov | Insn.FMov), [| Operand.Reg s |] -> Some s
+            | _ -> None
+          in
+          Reg.Set.iter
+            (fun r ->
+              match exempt with
+              | Some s when Reg.equal s r -> ()
+              | _ -> add_edge d r)
+            live.Liveness.live_out.(k))
+        (Insn.defs i);
+      List.iter (fun r -> node r) (Insn.uses i))
+    flat.Flatten.code;
+  graph
+
+(* Greedy coloring in smallest-degree-last order; returns the assignment
+   for the given class. *)
+let class_coloring (graph : (Reg.t, Reg.Set.t) Hashtbl.t) (cls : Reg.cls) :
+    (Reg.t * int) list =
+  let nodes =
+    Hashtbl.fold (fun r _ acc -> if r.Reg.cls = cls then r :: acc else acc) graph []
+  in
+  if nodes = [] then []
+  else begin
+    let degree = Hashtbl.create 64 in
+    List.iter
+      (fun r ->
+        let nbrs = Reg.Set.filter (fun x -> x.Reg.cls = cls) (Hashtbl.find graph r) in
+        Hashtbl.replace degree r (Reg.Set.cardinal nbrs))
+      nodes;
+    let removed = Hashtbl.create 64 in
+    let stack = ref [] in
+    let remaining = ref (List.length nodes) in
+    while !remaining > 0 do
+      (* Smallest remaining degree. *)
+      let best = ref None in
+      List.iter
+        (fun r ->
+          if not (Hashtbl.mem removed r) then
+            match !best with
+            | None -> best := Some r
+            | Some b ->
+              if Hashtbl.find degree r < Hashtbl.find degree b then best := Some r)
+        nodes;
+      match !best with
+      | None -> remaining := 0
+      | Some r ->
+        Hashtbl.replace removed r ();
+        stack := r :: !stack;
+        decr remaining;
+        Reg.Set.iter
+          (fun x ->
+            if x.Reg.cls = cls && not (Hashtbl.mem removed x) then
+              Hashtbl.replace degree x (Hashtbl.find degree x - 1))
+          (Hashtbl.find graph r)
+    done;
+    (* Select: color in reverse removal order with the lowest free color. *)
+    let color = Hashtbl.create 64 in
+    List.iter
+      (fun r ->
+        let used =
+          Reg.Set.fold
+            (fun x acc ->
+              match Hashtbl.find_opt color x with Some c -> c :: acc | None -> acc)
+            (Hashtbl.find graph r)
+            []
+        in
+        let rec first c = if List.mem c used then first (c + 1) else c in
+        Hashtbl.replace color r (first 0))
+      !stack;
+    Hashtbl.fold (fun r c acc -> (r, c) :: acc) color []
+  end
+
+let color_class graph cls =
+  List.fold_left (fun acc (_, c) -> max acc (c + 1)) 0 (class_coloring graph cls)
+
+let measure (p : Prog.t) : usage =
+  let graph = interference p in
+  {
+    int_used = color_class graph Reg.Int;
+    float_used = color_class graph Reg.Float;
+  }
+
+(* Full coloring of a program, for validation: interfering registers of
+   the same class never share a color. *)
+let coloring (p : Prog.t) : (Reg.t * int) list * (Reg.t, Reg.Set.t) Hashtbl.t =
+  let graph = interference p in
+  (class_coloring graph Reg.Int @ class_coloring graph Reg.Float, graph)
+
+(* Register usage of a single loop nest region: measured over the whole
+   program (the paper reports "total integer and floating point registers
+   utilized in the loop nest", and our programs are single loop nests
+   plus setup code). *)
+let measure_loop = measure

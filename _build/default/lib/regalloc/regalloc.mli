@@ -1,0 +1,34 @@
+(** Graph-coloring register allocation over scheduled code, used as a
+    measurement of register pressure (paper Figures 11, 13, 15): the
+    simulated processor has an unbounded register file, and "the register
+    allocator attempts to utilize the least number of registers required
+    for a given loop". *)
+
+open Impact_ir
+
+type usage = { int_used : int; float_used : int }
+
+val total : usage -> int
+
+val interference : Prog.t -> (Reg.t, Reg.Set.t) Hashtbl.t
+(** Interference graph from liveness over the final schedule; move
+    sources are exempted from interfering with their destination
+    (coalescing). *)
+
+val class_coloring :
+  (Reg.t, Reg.Set.t) Hashtbl.t -> Reg.cls -> (Reg.t * int) list
+(** Chaitin-style simplify/select coloring (smallest-degree-last) of one
+    register class. *)
+
+val color_class : (Reg.t, Reg.Set.t) Hashtbl.t -> Reg.cls -> int
+(** Number of colors the coloring uses. *)
+
+val measure : Prog.t -> usage
+(** Color both classes of a program and report the counts. *)
+
+val measure_loop : Prog.t -> usage
+(** Alias of {!measure}: the paper reports usage per loop nest, and our
+    programs are single loop nests plus setup code. *)
+
+val coloring : Prog.t -> (Reg.t * int) list * (Reg.t, Reg.Set.t) Hashtbl.t
+(** Full assignment plus the graph, for validation in tests. *)

@@ -1,0 +1,1 @@
+lib/sched/list_sched.ml: Array Block Ddg Impact_analysis Impact_ir Insn Linval List Liveness Machine Prog Reg Sb

@@ -1,0 +1,1 @@
+lib/sched/list_sched.mli: Block Impact_analysis Impact_ir Insn Linval Machine Prog Reg

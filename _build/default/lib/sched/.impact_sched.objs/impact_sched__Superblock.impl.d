@@ -1,0 +1,1 @@
+lib/sched/superblock.ml: Array Block Build Hashtbl Impact_ir Insn List Prog

@@ -1,0 +1,1 @@
+lib/sched/superblock.mli: Block Impact_ir Prog

@@ -1,0 +1,32 @@
+(** Superblock list scheduling: dependence-height priority, issue-width
+    and branch-slot resources, speculative upward motion of non-excepting
+    instructions past side exits (per the dependence graph's rules). *)
+
+open Impact_ir
+open Impact_analysis
+
+type result = {
+  items : Block.item list;  (** reordered segment *)
+  makespan : int;  (** schedule length in cycles *)
+  issue_time : (int * int) list;  (** (instruction id, cycle) in emission order *)
+}
+
+val schedule_segment :
+  Machine.t ->
+  live_at_target:(Insn.t -> Reg.Set.t option) ->
+  ?pre_env:Linval.lin Reg.Map.t ->
+  Insn.t array ->
+  result
+
+val schedule_body :
+  Machine.t ->
+  live_at_target:(Insn.t -> Reg.Set.t option) ->
+  ?pre_env:Linval.lin Reg.Map.t ->
+  Block.t ->
+  Block.t
+(** Split a body into label-delimited segments and schedule each. *)
+
+val run : Machine.t -> Prog.t -> Prog.t
+(** Schedule every innermost loop body. Superblock formation should have
+    run first; preheader items are evaluated symbolically so expanded
+    induction pointers disambiguate. *)

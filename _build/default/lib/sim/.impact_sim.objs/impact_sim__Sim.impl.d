@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Flatten Float Impact_ir Insn List Machine Operand Printf Prog Reg

@@ -1,0 +1,308 @@
+(* Execution-driven simulation (paper Section 3.1): an in-order
+   superscalar/VLIW processor with register interlocking, deterministic
+   latencies (Table 1), a 100% cache hit rate, and an unbounded register
+   file. Up to [issue] instructions issue per cycle, at most
+   [branch_slots] of them branches; an instruction issues only when all
+   its source registers are ready (interlock), and issue is strictly
+   in order. A taken branch redirects fetch starting the next cycle.
+
+   The simulator is also the semantic reference: it executes the program
+   functionally, so transformed programs can be checked against their
+   baselines for identical observable behaviour. *)
+
+open Impact_ir
+
+exception Error of string
+
+exception Timeout
+
+let errf fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type value = VI of int | VF of float
+
+type result = {
+  cycles : int;
+  dyn_insns : int;
+  outputs : (string * value) list;
+  arrays_out : (string * float array) list;
+}
+
+let value_to_string = function
+  | VI n -> string_of_int n
+  | VF x -> Printf.sprintf "%.9g" x
+
+(* Word size in address units: element k of an array lives at
+   base + 4k, matching the paper's address arithmetic. *)
+let word = 4
+
+let gap_words = 16
+
+type mem = {
+  mem_i : int array;
+  mem_f : float array;
+  valid : bool array;
+  is_float : bool array;
+  bases : (string * int) list;
+}
+
+let build_mem (p : Prog.t) : mem =
+  let total =
+    List.fold_left (fun acc a -> acc + a.Prog.asize + gap_words) gap_words p.Prog.arrays
+  in
+  let mem_i = Array.make total 0 in
+  let mem_f = Array.make total 0.0 in
+  let valid = Array.make total false in
+  let is_float = Array.make total false in
+  let next = ref gap_words in
+  let bases =
+    List.map
+      (fun (a : Prog.adecl) ->
+        let base = !next in
+        (match a.Prog.ainit with
+        | Prog.IInit vs ->
+          Array.iteri
+            (fun k v ->
+              mem_i.(base + k) <- v;
+              valid.(base + k) <- true)
+            vs
+        | Prog.FInit vs ->
+          Array.iteri
+            (fun k v ->
+              mem_f.(base + k) <- v;
+              valid.(base + k) <- true;
+              is_float.(base + k) <- true)
+            vs);
+        next := base + a.Prog.asize + gap_words;
+        (a.Prog.aname, base * word))
+      p.Prog.arrays
+  in
+  { mem_i; mem_f; valid; is_float; bases }
+
+let run ?(fuel = 400_000_000) ?trace (machine : Machine.t) (p : Prog.t) : result =
+  let flat = Flatten.of_prog p in
+  let code = flat.Flatten.code in
+  let ncode = Array.length code in
+  (* Pre-resolve branch targets. *)
+  let targets =
+    Array.map
+      (fun i -> if Insn.is_branch i then Flatten.target_index flat i else -1)
+      code
+  in
+  let nregs = Reg.gen_count p.Prog.ctx.Prog.rgen + 1 in
+  let ivals = Array.make nregs 0 in
+  let fvals = Array.make nregs 0.0 in
+  let iready = Array.make nregs 0 in
+  let fready = Array.make nregs 0 in
+  let mem = build_mem p in
+  let base_of lab =
+    match List.assoc_opt lab mem.bases with
+    | Some b -> b
+    | None -> errf "unknown array label %s" lab
+  in
+  let int_of_operand (o : Operand.t) =
+    match o with
+    | Operand.Reg r ->
+      if r.Reg.cls <> Reg.Int then errf "float register %s in int context" (Reg.to_string r);
+      ivals.(r.Reg.id)
+    | Operand.Int n -> n
+    | Operand.Lab s -> base_of s
+    | Operand.Flt _ -> errf "float immediate in int context"
+  in
+  let flt_of_operand (o : Operand.t) =
+    match o with
+    | Operand.Reg r ->
+      if r.Reg.cls <> Reg.Float then errf "int register %s in float context" (Reg.to_string r);
+      fvals.(r.Reg.id)
+    | Operand.Flt x -> x
+    | Operand.Int n -> float_of_int n
+    | Operand.Lab _ -> errf "label in float context"
+  in
+  let ready_of (o : Operand.t) =
+    match o with
+    | Operand.Reg r ->
+      if r.Reg.cls = Reg.Int then iready.(r.Reg.id) else fready.(r.Reg.id)
+    | Operand.Int _ | Operand.Flt _ | Operand.Lab _ -> 0
+  in
+  let cell_of_addr addr what =
+    if addr mod word <> 0 then errf "%s: misaligned address %d" what addr;
+    let c = addr / word in
+    if c < 0 || c >= Array.length mem.valid || not mem.valid.(c) then
+      errf "%s: address %d out of bounds" what addr;
+    c
+  in
+  let write_reg r v cycle lat =
+    (match r.Reg.cls, v with
+    | Reg.Int, VI n ->
+      ivals.(r.Reg.id) <- n;
+      iready.(r.Reg.id) <- cycle + lat
+    | Reg.Float, VF x ->
+      fvals.(r.Reg.id) <- x;
+      fready.(r.Reg.id) <- cycle + lat
+    | Reg.Int, VF _ | Reg.Float, VI _ -> errf "class mismatch writing %s" (Reg.to_string r));
+    ()
+  in
+  let icmp c a b =
+    match c with
+    | Insn.Lt -> a < b
+    | Insn.Le -> a <= b
+    | Insn.Gt -> a > b
+    | Insn.Ge -> a >= b
+    | Insn.Eq -> a = b
+    | Insn.Ne -> a <> b
+  in
+  let fcmp c a b =
+    match c with
+    | Insn.Lt -> a < b
+    | Insn.Le -> a <= b
+    | Insn.Gt -> a > b
+    | Insn.Ge -> a >= b
+    | Insn.Eq -> a = b
+    | Insn.Ne -> a <> b
+  in
+  let pc = ref 0 in
+  let cycle = ref 0 in
+  let dyn = ref 0 in
+  let last_writeback = ref 0 in
+  let running = ref true in
+  while !running && !pc < ncode do
+    if !cycle > fuel then raise Timeout;
+    let issued = ref 0 in
+    let branches = ref 0 in
+    let stall = ref false in
+    while (not !stall) && !issued < machine.Machine.issue && !pc < ncode do
+      let k = !pc in
+      let i = code.(k) in
+      (* Interlock: all register sources must be ready. *)
+      let ready =
+        Array.for_all (fun o -> ready_of o <= !cycle) i.Insn.srcs
+        && (not (Insn.is_branch i) || !branches < machine.Machine.branch_slots)
+      in
+      if not ready then stall := true
+      else begin
+        (match trace with Some f -> f i ~cycle:!cycle | None -> ());
+        incr dyn;
+        incr issued;
+        let lat = Machine.latency i.Insn.op in
+        if !cycle + lat > !last_writeback then last_writeback := !cycle + lat;
+        let dst () =
+          match i.Insn.dst with
+          | Some r -> r
+          | None -> errf "instruction %d lacks destination" i.Insn.id
+        in
+        (match i.Insn.op with
+        | Insn.IBin op ->
+          let a = int_of_operand i.Insn.srcs.(0) in
+          let b = int_of_operand i.Insn.srcs.(1) in
+          let v =
+            match op with
+            | Insn.Add -> a + b
+            | Insn.Sub -> a - b
+            | Insn.Mul -> a * b
+            | Insn.Div -> if b = 0 then errf "division by zero" else a / b
+            | Insn.Rem -> if b = 0 then errf "remainder by zero" else a mod b
+            | Insn.Shl -> a lsl b
+            | Insn.Shr -> a asr b
+            | Insn.And -> a land b
+            | Insn.Or -> a lor b
+            | Insn.Xor -> a lxor b
+          in
+          write_reg (dst ()) (VI v) !cycle lat
+        | Insn.FBin op ->
+          let a = flt_of_operand i.Insn.srcs.(0) in
+          let b = flt_of_operand i.Insn.srcs.(1) in
+          let v =
+            match op with
+            | Insn.Fadd -> a +. b
+            | Insn.Fsub -> a -. b
+            | Insn.Fmul -> a *. b
+            | Insn.Fdiv -> a /. b
+          in
+          write_reg (dst ()) (VF v) !cycle lat
+        | Insn.IMov -> write_reg (dst ()) (VI (int_of_operand i.Insn.srcs.(0))) !cycle lat
+        | Insn.FMov -> write_reg (dst ()) (VF (flt_of_operand i.Insn.srcs.(0))) !cycle lat
+        | Insn.ItoF ->
+          write_reg (dst ()) (VF (float_of_int (int_of_operand i.Insn.srcs.(0)))) !cycle lat
+        | Insn.FtoI ->
+          write_reg (dst ())
+            (VI (int_of_float (Float.trunc (flt_of_operand i.Insn.srcs.(0)))))
+            !cycle lat
+        | Insn.Load cls ->
+          let addr =
+            int_of_operand i.Insn.srcs.(0)
+            + int_of_operand i.Insn.srcs.(1)
+            + int_of_operand i.Insn.srcs.(2)
+          in
+          let c = cell_of_addr addr "load" in
+          let v =
+            match cls with
+            | Reg.Int ->
+              if mem.is_float.(c) then errf "int load from float cell %d" addr;
+              VI mem.mem_i.(c)
+            | Reg.Float ->
+              if not mem.is_float.(c) then errf "float load from int cell %d" addr;
+              VF mem.mem_f.(c)
+          in
+          write_reg (dst ()) v !cycle lat
+        | Insn.Store cls ->
+          let addr =
+            int_of_operand i.Insn.srcs.(0)
+            + int_of_operand i.Insn.srcs.(1)
+            + int_of_operand i.Insn.srcs.(2)
+          in
+          let c = cell_of_addr addr "store" in
+          (match cls with
+          | Reg.Int ->
+            if mem.is_float.(c) then errf "int store to float cell %d" addr;
+            mem.mem_i.(c) <- int_of_operand i.Insn.srcs.(3)
+          | Reg.Float ->
+            if not mem.is_float.(c) then errf "float store to int cell %d" addr;
+            mem.mem_f.(c) <- flt_of_operand i.Insn.srcs.(3))
+        | Insn.Br (cls, c) ->
+          incr branches;
+          let taken =
+            match cls with
+            | Reg.Int ->
+              icmp c (int_of_operand i.Insn.srcs.(0)) (int_of_operand i.Insn.srcs.(1))
+            | Reg.Float ->
+              fcmp c (flt_of_operand i.Insn.srcs.(0)) (flt_of_operand i.Insn.srcs.(1))
+          in
+          if taken then begin
+            pc := targets.(k);
+            (* Redirected fetch begins next cycle. *)
+            stall := true
+          end
+        | Insn.Jmp ->
+          incr branches;
+          pc := targets.(k);
+          stall := true);
+        if not (Insn.is_branch i) then incr pc
+        else if not !stall then incr pc (* untaken conditional: fall through *)
+      end
+    done;
+    incr cycle;
+    if !pc >= ncode then running := false
+  done;
+  let outputs =
+    List.map
+      (fun (name, r) ->
+        ( name,
+          match r.Reg.cls with
+          | Reg.Int -> VI ivals.(r.Reg.id)
+          | Reg.Float -> VF fvals.(r.Reg.id) ))
+      p.Prog.outputs
+  in
+  let arrays_out =
+    List.map
+      (fun (a : Prog.adecl) ->
+        let base = List.assoc a.Prog.aname mem.bases / word in
+        let contents =
+          Array.init a.Prog.asize (fun k ->
+            if mem.is_float.(base + k) then mem.mem_f.(base + k)
+            else float_of_int mem.mem_i.(base + k))
+        in
+        (a.Prog.aname, contents))
+      p.Prog.arrays
+  in
+  (* Execution ends when the last in-flight result writes back, not at
+     the last issue. *)
+  { cycles = max !cycle !last_writeback; dyn_insns = !dyn; outputs; arrays_out }

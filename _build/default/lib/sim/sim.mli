@@ -1,0 +1,39 @@
+(** Execution-driven simulation of the paper's parameterized
+    superscalar/VLIW node processor (Section 3.1): in-order multi-issue
+    with register interlocking, deterministic Table 1 latencies, one
+    branch slot per cycle, a 100% cache hit rate and an unbounded
+    register file. The simulator also defines the reference semantics
+    used to validate every transformation. *)
+
+exception Error of string
+(** Raised on semantic violations: class confusion, misaligned or
+    out-of-bounds memory accesses, division by zero, unknown labels. *)
+
+exception Timeout
+(** Raised when the cycle budget ([fuel]) is exhausted. *)
+
+type value = VI of int | VF of float
+
+type result = {
+  cycles : int;  (** total execution time, including the last writeback *)
+  dyn_insns : int;  (** instructions issued *)
+  outputs : (string * value) list;  (** the program's scalar observables *)
+  arrays_out : (string * float array) list;
+      (** final contents of every declared array (integers widened) *)
+}
+
+val value_to_string : value -> string
+
+val word : int
+(** Address units per memory word (4, matching the paper's address
+    arithmetic). *)
+
+val run :
+  ?fuel:int ->
+  ?trace:(Impact_ir.Insn.t -> cycle:int -> unit) ->
+  Impact_ir.Machine.t ->
+  Impact_ir.Prog.t ->
+  result
+(** [run machine prog] executes [prog] to completion. [trace] is called
+    at every instruction issue with the issue cycle — used by tests to
+    validate schedules and by the issue-profile checks. *)

@@ -1,0 +1,1 @@
+lib/workloads/kernels.ml: Array Impact_fir List

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Array Impact_fir Kernels List

@@ -1,0 +1,59 @@
+(* Building blocks for the 40 synthetic loop nests standing in for the
+   paper's Table 2 (the PERFECT club and SPEC sources are not
+   redistributable; these kernels match the published per-loop
+   characteristics: innermost source-line count, iteration count,
+   nesting depth, DOALL/DOACROSS/serial classification and presence of
+   conditionals). *)
+
+open Impact_fir.Ast
+
+(* Deterministic array initializers, distinct per seed. *)
+let init seed k =
+  let x = (k + (seed * 37)) * 2654435761 land 0xFFFFF in
+  (float_of_int (x mod 2000) /. 500.0) +. 0.25
+
+let init_pos seed k = abs_float (init seed k) +. 0.5
+
+(* Integer selector mask, mostly positive (the biased branch profile a
+   trace-selecting compiler assumes). *)
+let init_mask seed k = float_of_int ((((k + seed) * 7919) land 0xFFFF) mod 8 - 1)
+
+(* A fixed list of constants used when generating many-line bodies. *)
+let consts = [| 0.5; 1.25; 0.75; 2.0; 1.5; 0.25; 3.0; 0.125; 1.75; 0.625 |]
+
+let const k = consts.(k mod Array.length consts)
+
+(* k independent elementwise statements over distinct arrays:
+   Dst_m(j) = Src_m(j) op c_m (dual-operand variants cycle through the
+   shapes). Arrays must be declared by the caller: names are
+   [dsts.(m)] and [srcs.(m)]. *)
+let elementwise_lines ~(dsts : string array) ~(srcs : string array) ~j k =
+  List.init k (fun m ->
+    let d = dsts.(m mod Array.length dsts) in
+    let s = srcs.(m mod Array.length srcs) in
+    let s2 = srcs.((m + 1) mod Array.length srcs) in
+    let c = const m in
+    match m mod 4 with
+    | 0 -> astore d [ j ] ((idx s [ j ] *: r c) +: idx s2 [ j ])
+    | 1 -> astore d [ j ] (idx s [ j ] -: (idx s2 [ j ] *: r c))
+    | 2 -> astore d [ j ] ((idx s [ j ] +: idx s2 [ j ]) *: r c)
+    | _ -> astore d [ j ] ((idx s [ j ] /: r (c +. 1.0)) +: r c))
+
+(* Same over 2-d arrays indexed (j, t). *)
+let elementwise_lines2 ~(dsts : string array) ~(srcs : string array) ~j ~t k =
+  List.init k (fun m ->
+    let d = dsts.(m mod Array.length dsts) in
+    let s = srcs.(m mod Array.length srcs) in
+    let s2 = srcs.((m + 1) mod Array.length srcs) in
+    let c = const m in
+    match m mod 3 with
+    | 0 -> astore d [ j; t ] ((idx s [ j; t ] *: r c) +: idx s2 [ j; t ])
+    | 1 -> astore d [ j; t ] (idx s [ j; t ] -: (idx s2 [ j; t ] *: r c))
+    | _ -> astore d [ j; t ] ((idx s [ j; t ] +: idx s2 [ j; t ]) *: r c))
+
+(* Declarations for a family of n-element 1-d real arrays. *)
+let decls1 names n =
+  List.mapi (fun k name -> array1 name TReal n (init (k + 1))) names
+
+let decls2 names n m =
+  List.mapi (fun k name -> array2 name TReal n m (init (k + 11))) names

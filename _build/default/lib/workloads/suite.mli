@@ -1,0 +1,31 @@
+(** The 40 loop nests of the paper's Table 2, as synthetic mini-Fortran
+    kernels matching the published per-loop characteristics (see
+    DESIGN.md section 2 for the substitution rationale). *)
+
+type ltype = Doall | Doacross | Serial
+
+val ltype_to_string : ltype -> string
+
+type t = {
+  name : string;
+  origin : string;  (** PERFECT | SPEC | VECTOR *)
+  size : int;  (** paper: FORTRAN lines in the innermost loop *)
+  iters : int;  (** paper: average innermost iteration count *)
+  sim_iters : int;  (** iteration count actually simulated *)
+  nest : int;
+  ltype : ltype;
+  conds : bool;
+  ast : Impact_fir.Ast.program;
+}
+
+val sim_cap : int
+(** Simulated iteration counts are capped here (steady-state
+    cycles/iteration make speedups insensitive to the cap). *)
+
+val all : t list
+
+val find : string -> t option
+
+val doall_subset : t list
+
+val non_doall_subset : t list

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Ast Impact_core Impact_fir Impact_ir Impact_sim List Lower Machine Printf Prog Reg

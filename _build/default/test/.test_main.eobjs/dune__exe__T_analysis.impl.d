@@ -1,0 +1,1 @@
+test/t_analysis.ml: Alcotest Array Block Build Classify Ddg Dom Hashtbl Helpers Impact_analysis Impact_fir Impact_ir Impact_opt Insn Linval List Liveness Operand Prog Reg Sb

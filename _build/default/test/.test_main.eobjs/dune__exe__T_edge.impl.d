@@ -1,0 +1,1 @@
+test/t_edge.ml: Alcotest Array Block Build Helpers Impact_core Impact_fir Impact_ir Impact_opt Impact_sched Impact_sim Impact_workloads Insn List Machine Operand Prog Reg

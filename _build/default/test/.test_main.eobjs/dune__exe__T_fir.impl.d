@@ -1,0 +1,1 @@
+test/t_fir.ml: Alcotest Array Ast Helpers Impact_fir Typecheck

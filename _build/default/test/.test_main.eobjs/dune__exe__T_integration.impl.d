@@ -1,0 +1,1 @@
+test/t_integration.ml: Alcotest Array Compile Experiment Helpers Impact_core Impact_ir Impact_regalloc Level List Machine Report String

@@ -1,0 +1,1 @@
+test/t_ir.ml: Alcotest Array Block Build Flatten Hashtbl Helpers Impact_ir Insn List Machine Operand Printf Prog Reg

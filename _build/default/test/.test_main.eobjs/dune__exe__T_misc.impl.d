@@ -1,0 +1,1 @@
+test/t_misc.ml: Alcotest Array Block Build Helpers Impact_fir Impact_ir Impact_opt Insn List Machine Operand Pp Printf Prog Reg String

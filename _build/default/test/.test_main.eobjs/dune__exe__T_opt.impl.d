@@ -1,0 +1,1 @@
+test/t_opt.ml: Alcotest Array Block Build Conv Cse Dce Fold Helpers Impact_ir Impact_opt Impact_sim Insn Licm List Operand Prog Propagate Reg

@@ -1,0 +1,1 @@
+test/t_parse.ml: Alcotest Helpers Impact_core Impact_fir Impact_ir List Parse

@@ -1,0 +1,1 @@
+test/t_regalloc.ml: Alcotest Block Build Hashtbl Helpers Impact_core Impact_ir Impact_regalloc Insn List Machine Operand Printf Reg Regalloc

@@ -1,0 +1,1 @@
+test/t_sched.ml: Alcotest Array Block Build Hashtbl Helpers Impact_core Impact_ir Impact_opt Impact_sched Impact_sim Insn List List_sched Machine Operand Option Prog Reg Superblock

@@ -1,0 +1,1 @@
+test/t_sim.ml: Alcotest Array Block Build Helpers Impact_ir Impact_sim Insn List Machine Operand Reg

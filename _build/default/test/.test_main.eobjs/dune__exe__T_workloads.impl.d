@@ -1,0 +1,1 @@
+test/t_workloads.ml: Alcotest Block Helpers Impact_analysis Impact_core Impact_fir Impact_ir Impact_opt Impact_workloads List Machine Printf Prog Suite

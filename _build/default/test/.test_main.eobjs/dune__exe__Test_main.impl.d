@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest List T_analysis T_edge T_fir T_integration T_ir T_misc T_opt T_parse T_props T_regalloc T_sched T_sim T_trans T_workloads

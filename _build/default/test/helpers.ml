@@ -1,0 +1,173 @@
+(* Shared helpers for the test suites: small program builders, run
+   wrappers and output comparison. *)
+
+open Impact_ir
+open Impact_fir
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let check_string = Alcotest.(check string)
+
+(* Build a program context for hand-written IR tests. *)
+type irb = {
+  ctx : Prog.ctx;
+  mutable arrays : Prog.adecl list;
+  mutable outputs : (string * Reg.t) list;
+}
+
+let irb () = { ctx = Prog.make_ctx (); arrays = []; outputs = [] }
+
+let reg b cls = Reg.fresh b.ctx.Prog.rgen cls
+
+let float_array b name vals =
+  b.arrays <-
+    b.arrays
+    @ [ { Prog.aname = name; acls = Reg.Float; asize = Array.length vals;
+          ainit = Prog.FInit vals } ]
+
+let int_array b name vals =
+  b.arrays <-
+    b.arrays
+    @ [ { Prog.aname = name; acls = Reg.Int; asize = Array.length vals;
+          ainit = Prog.IInit vals } ]
+
+let output b name r = b.outputs <- b.outputs @ [ (name, r) ]
+
+let prog_of b entry : Prog.t =
+  { Prog.arrays = b.arrays; entry; ctx = b.ctx; outputs = b.outputs }
+
+(* Run on a machine; return the result. *)
+let run ?fuel ?(machine = Machine.issue_1) p = Impact_sim.Sim.run ?fuel machine p
+
+let out_int result name =
+  match List.assoc name result.Impact_sim.Sim.outputs with
+  | Impact_sim.Sim.VI n -> n
+  | Impact_sim.Sim.VF _ -> Alcotest.failf "output %s is float" name
+
+let out_flt result name =
+  match List.assoc name result.Impact_sim.Sim.outputs with
+  | Impact_sim.Sim.VF x -> x
+  | Impact_sim.Sim.VI _ -> Alcotest.failf "output %s is int" name
+
+let array_out result name = List.assoc name result.Impact_sim.Sim.arrays_out
+
+(* Relative-tolerance float comparison: the expansion transformations
+   reorder floating-point reductions, as in the paper. *)
+let close ?(tol = 1e-6) a b =
+  let d = abs_float (a -. b) in
+  d <= tol *. (1.0 +. max (abs_float a) (abs_float b))
+
+let check_close ?tol msg a b =
+  if not (close ?tol a b) then Alcotest.failf "%s: %.12g vs %.12g" msg a b
+
+(* Compare all observables of two simulation results. *)
+let same_observables ?tol name (r1 : Impact_sim.Sim.result) (r2 : Impact_sim.Sim.result) =
+  List.iter2
+    (fun (n1, v1) (n2, v2) ->
+      check_string (name ^ ": output name") n1 n2;
+      match v1, v2 with
+      | Impact_sim.Sim.VI a, Impact_sim.Sim.VI b ->
+        check_int (name ^ ": output " ^ n1) a b
+      | Impact_sim.Sim.VF a, Impact_sim.Sim.VF b ->
+        check_close ?tol (name ^ ": output " ^ n1) a b
+      | _ -> Alcotest.failf "%s: output %s class mismatch" name n1)
+    r1.Impact_sim.Sim.outputs r2.Impact_sim.Sim.outputs;
+  List.iter2
+    (fun (n1, a1) (n2, a2) ->
+      check_string (name ^ ": array name") n1 n2;
+      Array.iteri
+        (fun k x ->
+          if not (close ?tol x a2.(k)) then
+            Alcotest.failf "%s: array %s[%d]: %.12g vs %.12g" name n1 k x a2.(k))
+        a1)
+    r1.Impact_sim.Sim.arrays_out r2.Impact_sim.Sim.arrays_out
+
+(* Lower a mini-Fortran program. *)
+let lower = Lower.lower
+
+(* Measure a program at a level/machine. *)
+let measure ?unroll_factor ?fuel level machine (ast : Ast.program) =
+  Impact_core.Compile.measure ?unroll_factor ?fuel level machine (lower ast)
+
+(* Check that every level produces the same observables as Conv at
+   issue-1 for the given program. *)
+let check_levels_preserve ?tol ?unroll_factor name (ast : Ast.program) =
+  let base = measure Impact_core.Level.Conv Machine.issue_1 ast in
+  List.iter
+    (fun lev ->
+      List.iter
+        (fun machine ->
+          let m = measure ?unroll_factor lev machine ast in
+          same_observables ?tol
+            (Printf.sprintf "%s/%s/%s" name (Impact_core.Level.to_string lev)
+               machine.Machine.name)
+            base.Impact_core.Compile.result m.Impact_core.Compile.result)
+        [ Machine.issue_1; Machine.issue_4; Machine.issue_8 ])
+    Impact_core.Level.all
+
+(* A deterministic pseudo-random array initializer. *)
+let pseudo seed k =
+  let x = (k + seed) * 2654435761 land 0xFFFFFF in
+  float_of_int (x mod 1000) /. 250.0
+
+(* Classic kernels used across suites. *)
+
+let vecadd_ast n =
+  let open Ast in
+  {
+    decls =
+      [
+        scalar "j" TInt;
+        array1 "A" TReal n (pseudo 1);
+        array1 "B" TReal n (pseudo 2);
+        array1 "C" TReal n (fun _ -> 0.0);
+      ];
+    stmts =
+      [ do_ "j" (i 1) (i n) [ astore "C" [ v "j" ] (idx "A" [ v "j" ] +: idx "B" [ v "j" ]) ] ];
+    outs = [];
+  }
+
+let dotprod_ast n =
+  let open Ast in
+  {
+    decls =
+      [
+        scalar "j" TInt;
+        scalar "s" TReal;
+        array1 "A" TReal n (pseudo 3);
+        array1 "B" TReal n (pseudo 4);
+      ];
+    stmts =
+      [
+        assign "s" (r 0.0);
+        do_ "j" (i 1) (i n)
+          [ assign "s" (v "s" +: (idx "A" [ v "j" ] *: idx "B" [ v "j" ])) ];
+      ];
+    outs = [ "s" ];
+  }
+
+let maxval_ast n =
+  let open Ast in
+  {
+    decls = [ scalar "j" TInt; scalar "mx" TReal ~init:(-1e30); array1 "A" TReal n (pseudo 5) ];
+    stmts =
+      [
+        do_ "j" (i 1) (i n)
+          [ if_ CGt (idx "A" [ v "j" ]) (v "mx") [ assign "mx" (idx "A" [ v "j" ]) ] [] ];
+      ];
+    outs = [ "mx" ];
+  }
+
+let recurrence_ast n =
+  let open Ast in
+  {
+    decls = [ scalar "j" TInt; array1 "A" TReal (n + 1) (pseudo 6) ];
+    stmts =
+      [
+        do_ "j" (i 1) (i n)
+          [ astore "A" [ v "j" +: i 1 ] ((idx "A" [ v "j" ] *: r 0.5) +: r 1.0) ];
+      ];
+    outs = [];
+  }

@@ -1,0 +1,455 @@
+(* Tests for the classical optimizer: folding, propagation, CSE, DCE,
+   LICM and the induction-variable optimizations. *)
+
+open Impact_ir
+open Impact_opt
+open Helpers
+
+let test name f = Alcotest.test_case name `Quick f
+
+let insn_count (p : Prog.t) = Prog.insn_count p
+
+(* Count instructions matching a predicate anywhere in the program. *)
+let count_if (p : Prog.t) f =
+  List.length (List.filter f (Block.insns p.Prog.entry))
+
+let is_mul (i : Insn.t) = i.Insn.op = Insn.IBin Insn.Mul
+
+let is_load (i : Insn.t) = Insn.is_load i
+
+let fold_tests =
+  let prog_with ops =
+    let b = irb () in
+    let is = ops b in
+    List.iter (fun (n, r) -> output b n r) [];
+    prog_of b (List.map (fun i -> Block.Ins i) is)
+  in
+  ignore prog_with;
+  [
+    test "constant arithmetic folds to a move" (fun () ->
+      let b = irb () in
+      let r1 = reg b Reg.Int in
+      let ctx = b.ctx in
+      output b "x" r1;
+      let p =
+        prog_of b [ Block.Ins (Build.ib ctx Insn.Mul r1 (Operand.Int 6) (Operand.Int 7)) ]
+      in
+      let p = Fold.run p in
+      (match Block.insns p.Prog.entry with
+      | [ { Insn.op = Insn.IMov; srcs = [| Operand.Int 42 |]; _ } ] -> ()
+      | _ -> Alcotest.fail "expected mov 42");
+      check_int "value" 42 (out_int (run p) "x"));
+    test "x*1, x+0, x-0 simplify" (fun () ->
+      let b = irb () in
+      let r1 = reg b Reg.Int and r2 = reg b Reg.Int and r3 = reg b Reg.Int and r4 = reg b Reg.Int in
+      let ctx = b.ctx in
+      output b "x" r4;
+      let p =
+        prog_of b
+          [
+            Block.Ins (Build.imov ctx r1 (Operand.Int 5));
+            Block.Ins (Build.ib ctx Insn.Mul r2 (Operand.Reg r1) (Operand.Int 1));
+            Block.Ins (Build.ib ctx Insn.Add r3 (Operand.Reg r2) (Operand.Int 0));
+            Block.Ins (Build.ib ctx Insn.Sub r4 (Operand.Reg r3) (Operand.Int 0));
+          ]
+      in
+      let p' = Fold.run p in
+      check_int "no arithmetic left" 0
+        (count_if p' (fun i -> match i.Insn.op with Insn.IBin _ -> true | _ -> false));
+      check_int "value preserved" 5 (out_int (run p') "x"));
+    test "x*0 and float identities" (fun () ->
+      let b = irb () in
+      let r1 = reg b Reg.Int and r2 = reg b Reg.Int in
+      let f1 = reg b Reg.Float and f2 = reg b Reg.Float in
+      let ctx = b.ctx in
+      output b "x" r2;
+      output b "y" f2;
+      let p =
+        prog_of b
+          [
+            Block.Ins (Build.imov ctx r1 (Operand.Int 5));
+            Block.Ins (Build.ib ctx Insn.Mul r2 (Operand.Reg r1) (Operand.Int 0));
+            Block.Ins (Build.fmov ctx f1 (Operand.Flt 2.5));
+            Block.Ins (Build.fb ctx Insn.Fmul f2 (Operand.Reg f1) (Operand.Flt 1.0));
+          ]
+      in
+      let p' = Fold.run p in
+      let r = run p' in
+      check_int "x" 0 (out_int r "x");
+      check_close "y" 2.5 (out_flt r "y"));
+    test "constant-condition branch becomes jump or disappears" (fun () ->
+      let b = irb () in
+      let r1 = reg b Reg.Int in
+      let ctx = b.ctx in
+      output b "x" r1;
+      let p =
+        prog_of b
+          [
+            Block.Ins (Build.br ctx Reg.Int Insn.Lt (Operand.Int 1) (Operand.Int 2) "T");
+            Block.Ins (Build.imov ctx r1 (Operand.Int 9));
+            Block.Lbl "T";
+            Block.Ins (Build.imov ctx r1 (Operand.Int 5));
+            Block.Ins (Build.br ctx Reg.Int Insn.Gt (Operand.Int 1) (Operand.Int 2) "U");
+            Block.Lbl "U";
+          ]
+      in
+      let p' = Fold.run p in
+      check_int "one jump, no branches" 1
+        (count_if p' (fun i -> i.Insn.op = Insn.Jmp));
+      check_int "taken" 5 (out_int (run p') "x"));
+    test "self-move disappears" (fun () ->
+      let b = irb () in
+      let r1 = reg b Reg.Int in
+      let ctx = b.ctx in
+      let p = prog_of b [ Block.Ins (Build.imov ctx r1 (Operand.Reg r1)) ] in
+      check_int "removed" 0 (insn_count (Fold.run p)));
+  ]
+
+let propagate_tests =
+  [
+    test "copies propagate into uses" (fun () ->
+      let b = irb () in
+      let r1 = reg b Reg.Int and r2 = reg b Reg.Int and r3 = reg b Reg.Int in
+      let ctx = b.ctx in
+      output b "x" r3;
+      let p =
+        prog_of b
+          [
+            Block.Ins (Build.imov ctx r1 (Operand.Int 7));
+            Block.Ins (Build.imov ctx r2 (Operand.Reg r1));
+            Block.Ins (Build.ib ctx Insn.Add r3 (Operand.Reg r2) (Operand.Reg r2));
+          ]
+      in
+      let p' = Propagate.run p in
+      (* The add now reads the constant directly. *)
+      let add = List.nth (Block.insns p'.Prog.entry) 2 in
+      check_bool "const operand" true (Operand.equal add.Insn.srcs.(0) (Operand.Int 7));
+      check_int "value" 14 (out_int (run p') "x"));
+    test "binding killed when source is redefined" (fun () ->
+      let b = irb () in
+      let r1 = reg b Reg.Int and r2 = reg b Reg.Int and r3 = reg b Reg.Int in
+      let ctx = b.ctx in
+      output b "x" r3;
+      let p =
+        prog_of b
+          [
+            Block.Ins (Build.imov ctx r1 (Operand.Int 7));
+            Block.Ins (Build.imov ctx r2 (Operand.Reg r1));
+            Block.Ins (Build.imov ctx r1 (Operand.Int 100));
+            Block.Ins (Build.imov ctx r3 (Operand.Reg r2));
+          ]
+      in
+      let p' = Propagate.run p in
+      check_int "old value survives" 7 (out_int (run p') "x"));
+    test "knowledge reset at labels" (fun () ->
+      let b = irb () in
+      let r1 = reg b Reg.Int and r2 = reg b Reg.Int and g = reg b Reg.Int in
+      let ctx = b.ctx in
+      output b "x" r2;
+      (* r1 is 1 or 2 depending on the branch; after the join it must not
+         be treated as the constant 1. *)
+      let p =
+        prog_of b
+          [
+            Block.Ins (Build.imov ctx g (Operand.Int 1));
+            Block.Ins (Build.imov ctx r1 (Operand.Int 1));
+            Block.Ins (Build.br ctx Reg.Int Insn.Gt (Operand.Reg g) (Operand.Int 0) "J");
+            Block.Ins (Build.imov ctx r1 (Operand.Int 2));
+            Block.Lbl "J";
+            Block.Ins (Build.imov ctx r2 (Operand.Reg r1));
+          ]
+      in
+      let p' = Propagate.run p in
+      check_int "join-safe" 1 (out_int (run p') "x"));
+  ]
+
+let cse_tests =
+  [
+    test "repeated expression collapses" (fun () ->
+      let b = irb () in
+      let r0 = reg b Reg.Int in
+      let r1 = reg b Reg.Int and r2 = reg b Reg.Int and r3 = reg b Reg.Int in
+      let ctx = b.ctx in
+      output b "x" r3;
+      let p =
+        prog_of b
+          [
+            Block.Ins (Build.imov ctx r0 (Operand.Int 3));
+            Block.Ins (Build.ib ctx Insn.Mul r1 (Operand.Reg r0) (Operand.Int 4));
+            Block.Ins (Build.ib ctx Insn.Mul r2 (Operand.Reg r0) (Operand.Int 4));
+            Block.Ins (Build.ib ctx Insn.Add r3 (Operand.Reg r1) (Operand.Reg r2));
+          ]
+      in
+      let p' = Cse.run p in
+      check_int "one multiply left" 1 (count_if p' is_mul);
+      check_int "value" 24 (out_int (run p') "x"));
+    test "commutative operands match" (fun () ->
+      let b = irb () in
+      let a = reg b Reg.Int and c = reg b Reg.Int in
+      let r1 = reg b Reg.Int and r2 = reg b Reg.Int and r3 = reg b Reg.Int in
+      let ctx = b.ctx in
+      output b "x" r3;
+      let p =
+        prog_of b
+          [
+            Block.Ins (Build.imov ctx a (Operand.Int 3));
+            Block.Ins (Build.imov ctx c (Operand.Int 9));
+            Block.Ins (Build.ib ctx Insn.Add r1 (Operand.Reg a) (Operand.Reg c));
+            Block.Ins (Build.ib ctx Insn.Add r2 (Operand.Reg c) (Operand.Reg a));
+            Block.Ins (Build.ib ctx Insn.Sub r3 (Operand.Reg r1) (Operand.Reg r2));
+          ]
+      in
+      let p' = Cse.run p in
+      check_int "one add left" 1
+        (count_if p' (fun i -> i.Insn.op = Insn.IBin Insn.Add));
+      check_int "value" 0 (out_int (run p') "x"));
+    test "redundant load eliminated; store kills same array only" (fun () ->
+      let b = irb () in
+      float_array b "A" [| 1.0; 2.0 |];
+      float_array b "B" [| 5.0 |];
+      let f1 = reg b Reg.Float and f2 = reg b Reg.Float and f3 = reg b Reg.Float in
+      let f4 = reg b Reg.Float in
+      let ctx = b.ctx in
+      output b "x" f4;
+      let p =
+        prog_of b
+          [
+            Block.Ins (Build.load ctx Reg.Float f1 (Operand.Lab "A") (Operand.Int 0));
+            Block.Ins (Build.load ctx Reg.Float f2 (Operand.Lab "A") (Operand.Int 0));
+            Block.Ins (Build.store ctx Reg.Float (Operand.Lab "B") (Operand.Int 0) (Operand.Flt 9.0));
+            (* The store to B must not kill knowledge of A. *)
+            Block.Ins (Build.load ctx Reg.Float f3 (Operand.Lab "A") (Operand.Int 0));
+            Block.Ins
+              (Build.fb ctx Insn.Fadd f4 (Operand.Reg f2) (Operand.Reg f3));
+          ]
+      in
+      let p' = Cse.run p in
+      check_int "one load left" 1 (count_if p' is_load);
+      check_close "value" 2.0 (out_flt (run p') "x"));
+    test "store to same array kills loads" (fun () ->
+      let b = irb () in
+      float_array b "A" [| 1.0; 2.0 |];
+      let f1 = reg b Reg.Float and f2 = reg b Reg.Float and w = reg b Reg.Int in
+      let ctx = b.ctx in
+      output b "x" f2;
+      let p =
+        prog_of b
+          [
+            Block.Ins (Build.imov ctx w (Operand.Int 0));
+            Block.Ins (Build.load ctx Reg.Float f1 (Operand.Lab "A") (Operand.Int 0));
+            Block.Ins (Build.store ctx Reg.Float (Operand.Lab "A") (Operand.Reg w) (Operand.Flt 9.0));
+            Block.Ins (Build.load ctx Reg.Float f2 (Operand.Lab "A") (Operand.Int 0));
+          ]
+      in
+      let p' = Cse.run p in
+      check_int "both loads survive" 2 (count_if p' is_load);
+      check_close "sees the store" 9.0 (out_flt (run p') "x"));
+    test "store-to-load forwarding" (fun () ->
+      let b = irb () in
+      float_array b "A" [| 0.0 |];
+      let f1 = reg b Reg.Float and f2 = reg b Reg.Float in
+      let ctx = b.ctx in
+      output b "x" f2;
+      let p =
+        prog_of b
+          [
+            Block.Ins (Build.fmov ctx f1 (Operand.Flt 3.5));
+            Block.Ins (Build.store ctx Reg.Float (Operand.Lab "A") (Operand.Int 0) (Operand.Reg f1));
+            Block.Ins (Build.load ctx Reg.Float f2 (Operand.Lab "A") (Operand.Int 0));
+          ]
+      in
+      let p' = Cse.run p in
+      check_int "load forwarded away" 0 (count_if p' is_load);
+      check_close "value" 3.5 (out_flt (run p') "x"));
+  ]
+
+let dce_tests =
+  [
+    test "dead arithmetic removed, outputs kept" (fun () ->
+      let b = irb () in
+      let r1 = reg b Reg.Int and dead = reg b Reg.Int in
+      let ctx = b.ctx in
+      output b "x" r1;
+      let p =
+        prog_of b
+          [
+            Block.Ins (Build.imov ctx r1 (Operand.Int 1));
+            Block.Ins (Build.ib ctx Insn.Mul dead (Operand.Reg r1) (Operand.Int 10));
+          ]
+      in
+      let p' = Dce.run p in
+      check_int "only the output def" 1 (insn_count p');
+      check_int "value" 1 (out_int (run p') "x"));
+    test "self-feeding dead cycle removed" (fun () ->
+      let b = irb () in
+      let live = reg b Reg.Int and cyc = reg b Reg.Int in
+      let ctx = b.ctx in
+      output b "x" live;
+      let body =
+        [
+          Block.Ins (Build.ib ctx Insn.Add cyc (Operand.Reg cyc) (Operand.Int 1));
+          Block.Ins (Build.ib ctx Insn.Add live (Operand.Reg live) (Operand.Int 2));
+          Block.Ins (Build.br ctx Reg.Int Insn.Le (Operand.Reg live) (Operand.Int 10) "L");
+        ]
+      in
+      let p =
+        prog_of b
+          [
+            Block.Ins (Build.imov ctx cyc (Operand.Int 0));
+            Block.Ins (Build.imov ctx live (Operand.Int 0));
+            Block.Loop { Block.lid = 1; head = "L"; exit_lbl = "X"; meta = Block.no_meta; body };
+          ]
+      in
+      let p' = Dce.run p in
+      check_int "cycle gone" 0
+        (count_if p' (fun i ->
+           match i.Insn.dst with Some d -> Reg.equal d cyc | None -> false));
+      check_int "value" 12 (out_int (run p') "x"));
+    test "stores are never removed" (fun () ->
+      let b = irb () in
+      float_array b "A" [| 0.0 |];
+      let ctx = b.ctx in
+      let p =
+        prog_of b
+          [ Block.Ins (Build.store ctx Reg.Float (Operand.Lab "A") (Operand.Int 0) (Operand.Flt 1.0)) ]
+      in
+      check_int "kept" 1 (insn_count (Dce.run p)));
+  ]
+
+let licm_tests =
+  let loop_with body =
+    { Block.lid = 1; head = "L"; exit_lbl = "X"; meta = Block.no_meta; body }
+  in
+  [
+    test "invariant computation hoisted" (fun () ->
+      let b = irb () in
+      let inv = reg b Reg.Int and t = reg b Reg.Int and v = reg b Reg.Int in
+      let ctx = b.ctx in
+      output b "x" t;
+      let body =
+        [
+          Block.Ins (Build.ib ctx Insn.Mul t (Operand.Reg inv) (Operand.Int 3));
+          Block.Ins (Build.ib ctx Insn.Add v (Operand.Reg v) (Operand.Int 1));
+          Block.Ins (Build.br ctx Reg.Int Insn.Le (Operand.Reg v) (Operand.Int 5) "L");
+        ]
+      in
+      let p =
+        prog_of b
+          [
+            Block.Ins (Build.imov ctx inv (Operand.Int 7));
+            Block.Ins (Build.imov ctx v (Operand.Int 1));
+            Block.Loop (loop_with body);
+          ]
+      in
+      let p' = Licm.run p in
+      let l = List.hd (Block.loops p'.Prog.entry) in
+      check_int "body shrank" 2 (List.length (Block.body_insns l));
+      check_int "value" 21 (out_int (run p') "x"));
+    test "load not hoisted past a may-alias store" (fun () ->
+      let b = irb () in
+      float_array b "A" [| 1.0; 1.0; 1.0; 1.0; 1.0; 1.0; 1.0 |];
+      let f1 = reg b Reg.Float and v = reg b Reg.Int and w = reg b Reg.Int in
+      let ctx = b.ctx in
+      output b "y" f1;
+      let body =
+        [
+          (* load A[0] is "invariant" syntactically but A is stored to. *)
+          Block.Ins (Build.load ctx Reg.Float f1 (Operand.Lab "A") (Operand.Int 0));
+          Block.Ins (Build.store ctx Reg.Float (Operand.Lab "A") (Operand.Reg w) (Operand.Flt 5.0));
+          Block.Ins (Build.ib ctx Insn.Add w (Operand.Reg w) (Operand.Int 4));
+          Block.Ins (Build.ib ctx Insn.Add v (Operand.Reg v) (Operand.Int 1));
+          Block.Ins (Build.br ctx Reg.Int Insn.Le (Operand.Reg v) (Operand.Int 4) "L");
+        ]
+      in
+      let p =
+        prog_of b
+          [
+            Block.Ins (Build.imov ctx v (Operand.Int 1));
+            Block.Ins (Build.imov ctx w (Operand.Int 0));
+            Block.Loop (loop_with body);
+          ]
+      in
+      let p' = Licm.run p in
+      let l = List.hd (Block.loops p'.Prog.entry) in
+      check_int "load stays" 5 (List.length (Block.body_insns l));
+      check_close "sees stores" 5.0 (out_flt (run p') "y"));
+    test "carried scalar not hoisted" (fun () ->
+      let b = irb () in
+      let s = reg b Reg.Int and v = reg b Reg.Int in
+      let ctx = b.ctx in
+      output b "x" s;
+      let body =
+        [
+          Block.Ins (Build.ib ctx Insn.Add s (Operand.Reg s) (Operand.Int 2));
+          Block.Ins (Build.ib ctx Insn.Add v (Operand.Reg v) (Operand.Int 1));
+          Block.Ins (Build.br ctx Reg.Int Insn.Le (Operand.Reg v) (Operand.Int 4) "L");
+        ]
+      in
+      let p =
+        prog_of b
+          [
+            Block.Ins (Build.imov ctx s (Operand.Int 0));
+            Block.Ins (Build.imov ctx v (Operand.Int 1));
+            Block.Loop (loop_with body);
+          ]
+      in
+      let p' = Licm.run p in
+      check_int "accumulates" 8 (out_int (run p') "x"));
+  ]
+
+let ivopt_tests =
+  [
+    test "subscript arithmetic becomes pointer increments" (fun () ->
+      let p = Conv.run (lower (vecadd_ast 32)) in
+      let l = List.hd (Block.loops p.Prog.entry) in
+      let body = Block.body_insns l in
+      check_int "no multiplies in the loop" 0
+        (List.length (List.filter is_mul body));
+      (* Paper Figure 1b shape: 2 loads, 1 add, 1 store, 1 increment,
+         1 branch. *)
+      check_int "six instructions" 6 (List.length body));
+    test "loop exit test moved to the derived induction variable" (fun () ->
+      let p = Conv.run (lower (vecadd_ast 32)) in
+      let l = List.hd (Block.loops p.Prog.entry) in
+      let body = Block.body_insns l in
+      let back = List.nth body (List.length body - 1) in
+      (* The branch operand is the same register some load uses as its
+         offset. *)
+      let load_offsets =
+        List.filter_map
+          (fun (i : Insn.t) ->
+            if Insn.is_load i then Operand.as_reg i.Insn.srcs.(1) else None)
+          body
+      in
+      (match Operand.as_reg back.Insn.srcs.(0) with
+      | Some r -> check_bool "tests a pointer" true (List.exists (Reg.equal r) load_offsets)
+      | None -> Alcotest.fail "branch operand not a register");
+      (* meta stays consistent with the rewritten loop *)
+      match l.Block.meta.Block.counter with
+      | Some c ->
+        check_bool "meta counter is the derived iv" true
+          (Operand.equal back.Insn.srcs.(0) (Operand.Reg c))
+      | None -> Alcotest.fail "no counter in meta");
+    test "conv preserves semantics on all helper kernels" (fun () ->
+      List.iter
+        (fun ast ->
+          let naive = run (lower ast) in
+          let opt = run (Conv.run (lower ast)) in
+          same_observables "conv" naive opt)
+        [ vecadd_ast 19; dotprod_ast 23; maxval_ast 31; recurrence_ast 17 ]);
+    test "conv shrinks dynamic instruction count substantially" (fun () ->
+      let naive = run (lower (vecadd_ast 64)) in
+      let opt = run (Conv.run (lower (vecadd_ast 64))) in
+      check_bool "at least 2x fewer instructions" true
+        (opt.Impact_sim.Sim.dyn_insns * 2 < naive.Impact_sim.Sim.dyn_insns));
+  ]
+
+let suite =
+  [
+    ("opt.fold", fold_tests);
+    ("opt.propagate", propagate_tests);
+    ("opt.cse", cse_tests);
+    ("opt.dce", dce_tests);
+    ("opt.licm", licm_tests);
+    ("opt.ivopt", ivopt_tests);
+  ]

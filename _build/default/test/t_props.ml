@@ -1,0 +1,351 @@
+(* Property-based tests (qcheck): randomized programs checked for
+   semantic preservation across the optimizer, the transformations, the
+   scheduler and the whole level pipeline, plus analysis-vs-execution
+   agreement for the symbolic value engine. *)
+
+open Impact_ir
+open Helpers
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+(* ---- random straight-line integer programs ---- *)
+
+type iop_pick = Insn.ibin * int (* op, constant operand *)
+
+let gen_iop : iop_pick QCheck.Gen.t =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun c -> (Insn.Add, c)) (int_range (-50) 50);
+        map (fun c -> (Insn.Sub, c)) (int_range (-50) 50);
+        map (fun c -> (Insn.Mul, c)) (int_range (-6) 6);
+        map (fun c -> (Insn.Div, c)) (oneofl [ 1; 2; 3; 5; 7 ]);
+        map (fun c -> (Insn.Rem, c)) (oneofl [ 2; 3; 5; 9 ]);
+        map (fun c -> (Insn.Shl, c)) (int_range 0 4);
+        map (fun c -> (Insn.Shr, c)) (int_range 0 4);
+        map (fun c -> (Insn.And, c)) (int_range 0 255);
+        map (fun c -> (Insn.Or, c)) (int_range 0 255);
+        map (fun c -> (Insn.Xor, c)) (int_range 0 255);
+      ])
+
+(* (seed values, op list, operand selector list) *)
+let gen_straightline =
+  QCheck.Gen.(
+    triple
+      (list_size (int_range 2 4) (int_range (-100) 100))
+      (list_size (int_range 1 25) gen_iop)
+      (list_size (int_range 1 25) (int_range 0 1000)))
+
+let build_straightline (seeds, ops, picks) =
+  let b = irb () in
+  int_array b "S" (Array.of_list seeds);
+  let ctx = b.ctx in
+  let avail = ref [] in
+  let items = ref [] in
+  List.iteri
+    (fun k _ ->
+      let r = reg b Reg.Int in
+      items := Block.Ins (Build.load ctx Reg.Int r (Operand.Lab "S") (Operand.Int (4 * k))) :: !items;
+      avail := r :: !avail)
+    seeds;
+  List.iteri
+    (fun k (op, c) ->
+      let pick = List.nth picks (k mod List.length picks) in
+      let src = List.nth !avail (pick mod List.length !avail) in
+      let d = reg b Reg.Int in
+      items := Block.Ins (Build.ib ctx op d (Operand.Reg src) (Operand.Int c)) :: !items;
+      avail := d :: !avail)
+    ops;
+  (* Sum everything so every definition is observable. *)
+  let total = reg b Reg.Int in
+  items := Block.Ins (Build.imov ctx total (Operand.Int 0)) :: !items;
+  List.iter
+    (fun r ->
+      items :=
+        Block.Ins (Build.ib ctx Insn.Add total (Operand.Reg total) (Operand.Reg r))
+        :: !items)
+    !avail;
+  output b "x" total;
+  prog_of b (List.rev !items)
+
+let prop_cleanup_straightline =
+  QCheck.Test.make ~name:"optimizer cleanup preserves straight-line programs"
+    ~count:150
+    (QCheck.make gen_straightline)
+    (fun spec ->
+      let p = build_straightline spec in
+      let before = run p in
+      let after = run (Impact_opt.Conv.cleanup p) in
+      out_int before "x" = out_int after "x")
+
+let prop_sched_straightline =
+  QCheck.Test.make ~name:"scheduling preserves straight-line programs" ~count:100
+    (QCheck.make gen_straightline)
+    (fun spec ->
+      let p = build_straightline spec in
+      let before = run p in
+      let p' = Impact_sched.List_sched.run Machine.issue_4 (Impact_sched.Superblock.run p) in
+      out_int before "x" = out_int (run ~machine:Machine.issue_4 p') "x")
+
+(* ---- random floating-point expression trees ---- *)
+
+type ftree = Leaf of int | Node of Insn.fbin * ftree * ftree
+
+let gen_ftree =
+  QCheck.Gen.(
+    sized_size (int_range 1 24) @@ fix (fun self n ->
+      if n <= 1 then map (fun k -> Leaf k) (int_range 0 7)
+      else
+        oneof
+          [
+            map (fun k -> Leaf k) (int_range 0 7);
+            map3
+              (fun op l r -> Node (op, l, r))
+              (oneofl [ Insn.Fadd; Insn.Fsub; Insn.Fmul ])
+              (self (n / 2)) (self (n / 2));
+            (* divide only by leaves, keeping values well-conditioned *)
+            map2 (fun l k -> Node (Insn.Fdiv, l, Leaf k)) (self (n / 2)) (int_range 0 7);
+          ]))
+
+let leaf_val k = 0.5 +. (float_of_int k /. 3.0)
+
+let build_ftree tree =
+  let b = irb () in
+  float_array b "V" (Array.init 8 leaf_val);
+  let ctx = b.ctx in
+  let items = ref [] in
+  let leaf_regs = Hashtbl.create 8 in
+  let leaf k =
+    match Hashtbl.find_opt leaf_regs k with
+    | Some r -> r
+    | None ->
+      let r = reg b Reg.Float in
+      items := Block.Ins (Build.load ctx Reg.Float r (Operand.Lab "V") (Operand.Int (4 * k))) :: !items;
+      Hashtbl.replace leaf_regs k r;
+      r
+  in
+  let rec go = function
+    | Leaf k -> leaf k
+    | Node (op, l, r) ->
+      let rl = go l in
+      let rr = go r in
+      let d = reg b Reg.Float in
+      items := Block.Ins (Build.fb ctx op d (Operand.Reg rl) (Operand.Reg rr)) :: !items;
+      d
+  in
+  let root = go tree in
+  output b "a" root;
+  prog_of b (List.rev !items)
+
+let rec eval_ftree = function
+  | Leaf k -> leaf_val k
+  | Node (op, l, r) -> Insn.eval_fbin op (eval_ftree l) (eval_ftree r)
+
+(* Largest intermediate magnitude: bounds the reassociation error. *)
+let rec max_mag = function
+  | Leaf k -> abs_float (leaf_val k)
+  | Node (op, l, r) ->
+    let v = abs_float (Insn.eval_fbin op (eval_ftree l) (eval_ftree r)) in
+    max v (max (max_mag l) (max_mag r))
+
+let prop_thr_tree =
+  QCheck.Test.make ~name:"tree height reduction preserves expression values"
+    ~count:200
+    (QCheck.make gen_ftree)
+    (fun tree ->
+      let reference = eval_ftree tree in
+      let mag = max_mag tree in
+      (* Skip numerically degenerate trees (overflow or non-finite
+         intermediates); reassociation error scales with the largest
+         intermediate. *)
+      QCheck.assume (Float.is_finite mag && mag < 1e9);
+      let p = build_ftree tree in
+      let before = run p in
+      let p' = Impact_opt.Conv.cleanup (Impact_core.Tree_height.run p) in
+      let after = run p' in
+      let tol = 1e-10 *. (1.0 +. mag) in
+      close ~tol (out_flt before "a") reference
+      && close ~tol (out_flt after "a") reference
+      && after.Impact_sim.Sim.cycles <= before.Impact_sim.Sim.cycles)
+
+(* ---- random loop kernels through the whole pipeline ---- *)
+
+type stmt_pick = Elementwise of int | Accum of int | Search | Guarded of int | Recur
+
+let const c = Impact_workloads.Kernels.const c
+
+let init_arr seed = Impact_workloads.Kernels.init seed
+
+let gen_kernel =
+  QCheck.Gen.(
+    triple (int_range 1 40)
+      (list_size (int_range 1 5)
+         (oneof
+            [
+              map (fun c -> Elementwise c) (int_range 0 5);
+              map (fun c -> Accum c) (int_range 0 5);
+              return Search;
+              map (fun c -> Guarded c) (int_range 0 3);
+              return Recur;
+            ]))
+      (int_range 0 1000))
+
+let build_kernel (n, stmts, seed) =
+  let open Impact_fir.Ast in
+  let body =
+    List.mapi
+      (fun k s ->
+        match s with
+        | Elementwise c ->
+          astore "C" [ v "j" ]
+            ((idx "A" [ v "j" ] *: r (const c)) +: idx "B" [ v "j" ])
+        | Accum c -> assign "s" (v "s" +: (idx "A" [ v "j" ] *: r (const c)))
+        | Search ->
+          if_ CGt (idx "B" [ v "j" ]) (v "mx") [ assign "mx" (idx "B" [ v "j" ]) ] []
+        | Guarded c ->
+          if_ CGt (idx "A" [ v "j" ]) (r (const c))
+            [ astore "D" [ v "j" ] (idx "A" [ v "j" ] -: r (const c)) ]
+            []
+        | Recur ->
+          ignore k;
+          astore "E" [ v "j" +: i 2 ] ((idx "E" [ v "j" ] *: r 0.5) +: idx "A" [ v "j" ]))
+      stmts
+  in
+  {
+    decls =
+      [
+        scalar "j" TInt; scalar "s" TReal; scalar "mx" TReal ~init:(-1e30);
+        array1 "A" TReal (n + 8) (init_arr (seed + 1));
+        array1 "B" TReal (n + 8) (init_arr (seed + 2));
+        array1 "C" TReal (n + 8) (fun _ -> 0.0);
+        array1 "D" TReal (n + 8) (fun _ -> 0.0);
+        array1 "E" TReal (n + 8) (init_arr (seed + 3));
+      ];
+    stmts = [ assign "s" (r 0.0); do_ "j" (i 1) (i n) body ];
+    outs = [ "s"; "mx" ];
+  }
+
+let prop_lev4_kernels =
+  QCheck.Test.make ~name:"Lev4 at issue-8 preserves random loop kernels" ~count:120
+    (QCheck.make gen_kernel)
+    (fun spec ->
+      let ast = build_kernel spec in
+      let base = run (lower ast) in
+      let m = measure Impact_core.Level.Lev4 Machine.issue_8 ast in
+      (try
+         same_observables "prop" base m.Impact_core.Compile.result;
+         true
+       with _ -> false))
+
+let prop_unroll_factors =
+  QCheck.Test.make ~name:"every unroll factor preserves random kernels" ~count:60
+    (QCheck.make QCheck.Gen.(triple (int_range 1 33) (int_range 2 8) (int_range 0 1000)))
+    (fun (n, factor, seed) ->
+      let ast = build_kernel (n, [ Accum (seed mod 6); Elementwise (seed mod 4) ], seed) in
+      let base = run (lower ast) in
+      let m = measure ~unroll_factor:factor Impact_core.Level.Lev4 Machine.issue_4 ast in
+      (try
+         same_observables "prop" base m.Impact_core.Compile.result;
+         true
+       with _ -> false))
+
+(* ---- symbolic values agree with execution ---- *)
+
+let prop_linval_agrees =
+  QCheck.Test.make ~name:"linear symbolic values agree with concrete execution"
+    ~count:150
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (list_size (int_range 2 3) (int_range (-20) 20))
+           (list_size (int_range 1 12)
+              (pair (oneofl [ `Add; `Sub; `MulC; `Shl ]) (int_range 0 9)))))
+    (fun (seeds, ops) ->
+      (* Build affine code over loaded seeds; check that evaluating the
+         final symbolic value over the concrete seed values matches the
+         simulator. *)
+      let b = irb () in
+      int_array b "S" (Array.of_list seeds);
+      let ctx = b.ctx in
+      let items = ref [] in
+      let seed_regs =
+        List.mapi
+          (fun k _ ->
+            let r = reg b Reg.Int in
+            items :=
+              Block.Ins (Build.load ctx Reg.Int r (Operand.Lab "S") (Operand.Int (4 * k)))
+              :: !items;
+            r)
+          seeds
+      in
+      let cur = ref (List.hd seed_regs) in
+      List.iter
+        (fun (op, c) ->
+          let d = reg b Reg.Int in
+          let other = List.nth seed_regs (c mod List.length seed_regs) in
+          let insn =
+            match op with
+            | `Add -> Build.ib ctx Insn.Add d (Operand.Reg !cur) (Operand.Reg other)
+            | `Sub -> Build.ib ctx Insn.Sub d (Operand.Reg !cur) (Operand.Reg other)
+            | `MulC -> Build.ib ctx Insn.Mul d (Operand.Reg !cur) (Operand.Int (c - 4))
+            | `Shl -> Build.ib ctx Insn.Shl d (Operand.Reg !cur) (Operand.Int (c mod 3))
+          in
+          items := Block.Ins insn :: !items;
+          cur := d)
+        ops;
+      output b "x" !cur;
+      let p = prog_of b (List.rev !items) in
+      let result = run p in
+      (* Analyze the same code as a segment. *)
+      let sb =
+        Impact_analysis.Sb.make ~head:"\000h" ~exit_lbl:"\000x"
+          (Array.of_list (List.rev !items))
+      in
+      let lv = Impact_analysis.Linval.analyze sb in
+      let last_pos = Impact_analysis.Sb.length sb - 1 in
+      match Impact_analysis.Linval.result lv last_pos with
+      | None -> true (* opaque results are allowed, just not wrong *)
+      | Some lin ->
+        (* Evaluate the linear value: loads are opaque keys identified by
+           instruction id; map each to its loaded seed. *)
+        let load_values = Hashtbl.create 8 in
+        List.iteri
+          (fun k item ->
+            match item with
+            | Block.Ins i when Insn.is_load i ->
+              ignore k;
+              let idx =
+                match Insn.mem_addr i with
+                | Some (_, _, _) -> (
+                  match i.Insn.srcs.(1) with Operand.Int o -> o / 4 | _ -> 0)
+                | None -> 0
+              in
+              Hashtbl.replace load_values i.Insn.id (List.nth seeds idx)
+            | _ -> ())
+          (List.rev !items);
+        let value =
+          List.fold_left
+            (fun acc (key, coeff) ->
+              match key with
+              | Impact_analysis.Linval.Key.KOpq id when Hashtbl.mem load_values id ->
+                acc + (coeff * Hashtbl.find load_values id)
+              | _ -> acc)
+            lin.Impact_analysis.Linval.c
+            (Impact_analysis.Linval.terms lin)
+        in
+        value = out_int result "x")
+
+let suite =
+  [
+    ( "properties",
+      List.map
+        (fun t -> to_alcotest ~rand:(Random.State.make [| 0x5C92 |]) t)
+        [
+          prop_cleanup_straightline;
+          prop_sched_straightline;
+          prop_thr_tree;
+          prop_lev4_kernels;
+          prop_unroll_factors;
+          prop_linval_agrees;
+        ] );
+  ]
