@@ -1,0 +1,22 @@
+.PHONY: all build test bench smoke check clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+# Evaluation smoke run on 2 pool workers: exercises the parallel path
+# and the summary artifact end to end.
+smoke: build
+	IMPACT_JOBS=2 dune exec bench/main.exe -- summary
+
+check: build test smoke
+
+bench: build
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -1,14 +1,19 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (Section 3) from our implementation, plus Bechamel
    micro-benchmarks of the cost of the compiler stages behind each
-   artifact.
+   artifact. The evaluation matrix runs on the domain work pool
+   (Impact_exec.Pool); worker count comes from -j N, the IMPACT_JOBS
+   environment variable, or the core count, in that order.
 
    Usage:
-     main.exe                 run everything (tables, figures, summary,
+     main.exe [-j N]          run everything (tables, figures, summary,
                               ablation) except the Bechamel section
      main.exe fig8 ... fig15  specific figures
      main.exe table1 table2 summary ablation csv bechamel
-*)
+     main.exe json            write per-stage timings and summary
+                              speedups to BENCH_eval.json
+
+   Unknown arguments are an error (exit 2). *)
 
 open Impact_ir
 open Impact_core
@@ -25,12 +30,22 @@ let subjects : Experiment.subject list =
 
 let machines = [ Machine.issue_2; Machine.issue_4; Machine.issue_8 ]
 
+(* Wall-clock of forcing the full evaluation matrix (for `json`). *)
+let cells_wall = ref 0.0
+
 (* The full evaluation matrix, computed once on demand. *)
 let cells : Experiment.cell list Lazy.t =
   lazy
-    (Experiment.run_all
-       ~progress:(fun name -> Printf.eprintf "  [run] %s\n%!" name)
-       machines Level.all subjects)
+    (let t0 = Impact_exec.Timing.now () in
+     let cs =
+       Experiment.run_all
+         ~progress:(fun name ->
+           prerr_string (Printf.sprintf "  [run] %s\n" name);
+           flush stderr)
+         machines Level.all subjects
+     in
+     cells_wall := Impact_exec.Timing.now () -. t0;
+     cs)
 
 let print_table1 () = print_string (Report.table1 ())
 
@@ -100,41 +115,68 @@ let print_fig15 () =
   register_figure ~title:"Figure 15: register usage of non-DOALL loops, issue-8"
     ~group:"non-doall" Machine.issue_8
 
-let print_summary () =
-  let cs = Lazy.force cells in
+(* Summary quantities (Section 3.2 / Section 4), shared by the text
+   summary and the `json` emitter. *)
+let summary_stats cs : (string * float) list =
   let avg ?group level machine =
     Experiment.avg_speedup (Experiment.filter_cells ?group ~level ~machine cs)
   in
   let avg_r level =
     Experiment.avg_regs (Experiment.filter_cells ~level ~machine:Machine.issue_8 cs)
   in
+  let within128 =
+    float_of_int
+      (List.length
+         (List.filter
+            (fun c -> Experiment.total_regs c < 128)
+            (Experiment.filter_cells ~level:Level.Lev4 ~machine:Machine.issue_8 cs)))
+  in
+  [
+    ("speedup_lev3_issue4", avg Level.Lev3 Machine.issue_4);
+    ("speedup_lev4_issue4", avg Level.Lev4 Machine.issue_4);
+    ("speedup_lev3_issue8", avg Level.Lev3 Machine.issue_8);
+    ("speedup_lev4_issue8", avg Level.Lev4 Machine.issue_8);
+    ("speedup_lev2_issue8", avg Level.Lev2 Machine.issue_8);
+    ("speedup_lev2_issue8_doall", avg ~group:"doall" Level.Lev2 Machine.issue_8);
+    ("speedup_lev2_issue8_nondoall", avg ~group:"non-doall" Level.Lev2 Machine.issue_8);
+    ("speedup_lev4_issue8_doall", avg ~group:"doall" Level.Lev4 Machine.issue_8);
+    ("speedup_lev4_issue8_nondoall", avg ~group:"non-doall" Level.Lev4 Machine.issue_8);
+    ("regs_lev1_issue8", avg_r Level.Lev1);
+    ("regs_lev2_issue8", avg_r Level.Lev2);
+    ("regs_lev3_issue8", avg_r Level.Lev3);
+    ("regs_lev4_issue8", avg_r Level.Lev4);
+    ("reg_growth_conv_to_lev4", avg_r Level.Lev4 /. avg_r Level.Conv);
+    ("loops_under_128_regs_lev4_issue8", within128);
+  ]
+
+let print_summary () =
+  let cs = Lazy.force cells in
+  let stats = summary_stats cs in
+  let g name = List.assoc name stats in
   Printf.printf "Summary (Section 3.2 / Section 4 quantities; paper values in parens)\n";
   Printf.printf "%s\n" (String.make 72 '-');
   Printf.printf "avg speedup issue-4: Lev3 %.2f (3.73)   Lev4 %.2f (4.35)\n"
-    (avg Level.Lev3 Machine.issue_4) (avg Level.Lev4 Machine.issue_4);
+    (g "speedup_lev3_issue4") (g "speedup_lev4_issue4");
   Printf.printf "avg speedup issue-8: Lev3 %.2f (5.10)   Lev4 %.2f (6.68)\n"
-    (avg Level.Lev3 Machine.issue_8) (avg Level.Lev4 Machine.issue_8);
+    (g "speedup_lev3_issue8") (g "speedup_lev4_issue8");
   Printf.printf "issue-8 Lev2 overall %.2f (5.1)  doall %.2f (6.8)  non-doall %.2f (3.7)\n"
-    (avg Level.Lev2 Machine.issue_8)
-    (avg ~group:"doall" Level.Lev2 Machine.issue_8)
-    (avg ~group:"non-doall" Level.Lev2 Machine.issue_8);
+    (g "speedup_lev2_issue8")
+    (g "speedup_lev2_issue8_doall")
+    (g "speedup_lev2_issue8_nondoall");
   Printf.printf "issue-8 Lev4 doall %.2f (7.8)  non-doall %.2f (5.8)\n"
-    (avg ~group:"doall" Level.Lev4 Machine.issue_8)
-    (avg ~group:"non-doall" Level.Lev4 Machine.issue_8);
+    (g "speedup_lev4_issue8_doall")
+    (g "speedup_lev4_issue8_nondoall");
   Printf.printf
     "avg registers issue-8: Lev1 %.0f (28)  Lev2 %.0f (57)  Lev3 %.0f (65)  Lev4 %.0f (71)\n"
-    (avg_r Level.Lev1) (avg_r Level.Lev2) (avg_r Level.Lev3) (avg_r Level.Lev4);
+    (g "regs_lev1_issue8") (g "regs_lev2_issue8") (g "regs_lev3_issue8")
+    (g "regs_lev4_issue8");
   Printf.printf "register growth Conv->Lev4 issue-8: %.1fx (2.6x)\n"
-    (avg_r Level.Lev4 /. avg_r Level.Conv);
-  let within128 =
-    List.length
-      (List.filter
-         (fun c -> Experiment.total_regs c < 128)
-         (Experiment.filter_cells ~level:Level.Lev4 ~machine:Machine.issue_8 cs))
-  in
-  Printf.printf "loops under 128 registers at Lev4, issue-8: %d/40 (37/40)\n" within128
+    (g "reg_growth_conv_to_lev4");
+  Printf.printf "loops under 128 registers at Lev4, issue-8: %.0f/40 (37/40)\n"
+    (g "loops_under_128_regs_lev4_issue8")
 
-(* Leave-one-out ablation of the Lev4 pipeline at issue-8. *)
+(* Leave-one-out ablation of the Lev4 pipeline at issue-8. Bases come
+   from the process-wide cache; subjects are evaluated on the pool. *)
 let print_ablation () =
   let variants =
     [
@@ -167,11 +209,10 @@ let print_ablation () =
   List.iter
     (fun (name, pipeline) ->
       let speedups =
-        List.map
+        Impact_exec.Pool.map_list
           (fun (s : Experiment.subject) ->
-            let lower () = Impact_fir.Lower.lower s.Experiment.ast in
-            let base = Compile.measure Level.Conv Machine.issue_1 (lower ()) in
-            let p = pipeline (lower ()) in
+            let base = Experiment.base_measurement s in
+            let p = pipeline (Impact_fir.Lower.lower s.Experiment.ast) in
             let p = Impact_sched.Superblock.run p in
             let p = Impact_sched.List_sched.run Machine.issue_8 p in
             let r = Impact_sim.Sim.run Machine.issue_8 p in
@@ -244,6 +285,67 @@ let print_overhead () =
       Printf.printf "%-6s avg %.2fx   max %.2fx\n" (Level.to_string level) avg mx)
     Level.all
 
+(* ---- `json`: machine-readable perf trajectory ---- *)
+
+(* Wall-clock of `summary csv` on the pre-engine (sequential,
+   re-transforming, interpreting) harness, measured on this host before
+   the change. Kept so BENCH_eval.json records the speedup. *)
+let seed_summary_wall_s = 10.6
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_num x =
+  if Float.is_nan x then "null"
+  else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.6f" x
+
+let json_obj fields =
+  "{" ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" (json_escape k) v) fields) ^ "}"
+
+let write_json path =
+  Impact_exec.Timing.reset ();
+  let t0 = Impact_exec.Timing.now () in
+  let cs = Lazy.force cells in
+  let total_wall = Impact_exec.Timing.now () -. t0 in
+  let stats = summary_stats cs in
+  let stages =
+    ("cells_wall_s", json_num !cells_wall)
+    :: List.map
+         (fun (name, secs) -> (name ^ "_busy_s", json_num secs))
+         (Impact_exec.Timing.snapshot ())
+  in
+  let doc =
+    json_obj
+      [
+        ("schema", "\"impact-bench-eval/1\"");
+        ("generated_at_unix", json_num (Unix.gettimeofday ()));
+        ("workers", string_of_int (Impact_exec.Pool.resolve_workers ()));
+        ("subjects", string_of_int (List.length subjects));
+        ("cells", string_of_int (List.length cs));
+        ("total_wall_s", json_num total_wall);
+        ("seed_summary_wall_s", json_num seed_summary_wall_s);
+        ("speedup_vs_seed", json_num (seed_summary_wall_s /. total_wall));
+        ("stages", json_obj stages);
+        ("summary", json_obj (List.map (fun (k, v) -> (k, json_num v)) stats));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "wrote %s (%d cells, %.2fs)\n%!" path (List.length cs) total_wall
+
 (* ---- Bechamel micro-benchmarks: one Test.make per table/figure,
    measuring the compiler work behind one representative row. ---- *)
 
@@ -313,8 +415,30 @@ let run_bechamel () =
         analyzed)
     tests
 
+let usage () =
+  prerr_string
+    "usage: main.exe [-j N] [table1 table2 fig8..fig15 summary ablation csv \
+     issue-sweep overhead bechamel json]\n"
+
+(* Parse -j/--jobs out of the argument list; returns remaining args.
+   Exits 2 on a malformed worker count. *)
+let rec parse_jobs acc = function
+  | [] -> List.rev acc
+  | ("-j" | "--jobs") :: v :: rest -> (
+    match int_of_string_opt v with
+    | Some n when n >= 1 ->
+      Impact_exec.Pool.set_default_workers n;
+      parse_jobs acc rest
+    | Some _ | None ->
+      Printf.eprintf "invalid worker count %s\n" v;
+      exit 2)
+  | ("-j" | "--jobs") :: [] ->
+    prerr_string "-j requires a worker count\n";
+    exit 2
+  | arg :: rest -> parse_jobs (arg :: acc) rest
+
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
+  let args = parse_jobs [] (List.tl (Array.to_list Sys.argv)) in
   let args =
     if args = [] then
       [
@@ -323,6 +447,20 @@ let () =
       ]
     else args
   in
+  (* Reject unknown arguments before doing any work. *)
+  let known =
+    [
+      "table1"; "table2"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13";
+      "fig14"; "fig15"; "summary"; "ablation"; "csv"; "issue-sweep"; "overhead";
+      "bechamel"; "json";
+    ]
+  in
+  (match List.find_opt (fun a -> not (List.mem a known)) args with
+  | Some bad ->
+    Printf.eprintf "unknown argument %s\n" bad;
+    usage ();
+    exit 2
+  | None -> ());
   List.iter
     (fun arg ->
       (match arg with
@@ -342,6 +480,7 @@ let () =
       | "issue-sweep" -> print_issue_sweep ()
       | "overhead" -> print_overhead ()
       | "bechamel" -> run_bechamel ()
-      | other -> Printf.eprintf "unknown argument %s\n" other);
+      | "json" -> write_json "BENCH_eval.json"
+      | _ -> assert false);
       print_newline ())
     args

@@ -260,12 +260,11 @@ let subst (env : lin Reg.Map.t) (v : lin) : lin =
 
 (* Synthetic opaque keys for environment composition; the counter starts
    far below the per-analysis merge keys so the namespaces stay
-   disjoint. *)
-let synth_counter = ref (-1_000_000)
+   disjoint. Atomic: analyses run concurrently on worker domains, and
+   only freshness (not the specific value) matters. *)
+let synth_counter = Atomic.make (-1_000_000)
 
-let fresh_synth () =
-  decr synth_counter;
-  of_key (Key.KOpq !synth_counter)
+let fresh_synth () = of_key (Key.KOpq (Atomic.fetch_and_add synth_counter (-1) - 1))
 
 (* [compose base f]: environment after applying [f] (whose KReg keys
    denote values at f's entry) on top of [base]. *)

@@ -1,6 +1,12 @@
-(* End-to-end compilation and measurement driver: transformation level,
-   superblock formation, list scheduling for the target machine, then
-   execution-driven simulation and register-usage measurement. *)
+(* End-to-end compilation and measurement driver, split at the
+   machine-independence boundary: [transform] applies the level's
+   machine-independent pipeline (scalar optimizations, unrolling, the
+   expansions, renaming, ...) plus superblock formation — none of which
+   read the machine description — and its output can be cached and
+   shared across machine configurations. [schedule_and_measure] does
+   the per-machine work: list scheduling for the target, execution-
+   driven simulation, and register-usage measurement. Each stage
+   reports its wall time to [Impact_exec.Timing] for `bench json`. *)
 
 open Impact_ir
 
@@ -13,17 +19,26 @@ type measurement = {
   result : Impact_sim.Sim.result;
 }
 
-let compile ?unroll_factor (level : Level.t) (machine : Machine.t) (p : Prog.t) :
-    Prog.t =
-  let p = Level.apply ?unroll_factor level p in
-  let p = Impact_sched.Superblock.run p in
-  Impact_sched.List_sched.run machine p
+let transform ?unroll_factor (level : Level.t) (p : Prog.t) : Prog.t =
+  Impact_exec.Timing.time "transform" (fun () ->
+    let p = Level.apply ?unroll_factor level p in
+    Impact_sched.Superblock.run p)
 
-let measure ?unroll_factor ?fuel (level : Level.t) (machine : Machine.t)
+let schedule (machine : Machine.t) (p : Prog.t) : Prog.t =
+  Impact_exec.Timing.time "schedule" (fun () ->
+    Impact_sched.List_sched.run machine p)
+
+let schedule_and_measure ?fuel (level : Level.t) (machine : Machine.t)
     (p : Prog.t) : measurement =
-  let compiled = compile ?unroll_factor level machine p in
-  let result = Impact_sim.Sim.run ?fuel machine compiled in
-  let usage = Impact_regalloc.Regalloc.measure compiled in
+  let compiled = schedule machine p in
+  let result =
+    Impact_exec.Timing.time "simulate" (fun () ->
+      Impact_sim.Sim.run ?fuel machine compiled)
+  in
+  let usage =
+    Impact_exec.Timing.time "regalloc" (fun () ->
+      Impact_regalloc.Regalloc.measure compiled)
+  in
   {
     level;
     machine;
@@ -32,6 +47,14 @@ let measure ?unroll_factor ?fuel (level : Level.t) (machine : Machine.t)
     usage;
     result;
   }
+
+let compile ?unroll_factor (level : Level.t) (machine : Machine.t) (p : Prog.t) :
+    Prog.t =
+  schedule machine (transform ?unroll_factor level p)
+
+let measure ?unroll_factor ?fuel (level : Level.t) (machine : Machine.t)
+    (p : Prog.t) : measurement =
+  schedule_and_measure ?fuel level machine (transform ?unroll_factor level p)
 
 (* Speedup of a measurement against the paper's base configuration: an
    issue-1 processor with conventional optimizations. *)

@@ -1,6 +1,6 @@
-(** End-to-end compilation and measurement: transformation level,
-    superblock formation, list scheduling, then execution-driven
-    simulation and register-usage measurement. *)
+(** End-to-end compilation and measurement, split at the machine-
+    independence boundary so the harness can cache the transform prefix
+    and share it across machine configurations. *)
 
 open Impact_ir
 
@@ -13,10 +13,25 @@ type measurement = {
   result : Impact_sim.Sim.result;
 }
 
+val transform : ?unroll_factor:int -> Level.t -> Prog.t -> Prog.t
+(** The machine-independent pipeline prefix: the level's transformations
+    plus superblock formation. Cacheable per (program, level,
+    unroll_factor) and shareable across machines. *)
+
+val schedule : Machine.t -> Prog.t -> Prog.t
+(** List-schedule a transformed program for the target machine. *)
+
+val schedule_and_measure :
+  ?fuel:int -> Level.t -> Machine.t -> Prog.t -> measurement
+(** Per-machine suffix on a [transform]ed program: schedule, simulate,
+    measure register usage. *)
+
 val compile : ?unroll_factor:int -> Level.t -> Machine.t -> Prog.t -> Prog.t
+(** [schedule machine (transform level p)]. *)
 
 val measure :
   ?unroll_factor:int -> ?fuel:int -> Level.t -> Machine.t -> Prog.t -> measurement
+(** [schedule_and_measure level machine (transform level p)]. *)
 
 val speedup : base:measurement -> this:measurement -> float
 (** Speedup against the paper's base configuration (issue-1, Conv). *)

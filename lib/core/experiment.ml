@@ -1,7 +1,19 @@
 (* The paper's evaluation harness (Section 3): compile each loop nest at
    each transformation level, simulate on each machine configuration, and
    aggregate speedups (vs. the issue-1 Conv base configuration) and
-   register usage. *)
+   register usage.
+
+   The matrix is evaluated on a domain work pool (Impact_exec.Pool),
+   one task per subject, so every task owns its lowered program and no
+   IR state is shared across domains. Within a subject the machine-
+   independent pipeline prefix ([Compile.transform]) is computed once
+   per (level, unroll_factor) and shared across all machine
+   configurations, and the issue-1 Conv base measurement is served from
+   a process-wide cache keyed by (subject name, unroll_factor) so
+   repeated sweeps (summary, ablation, issue sweep) pay for it once.
+   Cells are returned in the same deterministic order as the sequential
+   evaluation: subjects in input order, machine-major within a
+   subject. *)
 
 open Impact_ir
 
@@ -22,39 +34,122 @@ type cell = {
   float_regs : int;
 }
 
+type poisoned = { psubject : string; plevel : Level.t; pmachine : string }
+
 let total_regs c = c.int_regs + c.float_regs
 
-(* Run one subject across levels and machines. *)
-let run_subject ?unroll_factor (machines : Machine.t list) (levels : Level.t list)
-    (s : subject) : cell list =
-  let lower () = Impact_fir.Lower.lower s.ast in
-  let base = Compile.measure ?unroll_factor Level.Conv Machine.issue_1 (lower ()) in
-  List.concat_map
-    (fun machine ->
+let default_on_poison p =
+  (* One write so concurrent domains cannot interleave mid-line. *)
+  prerr_string
+    (Printf.sprintf "  [poisoned] %s %s %s: simulation fuel exhausted\n"
+       p.psubject (Level.to_string p.plevel) p.pmachine);
+  flush stderr
+
+(* ---- Base-measurement cache ---- *)
+
+let base_mutex = Mutex.create ()
+
+let base_cache : (string * int option, Compile.measurement) Hashtbl.t =
+  Hashtbl.create 64
+
+let clear_base_cache () =
+  Mutex.lock base_mutex;
+  Hashtbl.reset base_cache;
+  Mutex.unlock base_mutex
+
+(* The issue-1 Conv measurement for a subject, computed from a fresh
+   lowering (so the cached value does not depend on who asks first) and
+   cached for the life of the process. *)
+let base_measurement ?unroll_factor (s : subject) : Compile.measurement =
+  let key = (s.sname, unroll_factor) in
+  let cached =
+    Mutex.lock base_mutex;
+    let r = Hashtbl.find_opt base_cache key in
+    Mutex.unlock base_mutex;
+    r
+  in
+  match cached with
+  | Some m -> m
+  | None ->
+    let m =
+      Compile.measure ?unroll_factor Level.Conv Machine.issue_1
+        (Impact_fir.Lower.lower s.ast)
+    in
+    Mutex.lock base_mutex;
+    Hashtbl.replace base_cache key m;
+    Mutex.unlock base_mutex;
+    m
+
+(* Run one subject across levels and machines; poisoned cells (fuel
+   exhaustion) are reported separately instead of aborting the run. *)
+let run_subject_full ?unroll_factor (machines : Machine.t list)
+    (levels : Level.t list) (s : subject) : cell list * poisoned list =
+  match base_measurement ?unroll_factor s with
+  | exception Impact_sim.Sim.Timeout ->
+    (* No base, no speedups: the whole subject is poisoned. *)
+    ( [],
+      [ { psubject = s.sname; plevel = Level.Conv;
+          pmachine = Machine.issue_1.Machine.name } ] )
+  | base ->
+    (* Machine-independent prefix, once per level, shared by machines.
+       Each level starts from its own fresh lowering so the id streams
+       (and hence allocator tie-breaks) match a standalone
+       [Compile.measure] of that cell exactly. *)
+    let transformed =
       List.map
         (fun level ->
-          let m = Compile.measure ?unroll_factor level machine (lower ()) in
-          {
-            subject = s;
-            level;
-            machine;
-            cycles = m.Compile.cycles;
-            dyn_insns = m.Compile.dyn_insns;
-            speedup = Compile.speedup ~base ~this:m;
-            int_regs = m.Compile.usage.Impact_regalloc.Regalloc.int_used;
-            float_regs = m.Compile.usage.Impact_regalloc.Regalloc.float_used;
-          })
-        levels)
-    machines
+          (level, Compile.transform ?unroll_factor level (Impact_fir.Lower.lower s.ast)))
+        levels
+    in
+    let poisons = ref [] in
+    let cells =
+      List.concat_map
+        (fun machine ->
+          List.filter_map
+            (fun (level, tp) ->
+              match Compile.schedule_and_measure level machine tp with
+              | m ->
+                Some
+                  {
+                    subject = s;
+                    level;
+                    machine;
+                    cycles = m.Compile.cycles;
+                    dyn_insns = m.Compile.dyn_insns;
+                    speedup = Compile.speedup ~base ~this:m;
+                    int_regs = m.Compile.usage.Impact_regalloc.Regalloc.int_used;
+                    float_regs = m.Compile.usage.Impact_regalloc.Regalloc.float_used;
+                  }
+              | exception Impact_sim.Sim.Timeout ->
+                poisons :=
+                  { psubject = s.sname; plevel = level;
+                    pmachine = machine.Machine.name }
+                  :: !poisons;
+                None)
+            transformed)
+        machines
+    in
+    (cells, List.rev !poisons)
 
-let run_all ?unroll_factor ?(progress = fun _ -> ())
-    (machines : Machine.t list) (levels : Level.t list) (subjects : subject list) :
-    cell list =
-  List.concat_map
-    (fun s ->
-      progress s.sname;
-      run_subject ?unroll_factor machines levels s)
-    subjects
+let run_subject ?unroll_factor ?(on_poison = default_on_poison)
+    (machines : Machine.t list) (levels : Level.t list) (s : subject) : cell list =
+  let cells, poisons = run_subject_full ?unroll_factor machines levels s in
+  List.iter on_poison poisons;
+  cells
+
+let run_all ?unroll_factor ?workers ?(progress = fun _ -> ())
+    ?(on_poison = default_on_poison) (machines : Machine.t list)
+    (levels : Level.t list) (subjects : subject list) : cell list =
+  let results =
+    Impact_exec.Pool.map ?workers
+      (fun s ->
+        progress s.sname;
+        run_subject_full ?unroll_factor machines levels s)
+      (Array.of_list subjects)
+  in
+  (* Poison reports after the join, in deterministic subject order. *)
+  Array.iter (fun (_, ps) -> List.iter on_poison ps) results;
+  List.concat_map fst (Array.to_list results)
 
 (* ---- Aggregation ---- *)
 

@@ -22,18 +22,45 @@ type cell = {
   float_regs : int;
 }
 
+type poisoned = { psubject : string; plevel : Level.t; pmachine : string }
+(** A cell whose simulation exhausted its fuel; named so the harness can
+    report it without crashing the run. *)
+
 val total_regs : cell -> int
 
+val base_measurement : ?unroll_factor:int -> subject -> Compile.measurement
+(** The issue-1 Conv base measurement for a subject, cached for the life
+    of the process (keyed by subject name and unroll factor). May raise
+    [Impact_sim.Sim.Timeout]. *)
+
+val clear_base_cache : unit -> unit
+
 val run_subject :
-  ?unroll_factor:int -> Machine.t list -> Level.t list -> subject -> cell list
+  ?unroll_factor:int ->
+  ?on_poison:(poisoned -> unit) ->
+  Machine.t list ->
+  Level.t list ->
+  subject ->
+  cell list
+(** Evaluate one subject. The machine-independent transform prefix is
+    computed once per level and shared across machines; cells that time
+    out are reported through [on_poison] (default: a stderr warning)
+    and omitted from the result. *)
 
 val run_all :
   ?unroll_factor:int ->
+  ?workers:int ->
   ?progress:(string -> unit) ->
+  ?on_poison:(poisoned -> unit) ->
   Machine.t list ->
   Level.t list ->
   subject list ->
   cell list
+(** Evaluate the full matrix on the domain pool, one task per subject
+    ([workers] defaults to [Impact_exec.Pool.resolve_workers ()]). The
+    returned cell list is deterministic and identical for any worker
+    count; [progress] runs on worker domains, poison reports are
+    delivered after the join in subject order. *)
 
 val filter_cells :
   ?group:string -> ?level:Level.t -> ?machine:Machine.t -> cell list -> cell list

@@ -1,0 +1,21 @@
+(** Domain-based work pool for the evaluation harness.
+
+    [map f xs] applies [f] to every element of [xs] on a fixed set of
+    worker domains and returns the results in input order — the output
+    is deterministic and identical to [Array.map f xs] for any worker
+    count, provided [f] itself is deterministic and the tasks do not
+    share mutable state. Exceptions raised by a task are re-raised in
+    the caller (first failing index wins). *)
+
+val set_default_workers : int -> unit
+(** Override the default worker count for subsequent [map] calls
+    ([0] restores auto-detection). *)
+
+val resolve_workers : unit -> int
+(** The worker count [map] will use when [?workers] is omitted: the
+    [set_default_workers] override if set, else [IMPACT_JOBS] from the
+    environment, else [Domain.recommended_domain_count ()]. *)
+
+val map : ?workers:int -> ('a -> 'b) -> 'a array -> 'b array
+
+val map_list : ?workers:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -1,0 +1,31 @@
+(* Named wall-clock accumulators for the per-stage timings reported by
+   `bench json`. Stages run concurrently on worker domains, so a stage
+   total is cumulative busy time across workers (it can exceed elapsed
+   wall time on a multi-core run); the table is guarded by a mutex. *)
+
+let m = Mutex.create ()
+
+let table : (string, float) Hashtbl.t = Hashtbl.create 16
+
+let now () = Unix.gettimeofday ()
+
+let record name seconds =
+  Mutex.lock m;
+  let prev = Option.value ~default:0.0 (Hashtbl.find_opt table name) in
+  Hashtbl.replace table name (prev +. seconds);
+  Mutex.unlock m
+
+let time name f =
+  let t0 = now () in
+  Fun.protect ~finally:(fun () -> record name (now () -. t0)) f
+
+let snapshot () =
+  Mutex.lock m;
+  let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] in
+  Mutex.unlock m;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) entries
+
+let reset () =
+  Mutex.lock m;
+  Hashtbl.reset table;
+  Mutex.unlock m

@@ -1,0 +1,18 @@
+(** Named wall-clock accumulators for per-stage timing reports. Totals
+    are cumulative across worker domains, so a stage can exceed elapsed
+    wall time on a parallel run. *)
+
+val now : unit -> float
+(** Wall-clock seconds (epoch). *)
+
+val record : string -> float -> unit
+(** Add [seconds] to the named stage. *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** Run the thunk, attributing its wall time to the named stage (also
+    on exception). *)
+
+val snapshot : unit -> (string * float) list
+(** Accumulated (stage, seconds), sorted by stage name. *)
+
+val reset : unit -> unit

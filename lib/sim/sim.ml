@@ -8,7 +8,19 @@
 
    The simulator is also the semantic reference: it executes the program
    functionally, so transformed programs can be checked against their
-   baselines for identical observable behaviour. *)
+   baselines for identical observable behaviour.
+
+   Two execution paths share the machine model:
+
+   - [run_ref] walks the structured [Insn.t] stream directly, matching
+     operands on every dynamic instruction. It supports the [trace]
+     hook and serves as the reference implementation.
+   - [run] (without [trace]) first decodes each static instruction into
+     a flat execution record — operand kinds resolved to register
+     indices or immediate values, array labels resolved to base
+     addresses, branch targets to code indices, the latency attached —
+     so the per-dynamic-instruction path performs no list lookups,
+     no operand matching, no closure dispatch and no trace checks. *)
 
 open Impact_ir
 
@@ -78,7 +90,36 @@ let build_mem (p : Prog.t) : mem =
   in
   { mem_i; mem_f; valid; is_float; bases }
 
-let run ?(fuel = 400_000_000) ?trace (machine : Machine.t) (p : Prog.t) : result =
+(* Observables after execution, shared by both paths. *)
+let collect (p : Prog.t) (mem : mem) ivals fvals : (string * value) list * (string * float array) list =
+  let outputs =
+    List.map
+      (fun (name, r) ->
+        ( name,
+          match r.Reg.cls with
+          | Reg.Int -> VI ivals.(r.Reg.id)
+          | Reg.Float -> VF fvals.(r.Reg.id) ))
+      p.Prog.outputs
+  in
+  let arrays_out =
+    List.map
+      (fun (a : Prog.adecl) ->
+        let base = List.assoc a.Prog.aname mem.bases / word in
+        let contents =
+          Array.init a.Prog.asize (fun k ->
+            if mem.is_float.(base + k) then mem.mem_f.(base + k)
+            else float_of_int mem.mem_i.(base + k))
+        in
+        (a.Prog.aname, contents))
+      p.Prog.arrays
+  in
+  (outputs, arrays_out)
+
+let default_fuel = 400_000_000
+
+(* ---- Reference interpreter (also the traced path) ---- *)
+
+let run_ref ?(fuel = default_fuel) ?trace (machine : Machine.t) (p : Prog.t) : result =
   let flat = Flatten.of_prog p in
   let code = flat.Flatten.code in
   let ncode = Array.length code in
@@ -282,27 +323,279 @@ let run ?(fuel = 400_000_000) ?trace (machine : Machine.t) (p : Prog.t) : result
     incr cycle;
     if !pc >= ncode then running := false
   done;
-  let outputs =
-    List.map
-      (fun (name, r) ->
-        ( name,
-          match r.Reg.cls with
-          | Reg.Int -> VI ivals.(r.Reg.id)
-          | Reg.Float -> VF fvals.(r.Reg.id) ))
-      p.Prog.outputs
-  in
-  let arrays_out =
-    List.map
-      (fun (a : Prog.adecl) ->
-        let base = List.assoc a.Prog.aname mem.bases / word in
-        let contents =
-          Array.init a.Prog.asize (fun k ->
-            if mem.is_float.(base + k) then mem.mem_f.(base + k)
-            else float_of_int mem.mem_i.(base + k))
-        in
-        (a.Prog.aname, contents))
-      p.Prog.arrays
-  in
+  let outputs, arrays_out = collect p mem ivals fvals in
   (* Execution ends when the last in-flight result writes back, not at
      the last issue. *)
   { cycles = max !cycle !last_writeback; dyn_insns = !dyn; outputs; arrays_out }
+
+(* ---- Pre-decoded fast path ---- *)
+
+(* One static instruction, decoded. Source slot [k] reads register
+   [dsrc_reg.(k)] when that is >= 0 (an index into the int or float
+   register file, as the opcode's slot context dictates), else the
+   immediate in [dsrc_imm_i]/[dsrc_imm_f] (labels already resolved to
+   base addresses). [drdy_i]/[drdy_f] list the register indices the
+   interlock must check. *)
+type dinsn = {
+  dop : Insn.op;
+  ddst : int;  (* destination register index; -1 when none *)
+  dlat : int;
+  dtarget : int;  (* branch target code index; -1 when not a branch *)
+  dsrc_reg : int array;
+  dsrc_imm_i : int array;
+  dsrc_imm_f : float array;
+  drdy_i : int array;
+  drdy_f : int array;
+  dbr : bool;
+}
+
+(* Slot contexts implied by an opcode, mirroring the reference
+   interpreter's [int_of_operand]/[flt_of_operand] choices. *)
+let decode (mem : mem) (flat : Flatten.t) : dinsn array =
+  let code = flat.Flatten.code in
+  let base_of lab =
+    match List.assoc_opt lab mem.bases with
+    | Some b -> b
+    | None -> errf "unknown array label %s" lab
+  in
+  let decode_one (i : Insn.t) : dinsn =
+    let n = Array.length i.Insn.srcs in
+    let dsrc_reg = Array.make n (-1) in
+    let dsrc_imm_i = Array.make n 0 in
+    let dsrc_imm_f = Array.make n 0.0 in
+    let rdy_i = ref [] in
+    let rdy_f = ref [] in
+    let int_slot k =
+      match i.Insn.srcs.(k) with
+      | Operand.Reg r ->
+        if r.Reg.cls <> Reg.Int then
+          errf "float register %s in int context" (Reg.to_string r);
+        dsrc_reg.(k) <- r.Reg.id;
+        rdy_i := r.Reg.id :: !rdy_i
+      | Operand.Int v -> dsrc_imm_i.(k) <- v
+      | Operand.Lab s -> dsrc_imm_i.(k) <- base_of s
+      | Operand.Flt _ -> errf "float immediate in int context"
+    in
+    let flt_slot k =
+      match i.Insn.srcs.(k) with
+      | Operand.Reg r ->
+        if r.Reg.cls <> Reg.Float then
+          errf "int register %s in float context" (Reg.to_string r);
+        dsrc_reg.(k) <- r.Reg.id;
+        rdy_f := r.Reg.id :: !rdy_f
+      | Operand.Flt x -> dsrc_imm_f.(k) <- x
+      | Operand.Int v -> dsrc_imm_f.(k) <- float_of_int v
+      | Operand.Lab _ -> errf "label in float context"
+    in
+    let cls_slot cls k = match cls with Reg.Int -> int_slot k | Reg.Float -> flt_slot k in
+    (match i.Insn.op with
+    | Insn.IBin _ ->
+      int_slot 0;
+      int_slot 1
+    | Insn.FBin _ ->
+      flt_slot 0;
+      flt_slot 1
+    | Insn.IMov | Insn.ItoF -> int_slot 0
+    | Insn.FMov | Insn.FtoI -> flt_slot 0
+    | Insn.Load _ ->
+      int_slot 0;
+      int_slot 1;
+      int_slot 2
+    | Insn.Store cls ->
+      int_slot 0;
+      int_slot 1;
+      int_slot 2;
+      cls_slot cls 3
+    | Insn.Br (cls, _) ->
+      cls_slot cls 0;
+      cls_slot cls 1
+    | Insn.Jmp -> ());
+    let ddst =
+      match i.Insn.dst, Insn.result_cls i with
+      | Some r, Some cls ->
+        if r.Reg.cls <> cls then errf "class mismatch writing %s" (Reg.to_string r);
+        r.Reg.id
+      | Some _, None -> -1
+      | None, Some _ -> errf "instruction %d lacks destination" i.Insn.id
+      | None, None -> -1
+    in
+    {
+      dop = i.Insn.op;
+      ddst;
+      dlat = Machine.latency i.Insn.op;
+      dtarget = (if Insn.is_branch i then Flatten.target_index flat i else -1);
+      dsrc_reg;
+      dsrc_imm_i;
+      dsrc_imm_f;
+      drdy_i = Array.of_list (List.rev !rdy_i);
+      drdy_f = Array.of_list (List.rev !rdy_f);
+      dbr = Insn.is_branch i;
+    }
+  in
+  Array.map decode_one code
+
+let run_fast ?(fuel = default_fuel) (machine : Machine.t) (p : Prog.t) : result =
+  let flat = Flatten.of_prog p in
+  let ncode = Array.length flat.Flatten.code in
+  let nregs = Reg.gen_count p.Prog.ctx.Prog.rgen + 1 in
+  let ivals = Array.make nregs 0 in
+  let fvals = Array.make nregs 0.0 in
+  let iready = Array.make nregs 0 in
+  let fready = Array.make nregs 0 in
+  let mem = build_mem p in
+  let dcode = decode mem flat in
+  let mem_i = mem.mem_i in
+  let mem_f = mem.mem_f in
+  let mem_valid = mem.valid in
+  let mem_isf = mem.is_float in
+  let nmem = Array.length mem_valid in
+  let issue_width = machine.Machine.issue in
+  let branch_slots = machine.Machine.branch_slots in
+  (* Source slot k in int / float context. *)
+  let gi d k =
+    let r = d.dsrc_reg.(k) in
+    if r >= 0 then ivals.(r) else d.dsrc_imm_i.(k)
+  [@@inline]
+  in
+  let gf d k =
+    let r = d.dsrc_reg.(k) in
+    if r >= 0 then fvals.(r) else d.dsrc_imm_f.(k)
+  [@@inline]
+  in
+  let cell_of_addr addr what =
+    if addr mod word <> 0 then errf "%s: misaligned address %d" what addr;
+    let c = addr / word in
+    if c < 0 || c >= nmem || not mem_valid.(c) then
+      errf "%s: address %d out of bounds" what addr;
+    c
+  [@@inline]
+  in
+  let pc = ref 0 in
+  let cycle = ref 0 in
+  let dyn = ref 0 in
+  let last_writeback = ref 0 in
+  let running = ref true in
+  while !running && !pc < ncode do
+    if !cycle > fuel then raise Timeout;
+    let cyc = !cycle in
+    let issued = ref 0 in
+    let branches = ref 0 in
+    let stall = ref false in
+    while (not !stall) && !issued < issue_width && !pc < ncode do
+      let d = dcode.(!pc) in
+      (* Interlock: all register sources ready, and a branch slot free
+         for branches. *)
+      let ready =
+        (let ok = ref true in
+         let ri = d.drdy_i in
+         for s = 0 to Array.length ri - 1 do
+           if iready.(ri.(s)) > cyc then ok := false
+         done;
+         let rf = d.drdy_f in
+         for s = 0 to Array.length rf - 1 do
+           if fready.(rf.(s)) > cyc then ok := false
+         done;
+         !ok)
+        && ((not d.dbr) || !branches < branch_slots)
+      in
+      if not ready then stall := true
+      else begin
+        incr dyn;
+        incr issued;
+        let lat = d.dlat in
+        if cyc + lat > !last_writeback then last_writeback := cyc + lat;
+        (match d.dop with
+        | Insn.IBin op ->
+          let a = gi d 0 in
+          let b = gi d 1 in
+          let v =
+            match op with
+            | Insn.Add -> a + b
+            | Insn.Sub -> a - b
+            | Insn.Mul -> a * b
+            | Insn.Div -> if b = 0 then errf "division by zero" else a / b
+            | Insn.Rem -> if b = 0 then errf "remainder by zero" else a mod b
+            | Insn.Shl -> a lsl b
+            | Insn.Shr -> a asr b
+            | Insn.And -> a land b
+            | Insn.Or -> a lor b
+            | Insn.Xor -> a lxor b
+          in
+          ivals.(d.ddst) <- v;
+          iready.(d.ddst) <- cyc + lat
+        | Insn.FBin op ->
+          let a = gf d 0 in
+          let b = gf d 1 in
+          let v =
+            match op with
+            | Insn.Fadd -> a +. b
+            | Insn.Fsub -> a -. b
+            | Insn.Fmul -> a *. b
+            | Insn.Fdiv -> a /. b
+          in
+          fvals.(d.ddst) <- v;
+          fready.(d.ddst) <- cyc + lat
+        | Insn.IMov ->
+          ivals.(d.ddst) <- gi d 0;
+          iready.(d.ddst) <- cyc + lat
+        | Insn.FMov ->
+          fvals.(d.ddst) <- gf d 0;
+          fready.(d.ddst) <- cyc + lat
+        | Insn.ItoF ->
+          fvals.(d.ddst) <- float_of_int (gi d 0);
+          fready.(d.ddst) <- cyc + lat
+        | Insn.FtoI ->
+          ivals.(d.ddst) <- int_of_float (Float.trunc (gf d 0));
+          iready.(d.ddst) <- cyc + lat
+        | Insn.Load cls ->
+          let addr = gi d 0 + gi d 1 + gi d 2 in
+          let c = cell_of_addr addr "load" in
+          (match cls with
+          | Reg.Int ->
+            if mem_isf.(c) then errf "int load from float cell %d" addr;
+            ivals.(d.ddst) <- mem_i.(c);
+            iready.(d.ddst) <- cyc + lat
+          | Reg.Float ->
+            if not mem_isf.(c) then errf "float load from int cell %d" addr;
+            fvals.(d.ddst) <- mem_f.(c);
+            fready.(d.ddst) <- cyc + lat)
+        | Insn.Store cls ->
+          let addr = gi d 0 + gi d 1 + gi d 2 in
+          let c = cell_of_addr addr "store" in
+          (match cls with
+          | Reg.Int ->
+            if mem_isf.(c) then errf "int store to float cell %d" addr;
+            mem_i.(c) <- gi d 3
+          | Reg.Float ->
+            if not mem_isf.(c) then errf "float store to int cell %d" addr;
+            mem_f.(c) <- gf d 3)
+        | Insn.Br (cls, c) ->
+          incr branches;
+          let taken =
+            match cls with
+            | Reg.Int -> Insn.eval_icmp c (gi d 0) (gi d 1)
+            | Reg.Float -> Insn.eval_fcmp c (gf d 0) (gf d 1)
+          in
+          if taken then begin
+            pc := d.dtarget;
+            (* Redirected fetch begins next cycle. *)
+            stall := true
+          end
+        | Insn.Jmp ->
+          incr branches;
+          pc := d.dtarget;
+          stall := true);
+        if not d.dbr then incr pc
+        else if not !stall then incr pc (* untaken conditional: fall through *)
+      end
+    done;
+    incr cycle;
+    if !pc >= ncode then running := false
+  done;
+  let outputs, arrays_out = collect p mem ivals fvals in
+  { cycles = max !cycle !last_writeback; dyn_insns = !dyn; outputs; arrays_out }
+
+let run ?fuel ?trace (machine : Machine.t) (p : Prog.t) : result =
+  match trace with
+  | Some _ -> run_ref ?fuel ?trace machine p
+  | None -> run_fast ?fuel machine p

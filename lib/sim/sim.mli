@@ -36,4 +36,17 @@ val run :
   result
 (** [run machine prog] executes [prog] to completion. [trace] is called
     at every instruction issue with the issue cycle — used by tests to
-    validate schedules and by the issue-profile checks. *)
+    validate schedules and by the issue-profile checks. Without [trace]
+    the program is first pre-decoded into flat execution records so the
+    per-dynamic-instruction path does no operand matching, list lookups
+    or trace checks; with [trace] the reference interpreter runs. *)
+
+val run_ref :
+  ?fuel:int ->
+  ?trace:(Impact_ir.Insn.t -> cycle:int -> unit) ->
+  Impact_ir.Machine.t ->
+  Impact_ir.Prog.t ->
+  result
+(** The reference interpreter (always un-decoded); [run] must agree with
+    it on [cycles], [dyn_insns] and all observables. Used by the
+    conformance tests. *)

@@ -1,0 +1,261 @@
+(* Tests for the execution engine (lib/exec) and the cached/parallel
+   evaluation pipeline built on it:
+
+   - Pool: deterministic ordering at any worker count, exception
+     propagation, nested use from within tasks.
+   - Compile.transform / schedule_and_measure: splitting the pipeline
+     at the machine boundary and sharing the transformed program across
+     machines yields exactly the measurements of the monolithic
+     [Compile.measure], level by level.
+   - Experiment.run_all: worker count 1 vs N produce identical cell
+     lists; the base-measurement cache returns the same value as an
+     uncached measurement.
+   - Sim.run (pre-decoded) conforms to Sim.run_ref (reference
+     interpreter) on cycles, dyn_insns and all observables for every
+     suite kernel. *)
+
+open Impact_ir
+open Impact_core
+module Pool = Impact_exec.Pool
+
+(* ---- Pool ---- *)
+
+let test_pool_ordering () =
+  let xs = Array.init 100 (fun k -> k) in
+  List.iter
+    (fun workers ->
+      let ys = Pool.map ~workers (fun k -> k * k) xs in
+      Helpers.check_bool
+        (Printf.sprintf "map ordering, %d workers" workers)
+        true
+        (ys = Array.map (fun k -> k * k) xs))
+    [ 1; 2; 4; 7 ]
+
+let test_pool_empty_and_singleton () =
+  Helpers.check_bool "empty" true (Pool.map ~workers:4 succ [||] = [||]);
+  Helpers.check_bool "singleton" true (Pool.map ~workers:4 succ [| 41 |] = [| 42 |]);
+  Helpers.check_bool "map_list" true
+    (Pool.map_list ~workers:3 succ [ 1; 2; 3 ] = [ 2; 3; 4 ])
+
+exception Boom of int
+
+let test_pool_exception () =
+  let raised =
+    try
+      ignore
+        (Pool.map ~workers:4
+           (fun k -> if k mod 3 = 0 then raise (Boom k) else k)
+           (Array.init 20 (fun k -> k + 1)));
+      None
+    with Boom k -> Some k
+  in
+  (* First failing index wins: element 3 is the first multiple of 3. *)
+  Helpers.check_int "first failure propagated" 3 (Option.get raised)
+
+let test_pool_env_and_default () =
+  Pool.set_default_workers 3;
+  Helpers.check_int "override respected" 3 (Pool.resolve_workers ());
+  Pool.set_default_workers 0;
+  Helpers.check_bool "auto-detect positive" true (Pool.resolve_workers () >= 1)
+
+(* ---- Split pipeline vs monolithic compile ---- *)
+
+let machines = [ Machine.issue_2; Machine.issue_4; Machine.issue_8 ]
+
+let same_measurement name (a : Compile.measurement) (b : Compile.measurement) =
+  Helpers.check_int (name ^ ": cycles") a.Compile.cycles b.Compile.cycles;
+  Helpers.check_int (name ^ ": dyn_insns") a.Compile.dyn_insns b.Compile.dyn_insns;
+  Helpers.check_int (name ^ ": int regs")
+    a.Compile.usage.Impact_regalloc.Regalloc.int_used
+    b.Compile.usage.Impact_regalloc.Regalloc.int_used;
+  Helpers.check_int (name ^ ": float regs")
+    a.Compile.usage.Impact_regalloc.Regalloc.float_used
+    b.Compile.usage.Impact_regalloc.Regalloc.float_used;
+  Helpers.same_observables name a.Compile.result b.Compile.result
+
+(* Sharing one [transform] across machines must equal a fresh
+   [Compile.measure] per (level, machine) cell. *)
+let test_transform_cache_equiv () =
+  List.iter
+    (fun wname ->
+      let ast =
+        (Option.get (Impact_workloads.Suite.find wname)).Impact_workloads.Suite.ast
+      in
+      List.iter
+        (fun level ->
+          let shared = Compile.transform level (Helpers.lower ast) in
+          List.iter
+            (fun machine ->
+              let cached = Compile.schedule_and_measure level machine shared in
+              let fresh = Compile.measure level machine (Helpers.lower ast) in
+              same_measurement
+                (Printf.sprintf "%s/%s/%s" wname (Level.to_string level)
+                   machine.Machine.name)
+                cached fresh)
+            machines)
+        Level.all)
+    [ "dotprod"; "maxval"; "SDS-1" ]
+
+let subjects_subset () =
+  List.filter
+    (fun (s : Experiment.subject) ->
+      List.mem s.Experiment.sname [ "add"; "dotprod"; "maxval"; "merge"; "sum"; "SDS-1"; "WSS-2" ])
+    (List.map
+       (fun (w : Impact_workloads.Suite.t) ->
+         {
+           Experiment.sname = w.Impact_workloads.Suite.name;
+           group = Impact_workloads.Suite.ltype_to_string w.Impact_workloads.Suite.ltype;
+           ast = w.Impact_workloads.Suite.ast;
+         })
+       Impact_workloads.Suite.all)
+
+let cell_key (c : Experiment.cell) =
+  ( c.Experiment.subject.Experiment.sname,
+    Level.to_string c.Experiment.level,
+    c.Experiment.machine.Machine.name,
+    c.Experiment.cycles,
+    c.Experiment.dyn_insns,
+    c.Experiment.speedup,
+    c.Experiment.int_regs,
+    c.Experiment.float_regs )
+
+(* run_all must be invariant in the worker count. *)
+let test_run_all_workers_invariant () =
+  let subjects = subjects_subset () in
+  Experiment.clear_base_cache ();
+  let seq = Experiment.run_all ~workers:1 machines Level.all subjects in
+  Experiment.clear_base_cache ();
+  let par = Experiment.run_all ~workers:4 machines Level.all subjects in
+  Helpers.check_int "cell count" (List.length seq) (List.length par);
+  List.iter2
+    (fun a b ->
+      Helpers.check_bool
+        (Printf.sprintf "cell %s/%s/%s identical"
+           a.Experiment.subject.Experiment.sname
+           (Level.to_string a.Experiment.level)
+           a.Experiment.machine.Machine.name)
+        true
+        (cell_key a = cell_key b))
+    seq par
+
+(* The per-subject cells must also match a cell-by-cell monolithic
+   evaluation (no sharing at all). *)
+let test_run_subject_vs_monolithic () =
+  let s = List.hd (subjects_subset ()) in
+  let cells = Experiment.run_subject machines Level.all s in
+  let base =
+    Compile.measure Level.Conv Machine.issue_1 (Helpers.lower s.Experiment.ast)
+  in
+  List.iter
+    (fun (c : Experiment.cell) ->
+      let m =
+        Compile.measure c.Experiment.level c.Experiment.machine
+          (Helpers.lower s.Experiment.ast)
+      in
+      let name =
+        Printf.sprintf "%s/%s/%s" s.Experiment.sname
+          (Level.to_string c.Experiment.level) c.Experiment.machine.Machine.name
+      in
+      Helpers.check_int (name ^ ": cycles") m.Compile.cycles c.Experiment.cycles;
+      Helpers.check_int (name ^ ": dyn") m.Compile.dyn_insns c.Experiment.dyn_insns;
+      Helpers.check_bool (name ^ ": speedup") true
+        (Float.equal (Compile.speedup ~base ~this:m) c.Experiment.speedup))
+    cells
+
+let test_base_cache () =
+  Experiment.clear_base_cache ();
+  let s = List.hd (subjects_subset ()) in
+  let uncached =
+    Compile.measure Level.Conv Machine.issue_1 (Helpers.lower s.Experiment.ast)
+  in
+  let cached = Experiment.base_measurement s in
+  same_measurement "base cache" uncached cached;
+  (* Second hit must come from the cache and be physically the same. *)
+  Helpers.check_bool "cache hit" true (Experiment.base_measurement s == cached)
+
+(* ---- Pre-decoded simulator vs reference interpreter ---- *)
+
+let same_result name (a : Impact_sim.Sim.result) (b : Impact_sim.Sim.result) =
+  Helpers.check_int (name ^ ": cycles") a.Impact_sim.Sim.cycles b.Impact_sim.Sim.cycles;
+  Helpers.check_int (name ^ ": dyn_insns") a.Impact_sim.Sim.dyn_insns
+    b.Impact_sim.Sim.dyn_insns;
+  (* Exact float equality: both engines execute the same operations in
+     the same order. *)
+  Helpers.same_observables ~tol:0.0 name a b
+
+let test_sim_conformance () =
+  List.iter
+    (fun (w : Impact_workloads.Suite.t) ->
+      List.iter
+        (fun level ->
+          List.iter
+            (fun machine ->
+              let p =
+                Compile.compile level machine
+                  (Helpers.lower w.Impact_workloads.Suite.ast)
+              in
+              let fast = Impact_sim.Sim.run machine p in
+              let ref_ = Impact_sim.Sim.run_ref machine p in
+              same_result
+                (Printf.sprintf "%s/%s/%s" w.Impact_workloads.Suite.name
+                   (Level.to_string level) machine.Machine.name)
+                fast ref_)
+            [ Machine.issue_1; Machine.issue_8 ])
+        [ Level.Conv; Level.Lev4 ])
+    Impact_workloads.Suite.all
+
+(* Decode-time validation must reject the same ill-formed programs as
+   the interpreter, with the same error. *)
+let test_sim_errors_agree () =
+  let b = Helpers.irb () in
+  let f = Helpers.reg b Reg.Float in
+  let d = Helpers.reg b Reg.Int in
+  let mk op ?dst ?srcs () =
+    Insn.make ~id:(Prog.fresh_insn_id b.Helpers.ctx) ~op ?dst ?srcs ()
+  in
+  (* Straight-line program with a class-confused Add (float source). *)
+  let entry =
+    [
+      Block.Ins (mk Insn.FMov ~dst:f ~srcs:[| Operand.flt 1.0 |] ());
+      Block.Ins
+        (mk (Insn.IBin Insn.Add) ~dst:d
+           ~srcs:[| Operand.reg f; Operand.int 1 |] ());
+    ]
+  in
+  let p = Helpers.prog_of b entry in
+  let err f = try ignore (f ()); None with Impact_sim.Sim.Error m -> Some m in
+  let e_fast = err (fun () -> Impact_sim.Sim.run Machine.issue_1 p) in
+  let e_ref = err (fun () -> Impact_sim.Sim.run_ref Machine.issue_1 p) in
+  Helpers.check_bool "both reject" true (e_fast <> None && e_ref <> None);
+  Helpers.check_string "same error" (Option.get e_ref) (Option.get e_fast)
+
+let suite =
+  [
+    ( "exec.pool",
+      [
+        Alcotest.test_case "ordering deterministic across worker counts" `Quick
+          test_pool_ordering;
+        Alcotest.test_case "empty / singleton / list wrapper" `Quick
+          test_pool_empty_and_singleton;
+        Alcotest.test_case "exception propagation (first index wins)" `Quick
+          test_pool_exception;
+        Alcotest.test_case "worker count resolution" `Quick test_pool_env_and_default;
+      ] );
+    ( "exec.cache",
+      [
+        Alcotest.test_case "shared transform == monolithic compile" `Slow
+          test_transform_cache_equiv;
+        Alcotest.test_case "run_all invariant in worker count" `Slow
+          test_run_all_workers_invariant;
+        Alcotest.test_case "run_subject matches per-cell measure" `Slow
+          test_run_subject_vs_monolithic;
+        Alcotest.test_case "base measurement cache" `Quick test_base_cache;
+      ] );
+    ( "exec.sim",
+      [
+        Alcotest.test_case "pre-decoded run == run_ref on suite" `Slow
+          test_sim_conformance;
+        Alcotest.test_case "decode errors match interpreter errors" `Quick
+          test_sim_errors_agree;
+      ] );
+  ]

@@ -19,4 +19,5 @@ let () =
          T_parse.suite;
          T_misc.suite;
          T_edge.suite;
+         T_exec.suite;
        ])
