@@ -1,4 +1,4 @@
-.PHONY: all build test bench smoke check clean
+.PHONY: all build test bench smoke pipe check clean
 
 all: build
 
@@ -12,6 +12,11 @@ test: build
 # and the summary artifact end to end.
 smoke: build
 	IMPACT_JOBS=2 dune exec bench/main.exe -- summary
+
+# Software-pipelining evaluation: per-loop II/MII table and pipelined-vs-
+# list-scheduled kernel cycles across the suite (see EXPERIMENTS.md).
+pipe: build
+	IMPACT_JOBS=2 dune exec bench/main.exe -- pipe
 
 check: build test smoke
 

@@ -225,6 +225,154 @@ let print_ablation () =
 
 let print_csv () = print_string (Report.cells_csv (Lazy.force cells))
 
+(* ---- `pipe`: software pipelining vs list scheduling ---- *)
+
+(* Outputs equal within the suites' float tolerance? *)
+let same_result ?(tol = 1e-6) (a : Impact_sim.Sim.result) (b : Impact_sim.Sim.result) =
+  let close x y =
+    let d = abs_float (x -. y) in
+    d <= tol *. (1.0 +. max (abs_float x) (abs_float y))
+  in
+  List.for_all2
+    (fun (n1, v1) (n2, v2) ->
+      n1 = n2
+      &&
+      match (v1, v2) with
+      | Impact_sim.Sim.VI x, Impact_sim.Sim.VI y -> x = y
+      | Impact_sim.Sim.VF x, Impact_sim.Sim.VF y -> close x y
+      | _ -> false)
+    a.Impact_sim.Sim.outputs b.Impact_sim.Sim.outputs
+  && List.for_all2
+       (fun (n1, x1) (n2, x2) ->
+         n1 = n2 && Array.length x1 = Array.length x2
+         && Array.for_all2 close x1 x2)
+       a.Impact_sim.Sim.arrays_out b.Impact_sim.Sim.arrays_out
+
+type pipe_row = {
+  pm : Machine.t;
+  plist_cycles : int;
+  ppipe_cycles : int;
+  pok : bool;  (* pipelined outputs match the issue-1 Conv baseline *)
+  preports : Impact_pipe.Pipe.report list;
+}
+
+(* Evaluate every subject under both schedulers on the work pool. The
+   result (and hence the printed table) is deterministic and identical
+   for any worker count: one task per subject, joined in input order. *)
+let pipe_eval (mlist : Machine.t list) (ss : Experiment.subject list) :
+    (Experiment.subject * pipe_row list) list =
+  Impact_exec.Pool.map_list
+    (fun (s : Experiment.subject) ->
+      let base = Experiment.base_measurement s in
+      let tp = Compile.transform Level.Conv (Impact_fir.Lower.lower s.Experiment.ast) in
+      let rows =
+        List.map
+          (fun machine ->
+            let lr = Impact_sim.Sim.run machine (Compile.schedule machine tp) in
+            let piped, reports = Impact_pipe.Pipe.run_with_report machine tp in
+            let pr = Impact_sim.Sim.run machine piped in
+            {
+              pm = machine;
+              plist_cycles = lr.Impact_sim.Sim.cycles;
+              ppipe_cycles = pr.Impact_sim.Sim.cycles;
+              pok = same_result base.Compile.result pr;
+              preports = reports;
+            })
+          mlist
+      in
+      (s, rows))
+    ss
+
+type pipe_totals = {
+  tloops : int;  (* innermost loop instances across the matrix *)
+  tpipelined : int;
+  tmismatch : int;  (* subject x machine output mismatches (want 0) *)
+  tratio_sum : float;  (* sum of II / list-cycles-per-iteration *)
+}
+
+let pipe_totals (data : (Experiment.subject * pipe_row list) list) : pipe_totals =
+  List.fold_left
+    (fun acc (_, rows) ->
+      List.fold_left
+        (fun acc row ->
+          let acc =
+            if row.pok then acc else { acc with tmismatch = acc.tmismatch + 1 }
+          in
+          List.fold_left
+            (fun acc (r : Impact_pipe.Pipe.report) ->
+              match r.Impact_pipe.Pipe.status with
+              | Impact_pipe.Pipe.Pipelined i ->
+                {
+                  acc with
+                  tloops = acc.tloops + 1;
+                  tpipelined = acc.tpipelined + 1;
+                  tratio_sum =
+                    acc.tratio_sum
+                    +. (float_of_int i.Impact_pipe.Pipe.ii
+                        /. float_of_int i.Impact_pipe.Pipe.list_ci);
+                }
+              | Impact_pipe.Pipe.Skipped _ -> { acc with tloops = acc.tloops + 1 })
+            acc row.preports)
+        acc rows)
+    { tloops = 0; tpipelined = 0; tmismatch = 0; tratio_sum = 0.0 }
+    data
+
+let print_pipe_table (data : (Experiment.subject * pipe_row list) list) =
+  Printf.printf
+    "Software pipelining (iterative modulo scheduling) vs list scheduling\n";
+  Printf.printf
+    "Conv transform; pipelined outputs checked against the issue-1 Conv baseline\n";
+  Printf.printf "%s\n" (String.make 104 '-');
+  Printf.printf "%-12s %-8s %4s %5s %6s %6s %4s %4s %3s %3s %5s  %s\n" "subject"
+    "machine" "loop" "trip" "ResMII" "RecMII" "MII" "II" "SC" "K" "list" "status";
+  List.iter
+    (fun ((s : Experiment.subject), rows) ->
+      List.iter
+        (fun row ->
+          List.iter
+            (fun (r : Impact_pipe.Pipe.report) ->
+              match r.Impact_pipe.Pipe.status with
+              | Impact_pipe.Pipe.Pipelined i ->
+                Printf.printf
+                  "%-12s %-8s %4d %5d %6d %6d %4d %4d %3d %3d %5d  pipelined\n"
+                  s.Experiment.sname row.pm.Machine.name r.Impact_pipe.Pipe.lid
+                  i.Impact_pipe.Pipe.trip i.Impact_pipe.Pipe.res_mii
+                  i.Impact_pipe.Pipe.rec_mii i.Impact_pipe.Pipe.mii
+                  i.Impact_pipe.Pipe.ii i.Impact_pipe.Pipe.stages
+                  i.Impact_pipe.Pipe.kunroll i.Impact_pipe.Pipe.list_ci
+              | Impact_pipe.Pipe.Skipped { reason; list_ci } ->
+                Printf.printf "%-12s %-8s %4d %5s %6s %6s %4s %4s %3s %3s %5s  %s\n"
+                  s.Experiment.sname row.pm.Machine.name r.Impact_pipe.Pipe.lid "-"
+                  "-" "-" "-" "-" "-" "-"
+                  (match list_ci with Some c -> string_of_int c | None -> "-")
+                  reason)
+            row.preports;
+          Printf.printf "%-12s %-8s kernel: list %d cyc, pipe %d cyc (%.2fx), outputs %s\n"
+            s.Experiment.sname row.pm.Machine.name row.plist_cycles row.ppipe_cycles
+            (float_of_int row.plist_cycles /. float_of_int row.ppipe_cycles)
+            (if row.pok then "ok" else "MISMATCH"))
+        rows)
+    data;
+  let t = pipe_totals data in
+  Printf.printf "%s\n" (String.make 104 '-');
+  Printf.printf
+    "pipelined %d of %d innermost loop instances; avg II/list = %.2f; output mismatches: %d\n"
+    t.tpipelined t.tloops
+    (if t.tpipelined = 0 then nan else t.tratio_sum /. float_of_int t.tpipelined)
+    t.tmismatch
+
+let print_pipe () = print_pipe_table (pipe_eval machines subjects)
+
+(* A small fixed subset for CI: two DOALL, two reductions, one memory
+   recurrence, one unrolled multi-store body. *)
+let smoke_names = [ "add"; "dotprod"; "sum"; "APS-1"; "NAS-1"; "SRS-5" ]
+
+let print_pipe_smoke () =
+  print_pipe_table
+    (pipe_eval
+       [ Machine.issue_4 ]
+       (List.filter (fun s -> List.mem s.Experiment.sname smoke_names) subjects))
+
 (* Extension figure (ours): average speedup per level across issue rates
    1..16, showing the paper's claim that the demand for higher
    transformation levels grows with the issue rate. *)
@@ -319,6 +467,20 @@ let write_json path =
   let cs = Lazy.force cells in
   let total_wall = Impact_exec.Timing.now () -. t0 in
   let stats = summary_stats cs in
+  (* Pipelining pass at issue-8 over the whole suite: records the
+     "pipe" stage timing and the achieved-II summary. *)
+  let pipe_stats =
+    let t = pipe_totals (pipe_eval [ Machine.issue_8 ] subjects) in
+    [
+      ("loops", string_of_int t.tloops);
+      ("pipelined", string_of_int t.tpipelined);
+      ( "avg_ii_over_list",
+        json_num
+          (if t.tpipelined = 0 then nan
+           else t.tratio_sum /. float_of_int t.tpipelined) );
+      ("output_mismatches", string_of_int t.tmismatch);
+    ]
+  in
   let stages =
     ("cells_wall_s", json_num !cells_wall)
     :: List.map
@@ -338,6 +500,7 @@ let write_json path =
         ("speedup_vs_seed", json_num (seed_summary_wall_s /. total_wall));
         ("stages", json_obj stages);
         ("summary", json_obj (List.map (fun (k, v) -> (k, json_num v)) stats));
+        ("pipe", json_obj pipe_stats);
       ]
   in
   let oc = open_out path in
@@ -418,7 +581,7 @@ let run_bechamel () =
 let usage () =
   prerr_string
     "usage: main.exe [-j N] [table1 table2 fig8..fig15 summary ablation csv \
-     issue-sweep overhead bechamel json]\n"
+     issue-sweep overhead pipe pipe-smoke bechamel json]\n"
 
 (* Parse -j/--jobs out of the argument list; returns remaining args.
    Exits 2 on a malformed worker count. *)
@@ -452,7 +615,7 @@ let () =
     [
       "table1"; "table2"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13";
       "fig14"; "fig15"; "summary"; "ablation"; "csv"; "issue-sweep"; "overhead";
-      "bechamel"; "json";
+      "pipe"; "pipe-smoke"; "bechamel"; "json";
     ]
   in
   (match List.find_opt (fun a -> not (List.mem a known)) args with
@@ -479,6 +642,8 @@ let () =
       | "csv" -> print_csv ()
       | "issue-sweep" -> print_issue_sweep ()
       | "overhead" -> print_overhead ()
+      | "pipe" -> print_pipe ()
+      | "pipe-smoke" -> print_pipe_smoke ()
       | "bechamel" -> run_bechamel ()
       | "json" -> write_json "BENCH_eval.json"
       | _ -> assert false);

@@ -52,7 +52,26 @@ let unroll_arg =
     & opt (some int) None
     & info [ "unroll" ] ~docv:"N" ~doc:"Override the unroll factor (default 8).")
 
+let sched_arg =
+  Arg.(
+    value
+    & opt (enum [ ("list", `List); ("pipe", `Pipe) ]) `List
+    & info [ "sched" ] ~docv:"SCHED"
+        ~doc:
+          "Scheduler: $(b,list) (default) is plain list scheduling; $(b,pipe) \
+           software-pipelines every eligible innermost loop by iterative modulo \
+           scheduling (II bounded below by max(ResMII, RecMII), modulo variable \
+           expansion, prologue/kernel/epilogue code generation) and \
+           list-schedules everything else.")
+
 let machine_of_issue issue = Machine.make ~issue ()
+
+(* Per-loop pipelining reports, printed as `;` comment lines ahead of the
+   generated code. *)
+let print_pipe_reports reports =
+  List.iter
+    (fun r -> Printf.printf "; %s\n" (Impact_pipe.Pipe.report_to_string r))
+    reports
 
 (* -- list -- *)
 
@@ -75,36 +94,48 @@ let list_cmd =
 (* -- show -- *)
 
 let show_cmd =
-  let run name level issue unroll scheduled =
+  let run name level issue unroll scheduled sched =
     let w = find_workload name in
     let p = Impact_fir.Lower.lower w.Impact_workloads.Suite.ast in
     let p = Level.apply ?unroll_factor:unroll level p in
-    let p =
-      if scheduled then
-        Impact_sched.List_sched.run (machine_of_issue issue)
-          (Impact_sched.Superblock.run p)
-      else p
-    in
-    print_string (Pp.prog_to_string p)
+    (* --sched pipe implies scheduling: the pipelined structure only
+       exists after the scheduler has run. *)
+    if scheduled || sched = `Pipe then begin
+      let sb = Impact_sched.Superblock.run p in
+      match sched with
+      | `List ->
+        print_string
+          (Pp.prog_to_string (Impact_sched.List_sched.run (machine_of_issue issue) sb))
+      | `Pipe ->
+        let piped, reports =
+          Impact_pipe.Pipe.run_with_report (machine_of_issue issue) sb
+        in
+        print_pipe_reports reports;
+        print_string (Pp.prog_to_string piped)
+    end
+    else print_string (Pp.prog_to_string p)
   in
   let scheduled_arg =
     Arg.(value & flag & info [ "scheduled" ] ~doc:"Apply superblock formation and scheduling.")
   in
   Cmd.v
     (Cmd.info "show" ~doc:"Print the generated code of a loop nest at a level")
-    Term.(const run $ loop_arg $ level_arg $ issue_arg $ unroll_arg $ scheduled_arg)
+    Term.(
+      const run $ loop_arg $ level_arg $ issue_arg $ unroll_arg $ scheduled_arg
+      $ sched_arg)
 
 (* -- run -- *)
 
 let run_cmd =
-  let run name level issue unroll =
+  let run name level issue unroll sched =
     let w = find_workload name in
     let lower () = Impact_fir.Lower.lower w.Impact_workloads.Suite.ast in
     let machine = machine_of_issue issue in
     let base = Compile.measure Level.Conv Machine.issue_1 (lower ()) in
-    let m = Compile.measure ?unroll_factor:unroll level machine (lower ()) in
-    Printf.printf "loop %s at %s on %s\n" name (Level.to_string level)
-      machine.Machine.name;
+    let m = Compile.measure ?unroll_factor:unroll ~sched level machine (lower ()) in
+    Printf.printf "loop %s at %s on %s%s\n" name (Level.to_string level)
+      machine.Machine.name
+      (match sched with `Pipe -> " (software pipelined)" | `List -> "");
     Printf.printf "  cycles        %d (base issue-1 Conv: %d)\n" m.Compile.cycles
       base.Compile.cycles;
     Printf.printf "  dyn insns     %d\n" m.Compile.dyn_insns;
@@ -118,12 +149,12 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile, simulate and report one loop nest")
-    Term.(const run $ loop_arg $ level_arg $ issue_arg $ unroll_arg)
+    Term.(const run $ loop_arg $ level_arg $ issue_arg $ unroll_arg $ sched_arg)
 
 (* -- sweep -- *)
 
 let sweep_cmd =
-  let run name unroll =
+  let run name unroll sched =
     let w = find_workload name in
     let lower () = Impact_fir.Lower.lower w.Impact_workloads.Suite.ast in
     let base = Compile.measure Level.Conv Machine.issue_1 (lower ()) in
@@ -132,7 +163,9 @@ let sweep_cmd =
       (fun machine ->
         List.iter
           (fun level ->
-            let m = Compile.measure ?unroll_factor:unroll level machine (lower ()) in
+            let m =
+              Compile.measure ?unroll_factor:unroll ~sched level machine (lower ())
+            in
             Printf.printf "%-6s %-9s %10d %8.2f %6d\n" (Level.to_string level)
               machine.Machine.name m.Compile.cycles
               (Compile.speedup ~base ~this:m)
@@ -142,7 +175,7 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Run one loop nest across all levels and machines")
-    Term.(const run $ loop_arg $ unroll_arg)
+    Term.(const run $ loop_arg $ unroll_arg $ sched_arg)
 
 (* -- run-file / show-file -- *)
 
@@ -160,14 +193,17 @@ let load_file path =
     exit 1
 
 let run_file_cmd =
-  let run path level issue unroll =
+  let run path level issue unroll sched =
     let ast = load_file path in
     let machine = machine_of_issue issue in
     let base = Compile.measure Level.Conv Machine.issue_1 (Impact_fir.Lower.lower ast) in
     let m =
-      Compile.measure ?unroll_factor:unroll level machine (Impact_fir.Lower.lower ast)
+      Compile.measure ?unroll_factor:unroll ~sched level machine
+        (Impact_fir.Lower.lower ast)
     in
-    Printf.printf "%s at %s on %s\n" path (Level.to_string level) machine.Machine.name;
+    Printf.printf "%s at %s on %s%s\n" path (Level.to_string level)
+      machine.Machine.name
+      (match sched with `Pipe -> " (software pipelined)" | `List -> "");
     Printf.printf "  cycles        %d (base issue-1 Conv: %d)\n" m.Compile.cycles
       base.Compile.cycles;
     Printf.printf "  speedup       %.2f\n" (Compile.speedup ~base ~this:m);
@@ -180,17 +216,25 @@ let run_file_cmd =
   in
   Cmd.v
     (Cmd.info "run-file" ~doc:"Compile and run a mini-Fortran source file")
-    Term.(const run $ file_arg $ level_arg $ issue_arg $ unroll_arg)
+    Term.(const run $ file_arg $ level_arg $ issue_arg $ unroll_arg $ sched_arg)
 
 let show_file_cmd =
-  let run path level unroll =
+  let run path level issue unroll sched =
     let ast = load_file path in
     let p = Level.apply ?unroll_factor:unroll level (Impact_fir.Lower.lower ast) in
-    print_string (Pp.prog_to_string p)
+    match sched with
+    | `List -> print_string (Pp.prog_to_string p)
+    | `Pipe ->
+      let piped, reports =
+        Impact_pipe.Pipe.run_with_report (machine_of_issue issue)
+          (Impact_sched.Superblock.run p)
+      in
+      print_pipe_reports reports;
+      print_string (Pp.prog_to_string piped)
   in
   Cmd.v
     (Cmd.info "show-file" ~doc:"Print a source file's generated code at a level")
-    Term.(const run $ file_arg $ level_arg $ unroll_arg)
+    Term.(const run $ file_arg $ level_arg $ issue_arg $ unroll_arg $ sched_arg)
 
 let () =
   let doc = "IMPACT-style ILP transformation compiler (SC'92 reproduction)" in

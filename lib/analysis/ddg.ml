@@ -226,3 +226,179 @@ let heights (t : t) : int array =
 (* Length of the critical path through the segment (max height). *)
 let critical_path (t : t) : int =
   Array.fold_left max 0 (heights t)
+
+(* ---- Loop-carried dependences and recurrence circuits ----
+
+   A carried edge relates an instruction of iteration [j] to one of
+   iteration [j + dist]. Register dependences always have distance 1
+   (the reaching definition of a carried use is in the previous
+   iteration); memory dependences get their distance from the linear
+   address analysis when both addresses advance by the same per-
+   iteration step, and fall back to a conservative distance-1 pair of
+   edges otherwise. *)
+
+type cedge = { cesrc : int; cedst : int; ckind : kind; clat : int; cdist : int }
+
+let carried ?(pre_env = Reg.Map.empty) (t : t) : cedge list =
+  let sb = t.sb in
+  let lv = Linval.analyze sb in
+  let out = ref [] in
+  let add cesrc cedst ckind clat cdist =
+    out := { cesrc; cedst; ckind; clat; cdist } :: !out
+  in
+  (* Per-register definition and use positions, in program order. *)
+  let defs : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  let uses : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  let push tbl (r : Reg.t) p =
+    Hashtbl.replace tbl r.Reg.id (p :: Option.value ~default:[] (Hashtbl.find_opt tbl r.Reg.id))
+  in
+  Sb.iter_insns
+    (fun p i ->
+      List.iter (fun r -> push uses r p) (Insn.uses i);
+      List.iter (fun r -> push defs r p) (Insn.defs i))
+    sb;
+  Hashtbl.iter
+    (fun rid def_ps ->
+      let def_ps = List.rev def_ps in
+      let first_def = List.hd def_ps in
+      let last_def = List.hd (List.rev def_ps) in
+      let lat =
+        match Sb.insn sb last_def with
+        | Some i -> Machine.latency i.Insn.op
+        | None -> 1
+      in
+      let use_ps = List.rev (Option.value ~default:[] (Hashtbl.find_opt uses rid)) in
+      List.iter
+        (fun u ->
+          (* A use with no earlier definition reads the value carried
+             from the previous iteration's last definition. *)
+          if u <= first_def then add last_def u Flow lat 1;
+          (* A use at or after the last definition is overwritten by the
+             next iteration's first definition. *)
+          if u >= last_def then add u first_def Anti 0 1)
+        use_ps;
+      add last_def first_def Output 0 1)
+    defs;
+  (* Memory: relate every (store, mem) pair across iterations. *)
+  let mems = ref [] in
+  Sb.iter_insns
+    (fun p i -> if Insn.is_mem i then mems := (p, Insn.is_store i, Linval.address lv p) :: !mems)
+    sb;
+  let mems = List.rev !mems in
+  let mem_lat src_is_store = if src_is_store then 1 else 0 in
+  let conservative p pst q qst =
+    add p q Mem (mem_lat pst) 1;
+    if p <> q then add q p Mem (mem_lat qst) 1
+  in
+  let relate (p, pst, pa) (q, qst, qa) =
+    if pst || qst then
+      match pa, qa with
+      | Some x, Some y -> (
+        (* Disjoint array bases never alias at any distance. *)
+        let distinct_bases =
+          match Linval.label_of_addr x, Linval.label_of_addr y with
+          | Some la, Some lb -> la <> lb
+          | _ -> false
+        in
+        if distinct_bases then ()
+        else
+          match Linval.lin_step lv x, Linval.lin_step lv y with
+          | Some sx, Some sy when sx = sy -> (
+            let d = Linval.subst pre_env (Linval.sub x y) in
+            if not (Linval.is_const d) then conservative p pst q qst
+            else
+              let dc = d.Linval.c in
+              let s = sx in
+              if s = 0 then begin
+                (* Addresses invariant: alias every iteration iff equal. *)
+                if dc = 0 then conservative p pst q qst
+              end
+              else if dc <> 0 && dc mod s = 0 then begin
+                (* x(j) = y(j + dc/s): a dependence at that distance. *)
+                let dd = dc / s in
+                if dd >= 1 then add p q Mem (mem_lat pst) dd
+                else add q p Mem (mem_lat qst) (-dd)
+              end
+              (* dc = 0: same iteration only (intra-iteration edge);
+                 non-divisible dc: never equal at any distance. *))
+          | _ -> conservative p pst q qst)
+      | _ -> conservative p pst q qst
+  in
+  let rec pairs = function
+    | [] -> ()
+    | m :: rest ->
+      relate m m;
+      List.iter (fun m' -> relate m m') rest;
+      pairs rest
+  in
+  pairs mems;
+  List.rev !out
+
+(* Enumerate the elementary circuits of the dependence graph extended
+   with carried edges. Only true (flow and memory) dependences
+   participate: a modulo scheduler removes register anti/output edges by
+   renaming, so circuits through them are not recurrences and would
+   inflate RecMII (e.g. the store -> counter-increment anti edge of a
+   DOALL loop). Every circuit must contain at least one carried edge
+   (the intra-iteration true-dependence graph is acyclic), so its
+   distance sum is positive. Enumeration is Tiernan-style (each circuit
+   reported once, rooted at its smallest position) and capped: the cap
+   only loses circuits for pathologically dense graphs, and callers that
+   need an exact bound should fall back to a feasibility search. *)
+let cycles ?(limit = 2000) (t : t) (carried : cedge list) :
+    (int list * int * int) list =
+  let n = Sb.length t.sb in
+  let adj = Array.make n [] in
+  List.iter
+    (fun e ->
+      match e.kind with
+      | Flow | Mem -> adj.(e.esrc) <- (e.edst, e.lat, 0) :: adj.(e.esrc)
+      | Anti | Output | Ctrl -> ())
+    t.edges;
+  List.iter
+    (fun e ->
+      match e.ckind with
+      | Flow | Mem -> adj.(e.cesrc) <- (e.cedst, e.clat, e.cdist) :: adj.(e.cesrc)
+      | Anti | Output | Ctrl -> ())
+    carried;
+  Array.iteri (fun p l -> adj.(p) <- List.rev l) adj;
+  let found = ref [] in
+  let count = ref 0 in
+  let steps = ref 0 in
+  let max_steps = 200_000 in
+  let on_path = Array.make n false in
+  let rec dfs root path lat dist p =
+    if !count < limit && !steps < max_steps then begin
+      incr steps;
+      List.iter
+        (fun (q, l, d) ->
+          if !count < limit then
+            if q = root then begin
+              found := (List.rev path, lat + l, dist + d) :: !found;
+              incr count
+            end
+            else if q > root && not on_path.(q) then begin
+              on_path.(q) <- true;
+              dfs root (q :: path) (lat + l) (dist + d) q;
+              on_path.(q) <- false
+            end)
+        adj.(p)
+    end
+  in
+  List.iter
+    (fun root ->
+      if !count < limit then begin
+        on_path.(root) <- true;
+        dfs root [ root ] 0 0 root;
+        on_path.(root) <- false
+      end)
+    t.nodes;
+  List.rev !found
+
+(* Maximum cycle ratio ceil(latency / distance) over the enumerated
+   recurrence circuits: the classic RecMII lower bound on the initiation
+   interval of a modulo schedule. 1 when there is no recurrence. *)
+let max_cycle_ratio (t : t) (carried : cedge list) : int =
+  List.fold_left
+    (fun acc (_, lat, dist) -> if dist <= 0 then acc else max acc ((lat + dist - 1) / dist))
+    1 (cycles t carried)

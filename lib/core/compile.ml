@@ -24,13 +24,16 @@ let transform ?unroll_factor (level : Level.t) (p : Prog.t) : Prog.t =
     let p = Level.apply ?unroll_factor level p in
     Impact_sched.Superblock.run p)
 
-let schedule (machine : Machine.t) (p : Prog.t) : Prog.t =
-  Impact_exec.Timing.time "schedule" (fun () ->
-    Impact_sched.List_sched.run machine p)
+let schedule ?(sched = `List) (machine : Machine.t) (p : Prog.t) : Prog.t =
+  match sched with
+  | `List ->
+    Impact_exec.Timing.time "schedule" (fun () ->
+      Impact_sched.List_sched.run machine p)
+  | `Pipe -> Impact_pipe.Pipe.run machine p
 
-let schedule_and_measure ?fuel (level : Level.t) (machine : Machine.t)
-    (p : Prog.t) : measurement =
-  let compiled = schedule machine p in
+let schedule_and_measure ?(sched = `List) ?fuel (level : Level.t)
+    (machine : Machine.t) (p : Prog.t) : measurement =
+  let compiled = schedule ~sched machine p in
   let result =
     Impact_exec.Timing.time "simulate" (fun () ->
       Impact_sim.Sim.run ?fuel machine compiled)
@@ -48,13 +51,13 @@ let schedule_and_measure ?fuel (level : Level.t) (machine : Machine.t)
     result;
   }
 
-let compile ?unroll_factor (level : Level.t) (machine : Machine.t) (p : Prog.t) :
-    Prog.t =
-  schedule machine (transform ?unroll_factor level p)
+let compile ?unroll_factor ?sched (level : Level.t) (machine : Machine.t)
+    (p : Prog.t) : Prog.t =
+  schedule ?sched machine (transform ?unroll_factor level p)
 
-let measure ?unroll_factor ?fuel (level : Level.t) (machine : Machine.t)
+let measure ?unroll_factor ?sched ?fuel (level : Level.t) (machine : Machine.t)
     (p : Prog.t) : measurement =
-  schedule_and_measure ?fuel level machine (transform ?unroll_factor level p)
+  schedule_and_measure ?sched ?fuel level machine (transform ?unroll_factor level p)
 
 (* Speedup of a measurement against the paper's base configuration: an
    issue-1 processor with conventional optimizations. *)

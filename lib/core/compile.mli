@@ -18,19 +18,26 @@ val transform : ?unroll_factor:int -> Level.t -> Prog.t -> Prog.t
     plus superblock formation. Cacheable per (program, level,
     unroll_factor) and shareable across machines. *)
 
-val schedule : Machine.t -> Prog.t -> Prog.t
-(** List-schedule a transformed program for the target machine. *)
+val schedule : ?sched:[ `List | `Pipe ] -> Machine.t -> Prog.t -> Prog.t
+(** Schedule a transformed program for the target machine: [`List]
+    (default) is plain list scheduling, [`Pipe] software-pipelines every
+    eligible innermost loop via {!Impact_pipe.Pipe.run} and
+    list-schedules the rest. *)
 
 val schedule_and_measure :
-  ?fuel:int -> Level.t -> Machine.t -> Prog.t -> measurement
+  ?sched:[ `List | `Pipe ] -> ?fuel:int -> Level.t -> Machine.t -> Prog.t ->
+  measurement
 (** Per-machine suffix on a [transform]ed program: schedule, simulate,
     measure register usage. *)
 
-val compile : ?unroll_factor:int -> Level.t -> Machine.t -> Prog.t -> Prog.t
+val compile :
+  ?unroll_factor:int -> ?sched:[ `List | `Pipe ] -> Level.t -> Machine.t ->
+  Prog.t -> Prog.t
 (** [schedule machine (transform level p)]. *)
 
 val measure :
-  ?unroll_factor:int -> ?fuel:int -> Level.t -> Machine.t -> Prog.t -> measurement
+  ?unroll_factor:int -> ?sched:[ `List | `Pipe ] -> ?fuel:int -> Level.t ->
+  Machine.t -> Prog.t -> measurement
 (** [schedule_and_measure level machine (transform level p)]. *)
 
 val speedup : base:measurement -> this:measurement -> float

@@ -81,8 +81,11 @@ let base_measurement ?unroll_factor (s : subject) : Compile.measurement =
     m
 
 (* Run one subject across levels and machines; poisoned cells (fuel
-   exhaustion) are reported separately instead of aborting the run. *)
-let run_subject_full ?unroll_factor (machines : Machine.t list)
+   exhaustion) are reported separately instead of aborting the run.
+   [sched] selects the per-machine scheduler; the base measurement is
+   always list-scheduled (issue-1 Conv), so `Pipe speedups stay
+   comparable with the paper's baseline. *)
+let run_subject_full ?unroll_factor ?sched (machines : Machine.t list)
     (levels : Level.t list) (s : subject) : cell list * poisoned list =
   match base_measurement ?unroll_factor s with
   | exception Impact_sim.Sim.Timeout ->
@@ -107,7 +110,7 @@ let run_subject_full ?unroll_factor (machines : Machine.t list)
         (fun machine ->
           List.filter_map
             (fun (level, tp) ->
-              match Compile.schedule_and_measure level machine tp with
+              match Compile.schedule_and_measure ?sched level machine tp with
               | m ->
                 Some
                   {
@@ -131,20 +134,20 @@ let run_subject_full ?unroll_factor (machines : Machine.t list)
     in
     (cells, List.rev !poisons)
 
-let run_subject ?unroll_factor ?(on_poison = default_on_poison)
+let run_subject ?unroll_factor ?sched ?(on_poison = default_on_poison)
     (machines : Machine.t list) (levels : Level.t list) (s : subject) : cell list =
-  let cells, poisons = run_subject_full ?unroll_factor machines levels s in
+  let cells, poisons = run_subject_full ?unroll_factor ?sched machines levels s in
   List.iter on_poison poisons;
   cells
 
-let run_all ?unroll_factor ?workers ?(progress = fun _ -> ())
+let run_all ?unroll_factor ?sched ?workers ?(progress = fun _ -> ())
     ?(on_poison = default_on_poison) (machines : Machine.t list)
     (levels : Level.t list) (subjects : subject list) : cell list =
   let results =
     Impact_exec.Pool.map ?workers
       (fun s ->
         progress s.sname;
-        run_subject_full ?unroll_factor machines levels s)
+        run_subject_full ?unroll_factor ?sched machines levels s)
       (Array.of_list subjects)
   in
   (* Poison reports after the join, in deterministic subject order. *)

@@ -37,6 +37,7 @@ val clear_base_cache : unit -> unit
 
 val run_subject :
   ?unroll_factor:int ->
+  ?sched:[ `List | `Pipe ] ->
   ?on_poison:(poisoned -> unit) ->
   Machine.t list ->
   Level.t list ->
@@ -45,10 +46,13 @@ val run_subject :
 (** Evaluate one subject. The machine-independent transform prefix is
     computed once per level and shared across machines; cells that time
     out are reported through [on_poison] (default: a stderr warning)
-    and omitted from the result. *)
+    and omitted from the result. [sched] selects the per-machine
+    scheduler ({!Compile.schedule}); the base measurement is always
+    list-scheduled. *)
 
 val run_all :
   ?unroll_factor:int ->
+  ?sched:[ `List | `Pipe ] ->
   ?workers:int ->
   ?progress:(string -> unit) ->
   ?on_poison:(poisoned -> unit) ->

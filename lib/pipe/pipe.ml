@@ -1,0 +1,540 @@
+(* Software pipelining by iterative modulo scheduling (Rau-style IMS).
+
+   The pass mirrors [List_sched.run]'s traversal: every innermost loop
+   is either modulo-scheduled into prologue/kernel/epilogue form or
+   list-scheduled as before. An eligible loop is a single-basic-block
+   body (one back-branch, no side exits), with a compile-time trip
+   count and at most one definition per register.
+
+   Scheduling model: each body instruction (the back-branch excluded)
+   gets a time t = slot + II * stage subject to
+       t_dst >= t_src + latency - II * distance
+   over the within-iteration Flow/Mem edges (distance 0) and the
+   loop-carried Flow/Mem edges from [Ddg.carried]. Register anti and
+   output dependences are dropped: modulo variable expansion renames
+   every body-defined register across K kernel copies, which removes
+   them. K is one more than the largest number of kernel blocks any
+   flow-carried value must survive, so no version is overwritten while
+   still live.
+
+   Code generation (trip count n, stage count SC, kernel unroll K):
+     - peel (n - (SC-1)) mod K plain copies of the body, so the kernel
+       count divides K and every version index below is static;
+     - a prologue of SC-1 blocks filling the pipeline;
+     - a kernel loop of K renamed copies plus its own countdown branch,
+       executing (n - peel - SC + 1) / K times;
+     - an epilogue of SC-1 blocks draining it;
+     - moves restoring every body-defined register's original name.
+   All emitted items are ordinary [Block] items, so the simulator,
+   register allocator and conformance oracle apply unchanged. *)
+
+open Impact_ir
+open Impact_analysis
+
+type info = {
+  ii : int;
+  mii : int;
+  res_mii : int;
+  rec_mii : int;
+  stages : int;
+  kunroll : int;
+  trip : int;
+  list_ci : int;
+}
+
+type status =
+  | Pipelined of info
+  | Skipped of { reason : string; list_ci : int option }
+
+type report = { lid : int; status : status }
+
+(* Size caps: pipelining past these would bloat the code for loops the
+   list scheduler already handles. *)
+let max_stages = 32
+
+let max_kunroll = 32
+
+let max_kernel_insns = 512
+
+let budget_ratio = 8
+
+(* Mathematical modulo (OCaml's [mod] keeps the dividend's sign). *)
+let md x k = ((x mod k) + k) mod k
+
+(* ---- Dependence edges for the modulo scheduler ---- *)
+
+type medge = { src : int; dst : int; lat : int; dist : int }
+
+(* Within-iteration Flow/Mem edges plus carried Flow/Mem edges over the
+   branch-free body. Carried latencies are clamped to 1 so equal-time
+   placements can never reorder an earlier-iteration access behind a
+   later-iteration one in the emitted sequential code. *)
+let build_edges ~pre_env (insns : Insn.t array) : medge list =
+  let items = Array.map (fun i -> Block.Ins i) insns in
+  let sb = Sb.make ~head:"\000mhead" ~exit_lbl:"\000mexit" items in
+  let dg = Ddg.build ~pre_env sb in
+  let best : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Ddg.edge) ->
+      match e.Ddg.kind with
+      | Ddg.Flow | Ddg.Mem -> (
+        let k = (e.Ddg.esrc, e.Ddg.edst) in
+        match Hashtbl.find_opt best k with
+        | Some l when l >= e.Ddg.lat -> ()
+        | _ -> Hashtbl.replace best k e.Ddg.lat)
+      | Ddg.Anti | Ddg.Output | Ddg.Ctrl -> ())
+    dg.Ddg.edges;
+  let within =
+    Hashtbl.fold (fun (s, d) lat acc -> { src = s; dst = d; lat; dist = 0 } :: acc) best []
+  in
+  let carried =
+    Ddg.carried ~pre_env dg
+    |> List.filter_map (fun (c : Ddg.cedge) ->
+         match c.Ddg.ckind with
+         | Ddg.Flow | Ddg.Mem ->
+           Some { src = c.Ddg.cesrc; dst = c.Ddg.cedst; lat = max 1 c.Ddg.clat; dist = c.Ddg.cdist }
+         | Ddg.Anti | Ddg.Output | Ddg.Ctrl -> None)
+  in
+  List.sort compare (within @ carried)
+
+(* A candidate II is feasible when the constraint system has no
+   positive-weight cycle under weights (lat - II * dist): bounded
+   longest-path relaxation, Bellman-Ford style. This is exact, so the
+   capped circuit enumeration in [Ddg.cycles] never compromises the
+   schedule. *)
+let feasible n edges ii =
+  let d = Array.make n 0 in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds <= n + 1 do
+    changed := false;
+    List.iter
+      (fun e ->
+        let w = e.lat - (ii * e.dist) in
+        if d.(e.src) + w > d.(e.dst) then begin
+          d.(e.dst) <- d.(e.src) + w;
+          changed := true
+        end)
+      edges;
+    incr rounds
+  done;
+  not !changed
+
+(* RecMII: the smallest II with no positive cycle — exactly the maximum
+   ceil(latency/distance) over all recurrence circuits. *)
+let rec_mii_exact n edges =
+  let latsum = List.fold_left (fun a e -> a + e.lat) 1 edges in
+  let rec go ii = if ii >= latsum || feasible n edges ii then ii else go (ii + 1) in
+  go 1
+
+(* Height-based priority under weights (lat - II * dist). *)
+let heights n edges ii =
+  let h = Array.make n 0 in
+  for _ = 1 to n + 1 do
+    List.iter
+      (fun e ->
+        let w = e.lat - (ii * e.dist) in
+        if h.(e.src) < h.(e.dst) + w then h.(e.src) <- h.(e.dst) + w)
+      edges
+  done;
+  h
+
+(* One budgeted scheduling attempt at a fixed II: place the highest
+   unscheduled operation at its earliest legal slot, force it into a
+   full row by evicting the lowest-priority occupant, and evict any
+   scheduled successor whose constraint the placement broke. *)
+let attempt ~issue n succs preds h ii =
+  let time = Array.make n (-1) in
+  let prevt = Array.make n (-1) in
+  let mrt = Array.make ii 0 in
+  let nsched = ref 0 in
+  let budget = ref ((budget_ratio * n) + 16) in
+  let unschedule j =
+    mrt.(time.(j) mod ii) <- mrt.(time.(j) mod ii) - 1;
+    time.(j) <- -1;
+    decr nsched
+  in
+  while !nsched < n && !budget >= 0 do
+    (* Highest height first, lowest position on ties. *)
+    let i = ref (-1) in
+    for j = n - 1 downto 0 do
+      if time.(j) < 0 && (!i < 0 || h.(j) >= h.(!i)) then i := j
+    done;
+    let i = !i in
+    let estart = ref 0 in
+    List.iter
+      (fun (p, lat, dist) ->
+        if time.(p) >= 0 then estart := max !estart (time.(p) + lat - (ii * dist)))
+      preds.(i);
+    let mintime = if prevt.(i) >= 0 then max !estart (prevt.(i) + 1) else !estart in
+    let slot = ref (-1) in
+    (try
+       for t = mintime to mintime + ii - 1 do
+         if mrt.(t mod ii) < issue then begin
+           slot := t;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let t = if !slot >= 0 then !slot else mintime in
+    let row = t mod ii in
+    while mrt.(row) >= issue do
+      let victim = ref (-1) in
+      for j = 0 to n - 1 do
+        if time.(j) >= 0 && time.(j) mod ii = row then
+          if
+            !victim < 0 || h.(j) < h.(!victim)
+            || (h.(j) = h.(!victim) && j > !victim)
+          then victim := j
+      done;
+      unschedule !victim
+    done;
+    time.(i) <- t;
+    prevt.(i) <- t;
+    mrt.(row) <- mrt.(row) + 1;
+    incr nsched;
+    List.iter
+      (fun (q, lat, dist) ->
+        if q <> i && time.(q) >= 0 && time.(q) < t + lat - (ii * dist) then unschedule q)
+      succs.(i);
+    decr budget
+  done;
+  if !nsched = n then Some time else None
+
+(* Escalate II from MII until a schedule fits (or the search passes
+   [max_ii], at which point pipelining cannot beat the list schedule). *)
+let modulo_schedule ~issue n edges mii max_ii =
+  let succs = Array.make n [] in
+  let preds = Array.make n [] in
+  List.iter
+    (fun e ->
+      succs.(e.src) <- (e.dst, e.lat, e.dist) :: succs.(e.src);
+      preds.(e.dst) <- (e.src, e.lat, e.dist) :: preds.(e.dst))
+    edges;
+  let rec go ii =
+    if ii > max_ii then None
+    else if not (feasible n edges ii) then go (ii + 1)
+    else
+      let h = heights n edges ii in
+      match attempt ~issue n succs preds h ii with
+      | Some time ->
+        let tmin = Array.fold_left min max_int time in
+        Some (Array.map (fun t -> t - tmin) time, ii)
+      | None -> go (ii + 1)
+  in
+  go mii
+
+(* ---- Eligibility ---- *)
+
+module SSet = Set.Make (String)
+
+(* The branch-free body of an eligible loop, in program order. *)
+let extract_body ~global_targets (l : Block.loop) : (Insn.t array, string) result =
+  let labels =
+    List.filter_map (function Block.Lbl s -> Some s | _ -> None) l.Block.body
+  in
+  if List.exists (fun s -> SSet.mem s global_targets) labels then
+    Error "internal label is a branch target"
+  else
+    match List.rev (Block.body_insns l) with
+    | last :: rev_rest
+      when Insn.is_cond_branch last && last.Insn.target = Some l.Block.head -> (
+      let rest = List.rev rev_rest in
+      if List.exists Insn.is_branch rest then Error "side exits in body"
+      else if List.length rest < 2 then Error "body too small"
+      else
+        let seen = Hashtbl.create 16 in
+        let multi = ref false in
+        List.iter
+          (fun (i : Insn.t) ->
+            match i.Insn.dst with
+            | Some r ->
+              if Hashtbl.mem seen r.Reg.id then multi := true
+              else Hashtbl.replace seen r.Reg.id ()
+            | None -> ())
+          rest;
+        if !multi then Error "register redefined in body"
+        else Ok (Array.of_list rest))
+    | _ -> Error "no single back-branch"
+
+(* ---- Code generation ---- *)
+
+let mov_of cls ctx dst src =
+  match cls with Reg.Int -> Build.imov ctx dst src | Reg.Float -> Build.fmov ctx dst src
+
+let codegen ctx (l : Block.loop) (a : Insn.t array) (time : int array) ~ii ~trip :
+    (Block.item list * int * int) option =
+  let n = Array.length a in
+  let stage = Array.map (fun t -> t / ii) time in
+  let slot = Array.map (fun t -> t mod ii) time in
+  let sc = Array.fold_left max 0 stage + 1 in
+  let def_pos =
+    let m = ref Reg.Map.empty in
+    Array.iteri
+      (fun k (i : Insn.t) ->
+        match i.Insn.dst with Some r -> m := Reg.Map.add r k !m | None -> ())
+      a;
+    !m
+  in
+  (* For a use at [pu] of a body-defined register: its producer, the
+     number of blocks the value crosses, and whether the producer is in
+     the same iteration (else the previous one). *)
+  let use_b pu (r : Reg.t) =
+    match Reg.Map.find_opt r def_pos with
+    | None -> None
+    | Some pd ->
+      let same = pd < pu in
+      Some (pd, stage.(pu) - stage.(pd) + (if same then 0 else 1), same)
+  in
+  let kk = ref 1 in
+  Array.iteri
+    (fun pu (i : Insn.t) ->
+      Array.iter
+        (function
+          | Operand.Reg r -> (
+            match use_b pu r with
+            | Some (_, b, _) -> if b + 1 > !kk then kk := b + 1
+            | None -> ())
+          | _ -> ())
+        i.Insn.srcs)
+    a;
+  let kk = !kk in
+  if sc > max_stages || kk > max_kunroll || n * kk > max_kernel_insns || trip < sc
+  then None
+  else
+    let peel = md (trip - (sc - 1)) kk in
+    let nkernel = trip - (sc - 1) - peel in
+    if nkernel < kk then None
+    else begin
+      let kcnt_v = nkernel / kk in
+      let versions : (int * int, Reg.t) Hashtbl.t = Hashtbl.create 32 in
+      let version (r : Reg.t) k =
+        match Hashtbl.find_opt versions (r.Reg.id, k) with
+        | Some v -> v
+        | None ->
+          let v = Reg.fresh ctx.Prog.rgen r.Reg.cls in
+          Hashtbl.replace versions (r.Reg.id, k) v;
+          v
+      in
+      let order =
+        List.sort
+          (fun x y -> compare (slot.(x), x) (slot.(y), y))
+          (List.init n (fun k -> k))
+      in
+      (* One instance of instruction [idx] in the block whose index is
+         congruent to [vk] mod K. [j] is the instance's iteration when
+         statically known (prologue); [None] means the iteration is
+         certainly >= 1, so carried reads take the versioned register. *)
+      let emit_instance ~vk ~j idx =
+        let i = a.(idx) in
+        let map = function
+          | Operand.Reg r as o -> (
+            match use_b idx r with
+            | None -> o
+            | Some (_, b, same) ->
+              if (not same) && j = Some 0 then o
+              else Operand.Reg (version r (md (vk - b) kk)))
+          | o -> o
+        in
+        let srcs = Array.map map i.Insn.srcs in
+        match i.Insn.dst with
+        | Some r -> Build.clone ctx ~dst:(version r vk) ~srcs i
+        | None -> Build.clone ctx ~srcs i
+      in
+      let items = ref [] in
+      let emit_i i = items := Block.Ins i :: !items in
+      (* Keep the original loop labels defined for external references. *)
+      items := Block.Lbl l.Block.head :: !items;
+      (* Peeled iterations: plain copies under the original names. *)
+      for _ = 1 to peel do
+        Array.iter (fun i -> emit_i (Build.clone ctx i)) a
+      done;
+      (* Live-in seeds for carried reads reaching the first kernel
+         block: a consumer of iteration 0 scheduled in stage SC-1 reads
+         version (stage(def) - 1) mod K, which nothing has written. *)
+      let carried_srcs =
+        let m = ref Reg.Map.empty in
+        Array.iteri
+          (fun pu (i : Insn.t) ->
+            Array.iter
+              (function
+                | Operand.Reg r -> (
+                  match use_b pu r with
+                  | Some (pd, _, false) -> m := Reg.Map.add r pd !m
+                  | _ -> ())
+                | _ -> ())
+              i.Insn.srcs)
+          a;
+        Reg.Map.bindings !m
+      in
+      List.iter
+        (fun ((r : Reg.t), pd) ->
+          emit_i (mov_of r.Reg.cls ctx (version r (md (stage.(pd) - 1) kk)) (Operand.Reg r)))
+        carried_srcs;
+      (* Prologue: blocks 0 .. SC-2 fill the pipeline. *)
+      for t = 0 to sc - 2 do
+        List.iter
+          (fun idx ->
+            if stage.(idx) <= t then
+              emit_i (emit_instance ~vk:(md t kk) ~j:(Some (t - stage.(idx))) idx))
+          order
+      done;
+      (* Kernel: K copies plus a countdown branch. *)
+      let kcnt = Reg.fresh ctx.Prog.rgen Reg.Int in
+      emit_i (Build.imov ctx kcnt (Operand.Int kcnt_v));
+      let klid = Prog.fresh_loop_id ctx in
+      let khead = Printf.sprintf "L%dm" klid in
+      let kexit = Printf.sprintf "X%dm" klid in
+      let kbody = ref [] in
+      for k = 0 to kk - 1 do
+        List.iter
+          (fun idx ->
+            kbody := Block.Ins (emit_instance ~vk:(md (sc - 1 + k) kk) ~j:None idx) :: !kbody)
+          order
+      done;
+      kbody :=
+        Block.Ins (Build.ib ctx Insn.Sub kcnt (Operand.Reg kcnt) (Operand.Int 1)) :: !kbody;
+      kbody :=
+        Block.Ins (Build.br ctx Reg.Int Insn.Gt (Operand.Reg kcnt) (Operand.Int 0) khead)
+        :: !kbody;
+      let kmeta =
+        {
+          Block.counter = Some kcnt;
+          step = Some (-1);
+          limit = Some (Operand.Int 0);
+          trip = Some kcnt_v;
+          latch = None;
+          unrolled = 1;
+        }
+      in
+      items :=
+        Block.Loop
+          { Block.lid = klid; head = khead; exit_lbl = kexit; meta = kmeta;
+            body = List.rev !kbody }
+        :: !items;
+      (* Epilogue: blocks n' .. n'+SC-2 drain the pipeline. The peel
+         made the kernel count divide K, so block indices are statically
+         congruent to SC-1+e mod K. *)
+      for e = 0 to sc - 2 do
+        List.iter
+          (fun idx ->
+            if stage.(idx) >= e + 1 then
+              emit_i (emit_instance ~vk:(md (sc - 1 + e) kk) ~j:None idx))
+          order
+      done;
+      (* Restore original names: the last write of a register defined at
+         stage s landed in block n'-1+s = SC-2+s mod K. *)
+      Reg.Map.iter
+        (fun (r : Reg.t) pd ->
+          emit_i (mov_of r.Reg.cls ctx r (Operand.Reg (version r (md (sc - 2 + stage.(pd)) kk)))))
+        def_pos;
+      items := Block.Lbl l.Block.exit_lbl :: !items;
+      Some (List.rev !items, sc, kk)
+    end
+
+(* ---- Per-loop driver ---- *)
+
+let fallback machine ~live_at_target ~pre_env (l : Block.loop) =
+  [
+    Block.Loop
+      {
+        l with
+        Block.body =
+          Impact_sched.List_sched.schedule_body machine ~live_at_target ~pre_env
+            l.Block.body;
+      };
+  ]
+
+let pipeline_loop ctx machine ~live_at_target ~pre_env ~global_targets
+    (l : Block.loop) : Block.item list * report =
+  let skip ?list_ci reason =
+    ( fallback machine ~live_at_target ~pre_env l,
+      { lid = l.Block.lid; status = Skipped { reason; list_ci } } )
+  in
+  match extract_body ~global_targets l with
+  | Error reason -> skip reason
+  | Ok a -> (
+    (* [meta.trip] counts original-loop iterations; an unrolled body
+       executes [trip / unrolled] times. *)
+    let uf = max 1 l.Block.meta.Block.unrolled in
+    match l.Block.meta.Block.trip with
+    | None -> skip "no static trip count"
+    | Some t when t mod uf <> 0 -> skip "trip not divisible by unroll factor"
+    | Some t -> (
+      let trip = t / uf in
+      let full = Array.of_list (Block.body_insns l) in
+      let list_ci =
+        (Impact_sched.List_sched.schedule_segment machine ~live_at_target ~pre_env full)
+          .Impact_sched.List_sched.makespan
+      in
+      let n = Array.length a in
+      let edges = build_edges ~pre_env a in
+      let issue = machine.Machine.issue in
+      (* ResMII: issue bandwidth for the body plus one branch slot's
+         worth of loop control per iteration. *)
+      let res_mii =
+        max ((n + issue - 1) / issue) ((1 + machine.Machine.branch_slots - 1) / machine.Machine.branch_slots)
+      in
+      let rec_mii = rec_mii_exact n edges in
+      let mii = max res_mii rec_mii in
+      if mii >= list_ci then
+        skip ~list_ci (Printf.sprintf "MII %d not below list schedule" mii)
+      else
+        match modulo_schedule ~issue n edges mii (list_ci - 1) with
+        | None -> skip ~list_ci "no schedule within budget below the list bound"
+        | Some (time, ii) -> (
+          match codegen ctx l a time ~ii ~trip with
+          | None -> skip ~list_ci "schedule exceeds size or trip caps"
+          | Some (items, stages, kunroll) ->
+            ( items,
+              {
+                lid = l.Block.lid;
+                status =
+                  Pipelined { ii; mii; res_mii; rec_mii; stages; kunroll; trip; list_ci };
+              } ))))
+
+(* ---- Whole-program traversal (mirrors List_sched.run) ---- *)
+
+let run_with_report (machine : Machine.t) (p : Prog.t) : Prog.t * report list =
+  Impact_exec.Timing.time "pipe" (fun () ->
+    let live = Liveness.of_prog p in
+    let live_at_target i = Some (Liveness.live_at_target live i) in
+    let global_targets =
+      List.fold_left
+        (fun s (i : Insn.t) ->
+          match i.Insn.target with Some t -> SSet.add t s | None -> s)
+        SSet.empty
+        (Block.insns p.Prog.entry)
+    in
+    let reports = ref [] in
+    let ctx = p.Prog.ctx in
+    let rec go_block (b : Block.t) : Block.t =
+      let rec go acc = function
+        | [] -> List.rev acc
+        | Block.Loop l :: rest when Block.is_innermost l ->
+          let pre_env = Linval.env_of_items (List.rev acc) in
+          let items, rep =
+            pipeline_loop ctx machine ~live_at_target ~pre_env ~global_targets l
+          in
+          reports := rep :: !reports;
+          go (List.rev_append items acc) rest
+        | Block.Loop l :: rest ->
+          go (Block.Loop { l with Block.body = go_block l.Block.body } :: acc) rest
+        | ((Block.Ins _ | Block.Lbl _) as item) :: rest -> go (item :: acc) rest
+      in
+      go [] b
+    in
+    let entry = go_block p.Prog.entry in
+    (Prog.with_entry p entry, List.rev !reports))
+
+let run machine p = fst (run_with_report machine p)
+
+let report_to_string (r : report) : string =
+  match r.status with
+  | Pipelined i ->
+    Printf.sprintf
+      "loop %d: pipelined II=%d (ResMII %d, RecMII %d, MII %d), stages %d, kernel unroll %d, trip %d, list %d cyc/iter"
+      r.lid i.ii i.res_mii i.rec_mii i.mii i.stages i.kunroll i.trip i.list_ci
+  | Skipped { reason; list_ci } ->
+    let tail = match list_ci with None -> "" | Some c -> Printf.sprintf ", list %d cyc/iter" c in
+    Printf.sprintf "loop %d: not pipelined (%s)%s" r.lid reason tail

@@ -1,0 +1,52 @@
+(** Software pipelining by iterative modulo scheduling (Rau's IMS,
+    heuristic — no solver dependency) of innermost superblock loop
+    bodies.
+
+    For each eligible innermost loop (single basic block, one
+    back-branch, compile-time trip count, at most one definition per
+    register) the pass computes the minimum initiation interval
+    MII = max(ResMII, RecMII) — ResMII from the machine's issue and
+    branch-slot resources, RecMII from the maximum cycle ratio over
+    recurrence circuits of the loop-carried dependence graph — then
+    searches II = MII, MII+1, ... with a budgeted eviction scheduler
+    until a modulo schedule fits. Modulo variable expansion renames
+    every body-defined register across [kunroll] kernel copies, and
+    code generation emits ordinary [Block] items: a peeling loop that
+    aligns the trip count, a prologue filling the pipeline, a kernel
+    loop in steady state, an epilogue draining it, and final moves
+    restoring the original register names — so the simulator, register
+    allocator and conformance oracle validate the result unchanged.
+
+    Loops that are ineligible, recurrence-bound past the list
+    schedule, or too short fall back to ordinary list scheduling; the
+    report says why. *)
+
+open Impact_ir
+
+type info = {
+  ii : int;  (** achieved initiation interval *)
+  mii : int;  (** max(ResMII, RecMII) *)
+  res_mii : int;
+  rec_mii : int;
+  stages : int;  (** stage count of the schedule *)
+  kunroll : int;  (** modulo-variable-expansion kernel unroll *)
+  trip : int;  (** compile-time trip count of the loop *)
+  list_ci : int;  (** list-scheduled steady-state cycles/iteration *)
+}
+
+type status =
+  | Pipelined of info
+  | Skipped of { reason : string; list_ci : int option }
+
+type report = { lid : int; status : status }
+
+val run : Machine.t -> Prog.t -> Prog.t
+(** Schedule a transformed program: modulo-schedule every eligible
+    innermost loop, list-schedule everything else. A drop-in
+    replacement for [Impact_sched.List_sched.run]. *)
+
+val run_with_report : Machine.t -> Prog.t -> Prog.t * report list
+(** Like {!run}, also returning one report per innermost loop in
+    program order. *)
+
+val report_to_string : report -> string

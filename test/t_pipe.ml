@@ -1,0 +1,161 @@
+(* Software pipelining (lib/pipe): recurrence-circuit analysis, the
+   pinned Fig. 1 vecadd initiation interval, and output equivalence of
+   modulo-scheduled code against the unscheduled baseline across the
+   whole workload suite. *)
+
+open Impact_ir
+open Helpers
+module Pipe = Impact_pipe.Pipe
+module Compile = Impact_core.Compile
+module Level = Impact_core.Level
+module Ddg = Impact_analysis.Ddg
+module Sb = Impact_analysis.Sb
+module Suite = Impact_workloads.Suite
+
+let test name f = Alcotest.test_case name `Quick f
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+let transform_conv ast = Compile.transform Level.Conv (lower ast)
+
+(* First innermost loop of a program. *)
+let find_innermost (p : Prog.t) : Block.loop =
+  let rec go items =
+    List.fold_left
+      (fun acc it ->
+        match (acc, it) with
+        | Some _, _ -> acc
+        | None, Block.Loop l ->
+          if Block.is_innermost l then Some l else go l.Block.body
+        | None, _ -> None)
+      None items
+  in
+  match go p.Prog.entry with
+  | Some l -> l
+  | None -> Alcotest.fail "no innermost loop"
+
+(* ---- recurrence circuits (Ddg.carried / cycles / max_cycle_ratio) ---- *)
+
+let test_dotprod_circuits () =
+  let l = find_innermost (transform_conv (dotprod_ast 32)) in
+  let d = Ddg.build (Sb.of_loop l) in
+  let carried = Ddg.carried d in
+  let cyc = Ddg.cycles d carried in
+  check_bool "has recurrence circuits" true (cyc <> []);
+  List.iter
+    (fun (_, _, dist) -> check_bool "circuit distance positive" true (dist > 0))
+    cyc;
+  (* The accumulator s = s + A(j)*B(j) is a distance-1 self-recurrence
+     through a 3-cycle fadd, so RecMII is at least 3. *)
+  check_bool "dotprod RecMII >= fadd latency" true (Ddg.max_cycle_ratio d carried >= 3)
+
+let test_vecadd_circuits () =
+  let l = find_innermost (transform_conv (vecadd_ast 32)) in
+  let d = Ddg.build (Sb.of_loop l) in
+  let carried = Ddg.carried d in
+  let cyc = Ddg.cycles d carried in
+  (* The only true recurrence is the counter increment: a single-node
+     circuit of ratio 1 (vecadd is DOALL otherwise). *)
+  check_bool "counter self-circuit present" true
+    (List.exists (fun (ps, _, _) -> List.length ps = 1) cyc);
+  check_int "vecadd RecMII" 1 (Ddg.max_cycle_ratio d carried)
+
+(* ---- the paper's Fig. 1 example: vecadd pipelines down to RecMII ---- *)
+
+let test_vecadd_ii_pinned () =
+  let p = transform_conv (vecadd_ast 64) in
+  let scheduled, reports = Pipe.run_with_report Machine.unlimited p in
+  match reports with
+  | [ { Pipe.status = Pipe.Pipelined i; _ } ] ->
+    check_int "ResMII at unlimited issue" 1 i.Pipe.res_mii;
+    check_int "II reaches RecMII" i.Pipe.rec_mii i.Pipe.ii;
+    check_bool "II >= MII" true (i.Pipe.ii >= i.Pipe.mii);
+    check_bool "II beats list schedule" true (i.Pipe.ii < i.Pipe.list_ci);
+    let base = run (lower (vecadd_ast 64)) in
+    same_observables "vecadd pipelined" base (run ~machine:Machine.unlimited scheduled)
+  | [ r ] -> Alcotest.failf "vecadd not pipelined: %s" (Pipe.report_to_string r)
+  | rs -> Alcotest.failf "expected one loop report, got %d" (List.length rs)
+
+(* A trip count too short for the pipeline must fall back, not crash. *)
+let test_short_trip_falls_back () =
+  let p = transform_conv (vecadd_ast 3) in
+  let scheduled, _ = Pipe.run_with_report Machine.issue_4 p in
+  let base = run (lower (vecadd_ast 3)) in
+  same_observables "vecadd n=3" base (run ~machine:Machine.issue_4 scheduled)
+
+(* A loop-carried memory recurrence must be honored (or skipped). *)
+let test_recurrence_kernel () =
+  let p = transform_conv (recurrence_ast 40) in
+  let scheduled, _ = Pipe.run_with_report Machine.issue_8 p in
+  let base = run (lower (recurrence_ast 40)) in
+  same_observables "recurrence" base (run ~machine:Machine.issue_8 scheduled)
+
+(* ---- output equivalence over the whole suite at issue 2/4/8 ---- *)
+
+let machines = [ Machine.issue_2; Machine.issue_4; Machine.issue_8 ]
+
+let check_pipe_subject (w : Suite.t) (machine : Machine.t) base =
+  let tp = transform_conv w.Suite.ast in
+  let scheduled, reports = Pipe.run_with_report machine tp in
+  let tag = Printf.sprintf "%s/%s" w.Suite.name machine.Machine.name in
+  same_observables tag base (run ~machine scheduled);
+  List.iter
+    (fun (rep : Pipe.report) ->
+      match rep.Pipe.status with
+      | Pipe.Pipelined i ->
+        check_bool (tag ^ ": II >= MII") true (i.Pipe.ii >= i.Pipe.mii);
+        check_bool (tag ^ ": II >= ResMII") true (i.Pipe.ii >= i.Pipe.res_mii);
+        check_bool (tag ^ ": II >= RecMII") true (i.Pipe.ii >= i.Pipe.rec_mii);
+        check_bool (tag ^ ": II < list cyc/iter") true (i.Pipe.ii < i.Pipe.list_ci)
+      | Pipe.Skipped _ -> ())
+    reports
+
+let suite_equivalence_tests =
+  List.map
+    (fun (w : Suite.t) ->
+      test (w.Suite.name ^ " pipelined = baseline at issue 2/4/8") (fun () ->
+        let base = run (lower w.Suite.ast) in
+        List.iter (fun m -> check_pipe_subject w m base) machines))
+    Suite.all
+
+(* ---- property: random (kernel, machine, level) preserves outputs ---- *)
+
+let prop_pipe_preserves =
+  let nsubj = List.length Suite.all in
+  let nlev = List.length Level.all in
+  QCheck.Test.make ~name:"pipe scheduling preserves observables" ~count:20
+    (QCheck.make
+       ~print:(fun (si, mi, li) ->
+         let w = List.nth Suite.all si in
+         Printf.sprintf "%s / %s / %s" w.Suite.name
+           (List.nth machines mi).Machine.name
+           (Level.to_string (List.nth Level.all li)))
+       QCheck.Gen.(
+         triple (int_range 0 (nsubj - 1)) (int_range 0 2) (int_range 0 (nlev - 1))))
+    (fun (si, mi, li) ->
+      let w = List.nth Suite.all si in
+      let machine = List.nth machines mi in
+      let level = List.nth Level.all li in
+      let base = run (lower w.Suite.ast) in
+      let tp = Compile.transform level (lower w.Suite.ast) in
+      let scheduled = Pipe.run machine tp in
+      same_observables
+        (Printf.sprintf "%s/%s/%s" w.Suite.name (Level.to_string level)
+           machine.Machine.name)
+        base
+        (run ~machine scheduled);
+      true)
+
+let suite =
+  [
+    ( "pipe",
+      [
+        test "dotprod recurrence circuits" test_dotprod_circuits;
+        test "vecadd recurrence circuits" test_vecadd_circuits;
+        test "vecadd pipelines to RecMII" test_vecadd_ii_pinned;
+        test "short trip falls back" test_short_trip_falls_back;
+        test "carried memory recurrence" test_recurrence_kernel;
+      ]
+      @ suite_equivalence_tests
+      @ [ to_alcotest ~rand:(Random.State.make [| 0x9A27 |]) prop_pipe_preserves ] );
+  ]

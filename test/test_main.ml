@@ -12,6 +12,7 @@ let () =
          T_opt.suite;
          T_trans.suite;
          T_sched.suite;
+         T_pipe.suite;
          T_regalloc.suite;
          T_workloads.suite;
          T_props.suite;
