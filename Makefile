@@ -1,4 +1,4 @@
-.PHONY: all build test bench smoke pipe check clean
+.PHONY: all build test bench smoke pipe profile check clean
 
 all: build
 
@@ -17,6 +17,11 @@ smoke: build
 # list-scheduled kernel cycles across the suite (see EXPERIMENTS.md).
 pipe: build
 	IMPACT_JOBS=2 dune exec bench/main.exe -- pipe
+
+# Stall attribution + pass telemetry for one kernel (KERNEL=name to
+# change; see DESIGN.md "Observability").
+profile: build
+	dune exec bin/impactc.exe -- profile $(or $(KERNEL),vecadd) --sched pipe
 
 check: build test smoke
 

@@ -10,10 +10,15 @@
                               ablation) except the Bechamel section
      main.exe fig8 ... fig15  specific figures
      main.exe table1 table2 summary ablation csv bechamel
-     main.exe json            write per-stage timings and summary
-                              speedups to BENCH_eval.json
+     main.exe json            write per-stage timings, summary speedups
+                              and telemetry metrics to BENCH_eval.json
+     main.exe --trace-out f.json ...
+                              additionally record every span as a
+                              Chrome trace_event JSON (Perfetto)
 
-   Unknown arguments are an error (exit 2). *)
+   Stage timings are printed to stderr at the end of every run; all
+   tables and figures on stdout stay byte-identical for any worker
+   count. Unknown arguments are an error (exit 2). *)
 
 open Impact_ir
 open Impact_core
@@ -36,7 +41,7 @@ let cells_wall = ref 0.0
 (* The full evaluation matrix, computed once on demand. *)
 let cells : Experiment.cell list Lazy.t =
   lazy
-    (let t0 = Impact_exec.Timing.now () in
+    (let t0 = Impact_obs.Obs.now () in
      let cs =
        Experiment.run_all
          ~progress:(fun name ->
@@ -44,7 +49,7 @@ let cells : Experiment.cell list Lazy.t =
            flush stderr)
          machines Level.all subjects
      in
-     cells_wall := Impact_exec.Timing.now () -. t0;
+     cells_wall := Impact_obs.Obs.now () -. t0;
      cs)
 
 let print_table1 () = print_string (Report.table1 ())
@@ -462,10 +467,15 @@ let json_obj fields =
   "{" ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" (json_escape k) v) fields) ^ "}"
 
 let write_json path =
-  Impact_exec.Timing.reset ();
-  let t0 = Impact_exec.Timing.now () in
+  Impact_obs.Obs.reset_stages ();
+  (* Collect counters and span totals for the [metrics] object. Scoped
+     to the work done from here on: when `json` runs alone (the CI
+     invocation) that is the whole matrix; if an earlier argument
+     already forced [cells], the transform counters are theirs. *)
+  Impact_obs.Obs.set_collecting true;
+  let t0 = Impact_obs.Obs.now () in
   let cs = Lazy.force cells in
-  let total_wall = Impact_exec.Timing.now () -. t0 in
+  let total_wall = Impact_obs.Obs.now () -. t0 in
   let stats = summary_stats cs in
   (* Pipelining pass at issue-8 over the whole suite: records the
      "pipe" stage timing and the achieved-II summary. *)
@@ -485,7 +495,32 @@ let write_json path =
     ("cells_wall_s", json_num !cells_wall)
     :: List.map
          (fun (name, secs) -> (name ^ "_busy_s", json_num secs))
-         (Impact_exec.Timing.snapshot ())
+         (Impact_obs.Obs.stage_snapshot ())
+  in
+  (* Telemetry totals: pass/pipe/sim counters (deterministic integer
+     sums for any worker count) and per-span call counts and busy
+     time. *)
+  let metrics =
+    let rep = Impact_obs.Obs.report () in
+    json_obj
+      [
+        ( "counters",
+          json_obj
+            (List.map
+               (fun (k, v) -> (k, string_of_int v))
+               rep.Impact_obs.Obs.r_counters) );
+        ( "spans",
+          json_obj
+            (List.map
+               (fun (s : Impact_obs.Obs.span_total) ->
+                 ( s.Impact_obs.Obs.sp_name,
+                   json_obj
+                     [
+                       ("calls", string_of_int s.Impact_obs.Obs.sp_calls);
+                       ("busy_s", json_num s.Impact_obs.Obs.sp_total_s);
+                     ] ))
+               rep.Impact_obs.Obs.r_spans) );
+      ]
   in
   let doc =
     json_obj
@@ -501,6 +536,7 @@ let write_json path =
         ("stages", json_obj stages);
         ("summary", json_obj (List.map (fun (k, v) -> (k, json_num v)) stats));
         ("pipe", json_obj pipe_stats);
+        ("metrics", metrics);
       ]
   in
   let oc = open_out path in
@@ -580,28 +616,48 @@ let run_bechamel () =
 
 let usage () =
   prerr_string
-    "usage: main.exe [-j N] [table1 table2 fig8..fig15 summary ablation csv \
-     issue-sweep overhead pipe pipe-smoke bechamel json]\n"
+    "usage: main.exe [-j N] [--trace-out FILE] [table1 table2 fig8..fig15 \
+     summary ablation csv issue-sweep overhead pipe pipe-smoke bechamel json]\n"
 
-(* Parse -j/--jobs out of the argument list; returns remaining args.
-   Exits 2 on a malformed worker count. *)
-let rec parse_jobs acc = function
+(* Chrome trace destination from --trace-out, when given. *)
+let trace_out = ref None
+
+(* Parse -j/--jobs and --trace-out out of the argument list; returns
+   remaining args. Exits 2 on a malformed option. *)
+let rec parse_opts acc = function
   | [] -> List.rev acc
   | ("-j" | "--jobs") :: v :: rest -> (
     match int_of_string_opt v with
     | Some n when n >= 1 ->
       Impact_exec.Pool.set_default_workers n;
-      parse_jobs acc rest
+      parse_opts acc rest
     | Some _ | None ->
       Printf.eprintf "invalid worker count %s\n" v;
       exit 2)
   | ("-j" | "--jobs") :: [] ->
     prerr_string "-j requires a worker count\n";
     exit 2
-  | arg :: rest -> parse_jobs (arg :: acc) rest
+  | "--trace-out" :: path :: rest ->
+    trace_out := Some path;
+    Impact_obs.Obs.set_tracing true;
+    parse_opts acc rest
+  | "--trace-out" :: [] ->
+    prerr_string "--trace-out requires a file name\n";
+    exit 2
+  | arg :: rest -> parse_opts (arg :: acc) rest
+
+(* Stage timings from the spans, to stderr so every table and figure on
+   stdout stays byte-identical whether or not telemetry is on. *)
+let print_stage_timings () =
+  match Impact_obs.Obs.stage_snapshot () with
+  | [] -> ()
+  | stages ->
+    Printf.eprintf "stage timings (busy seconds summed across workers):";
+    List.iter (fun (name, secs) -> Printf.eprintf " %s %.3f" name secs) stages;
+    prerr_newline ()
 
 let () =
-  let args = parse_jobs [] (List.tl (Array.to_list Sys.argv)) in
+  let args = parse_opts [] (List.tl (Array.to_list Sys.argv)) in
   let args =
     if args = [] then
       [
@@ -648,4 +704,11 @@ let () =
       | "json" -> write_json "BENCH_eval.json"
       | _ -> assert false);
       print_newline ())
-    args
+    args;
+  print_stage_timings ();
+  match !trace_out with
+  | Some path ->
+    Impact_obs.Obs.write_trace path;
+    Printf.eprintf "wrote %s (%d trace events)\n%!" path
+      (List.length (Impact_obs.Obs.events ()))
+  | None -> ()

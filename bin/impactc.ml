@@ -5,13 +5,18 @@
      show    -l NAME          print a loop nest's generated code at a level
      run     -l NAME          compile, simulate and report one loop nest
      sweep   -l NAME          run one loop nest across all levels/machines
+     profile NAME             stall attribution + pass telemetry report
      run-file FILE            compile and run a mini-Fortran source file
      show-file FILE           print a source file's generated code
+
+   run, sweep and profile accept --trace-out FILE to dump every
+   recorded span as Chrome trace_event JSON (open in Perfetto).
 *)
 
 open Cmdliner
 open Impact_ir
 open Impact_core
+module Obs = Impact_obs.Obs
 
 let find_workload name =
   match Impact_workloads.Suite.find name with
@@ -65,6 +70,29 @@ let sched_arg =
            list-schedules everything else.")
 
 let machine_of_issue issue = Machine.make ~issue ()
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Record every compiler/simulator span and write them to $(docv) as \
+           Chrome trace_event JSON (loadable in Perfetto or chrome://tracing).")
+
+(* Enable tracing for the command body when --trace-out is given, and
+   write the trace file at the end (also on error). *)
+let with_trace trace_out f =
+  match trace_out with
+  | None -> f ()
+  | Some path ->
+    Obs.set_tracing true;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.write_trace path;
+        Printf.eprintf "wrote %s (%d trace events)\n%!" path
+          (List.length (Obs.events ())))
+      f
 
 (* Per-loop pipelining reports, printed as `;` comment lines ahead of the
    generated code. *)
@@ -127,7 +155,8 @@ let show_cmd =
 (* -- run -- *)
 
 let run_cmd =
-  let run name level issue unroll sched =
+  let run name level issue unroll sched trace_out =
+    with_trace trace_out @@ fun () ->
     let w = find_workload name in
     let lower () = Impact_fir.Lower.lower w.Impact_workloads.Suite.ast in
     let machine = machine_of_issue issue in
@@ -149,12 +178,15 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile, simulate and report one loop nest")
-    Term.(const run $ loop_arg $ level_arg $ issue_arg $ unroll_arg $ sched_arg)
+    Term.(
+      const run $ loop_arg $ level_arg $ issue_arg $ unroll_arg $ sched_arg
+      $ trace_out_arg)
 
 (* -- sweep -- *)
 
 let sweep_cmd =
-  let run name unroll sched =
+  let run name unroll sched trace_out =
+    with_trace trace_out @@ fun () ->
     let w = find_workload name in
     let lower () = Impact_fir.Lower.lower w.Impact_workloads.Suite.ast in
     let base = Compile.measure Level.Conv Machine.issue_1 (lower ()) in
@@ -175,7 +207,163 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Run one loop nest across all levels and machines")
-    Term.(const run $ loop_arg $ unroll_arg $ sched_arg)
+    Term.(const run $ loop_arg $ unroll_arg $ sched_arg $ trace_out_arg)
+
+(* -- profile -- *)
+
+(* Human-readable stall-attribution table: every issue slot of every
+   cycle is either an issued instruction or an empty slot with exactly
+   one attributed cause, so the rows sum to cycles x issue. *)
+let print_stall_table (prof : Impact_sim.Sim.profile) =
+  let open Impact_sim.Sim in
+  let total = prof.p_cycles * prof.p_issue in
+  let pct n = 100.0 *. float_of_int n /. float_of_int (max 1 total) in
+  Printf.printf "stall attribution (%d cycles x issue %d = %d issue slots)\n"
+    prof.p_cycles prof.p_issue total;
+  Printf.printf "  %-36s %10s %6s\n" "category" "slots" "share";
+  Printf.printf "  %-36s %10d %5.1f%%\n" "issued" prof.p_issued_slots
+    (pct prof.p_issued_slots);
+  Array.iter
+    (fun (lat, n) ->
+      Printf.printf "  %-36s %10d %5.1f%%\n"
+        (Printf.sprintf "interlock (producer latency %d)" lat)
+        n (pct n))
+    prof.p_interlock;
+  Printf.printf "  %-36s %10d %5.1f%%\n" "branch-slot limit" prof.p_branch_limit
+    (pct prof.p_branch_limit);
+  Printf.printf "  %-36s %10d %5.1f%%\n" "taken-branch redirect" prof.p_redirect
+    (pct prof.p_redirect);
+  Printf.printf "  %-36s %10d %5.1f%%\n" "drain (out of instructions)" prof.p_drain
+    (pct prof.p_drain);
+  let classified = classified_slots prof in
+  let empty = empty_slots prof in
+  Printf.printf "  classified %d of %d empty slot-cycles%s\n" classified empty
+    (if classified = empty then " (exact)" else " (MISMATCH)")
+
+let print_ilp_histogram (prof : Impact_sim.Sim.profile) =
+  let open Impact_sim.Sim in
+  Printf.printf "issued-per-cycle histogram\n";
+  Array.iteri
+    (fun k cycles ->
+      if cycles > 0 then
+        Printf.printf "  %2d issued %9d cycles %5.1f%%  %s\n" k cycles
+          (100.0 *. float_of_int cycles /. float_of_int (max 1 prof.p_cycles))
+          (String.make
+             (max 1 (40 * cycles / max 1 prof.p_cycles))
+             '#'))
+    prof.p_ilp
+
+let print_hot_insns ?(limit = 8) (prof : Impact_sim.Sim.profile) =
+  let open Impact_sim.Sim in
+  let rows = Array.to_list prof.p_insn_issues in
+  let rows = List.filter (fun (_, n) -> n > 0) rows in
+  let rows = List.stable_sort (fun (_, a) (_, b) -> compare b a) rows in
+  Printf.printf "hottest static instructions (by dynamic issues)\n";
+  List.iteri
+    (fun k (i, n) ->
+      if k < limit then Printf.printf "  %9d  %s\n" n (Insn.to_string i))
+    rows
+
+(* Stall summary per level x issue rate for one kernel: the paper's
+   Fig. 8-10 mechanism made visible (interlock share shrinking as the
+   transformation level rises). *)
+let print_level_matrix w unroll sched =
+  Printf.printf
+    "stall summary per level x issue rate (%% of issue slots)\n";
+  Printf.printf "  %-6s %-8s %9s %5s %7s %10s %7s %9s %6s\n" "level" "machine"
+    "cycles" "ipc" "issued%" "interlock%" "brlim%" "redirect%" "drain%";
+  List.iter
+    (fun level ->
+      let tp =
+        Compile.transform ?unroll_factor:unroll level
+          (Impact_fir.Lower.lower w.Impact_workloads.Suite.ast)
+      in
+      List.iter
+        (fun issue ->
+          let machine = machine_of_issue issue in
+          let scheduled = Compile.schedule ~sched machine tp in
+          let r, prof = Impact_sim.Sim.run_profiled machine scheduled in
+          let open Impact_sim.Sim in
+          let total = float_of_int (max 1 (prof.p_cycles * prof.p_issue)) in
+          let pct n = 100.0 *. float_of_int n /. total in
+          let interlock =
+            Array.fold_left (fun acc (_, n) -> acc + n) 0 prof.p_interlock
+          in
+          Printf.printf
+            "  %-6s %-8s %9d %5.2f %6.1f%% %9.1f%% %6.1f%% %8.1f%% %5.1f%%\n"
+            (Level.to_string level) machine.Machine.name r.cycles
+            (float_of_int r.dyn_insns /. float_of_int r.cycles)
+            (pct prof.p_issued_slots) (pct interlock) (pct prof.p_branch_limit)
+            (pct prof.p_redirect) (pct prof.p_drain))
+        [ 2; 4; 8 ])
+    Level.all
+
+let profile_loop_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"NAME" ~doc:"Loop nest name from Table 2.")
+
+let profile_cmd =
+  let run name level issue unroll sched trace_out =
+    let w = find_workload name in
+    Obs.reset ();
+    Obs.set_collecting true;
+    with_trace trace_out @@ fun () ->
+    let machine = machine_of_issue issue in
+    let tp =
+      Compile.transform ?unroll_factor:unroll level
+        (Impact_fir.Lower.lower w.Impact_workloads.Suite.ast)
+    in
+    let scheduled, pipe_reports =
+      match sched with
+      | `List -> (Compile.schedule machine tp, [])
+      | `Pipe -> Impact_pipe.Pipe.run_with_report machine tp
+    in
+    let result, prof = Impact_sim.Sim.run_profiled machine scheduled in
+    Printf.printf "profile %s at %s on %s%s\n" name (Level.to_string level)
+      machine.Machine.name
+      (match sched with `Pipe -> " (software pipelined)" | `List -> "");
+    Printf.printf "  cycles %d, dyn insns %d, ipc %.2f\n\n"
+      result.Impact_sim.Sim.cycles result.Impact_sim.Sim.dyn_insns
+      (float_of_int result.Impact_sim.Sim.dyn_insns
+      /. float_of_int result.Impact_sim.Sim.cycles);
+    let rep = Obs.report () in
+    Printf.printf "pass telemetry (this compile)\n";
+    List.iter
+      (fun (k, v) -> Printf.printf "  %-42s %8d\n" k v)
+      rep.Obs.r_counters;
+    Printf.printf "  %-42s %8s %10s\n" "span" "calls" "busy ms";
+    List.iter
+      (fun (s : Obs.span_total) ->
+        Printf.printf "  %-42s %8d %10.3f\n" s.Obs.sp_name s.Obs.sp_calls
+          (s.Obs.sp_total_s *. 1e3))
+      rep.Obs.r_spans;
+    print_newline ();
+    (match pipe_reports with
+    | [] -> ()
+    | rs ->
+      Printf.printf "pipelining per-loop reports\n";
+      List.iter
+        (fun r -> Printf.printf "  %s\n" (Impact_pipe.Pipe.report_to_string r))
+        rs;
+      print_newline ());
+    print_stall_table prof;
+    print_newline ();
+    print_ilp_histogram prof;
+    print_newline ();
+    print_hot_insns prof;
+    print_newline ();
+    print_level_matrix w unroll sched
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Report stall attribution, ILP histogram and pass telemetry for one \
+          loop nest")
+    Term.(
+      const run $ profile_loop_arg $ level_arg $ issue_arg $ unroll_arg
+      $ sched_arg $ trace_out_arg)
 
 (* -- run-file / show-file -- *)
 
@@ -241,4 +429,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "impactc" ~doc)
-          [ list_cmd; show_cmd; run_cmd; sweep_cmd; run_file_cmd; show_file_cmd ]))
+          [ list_cmd; show_cmd; run_cmd; sweep_cmd; profile_cmd; run_file_cmd;
+            show_file_cmd ]))

@@ -82,6 +82,7 @@ let expand_loop ctx (pre : Block.item list) (l : Block.loop) : Block.item list =
       (fun ((v : Reg.t), positions) ->
         let k = List.length positions in
         let temps = List.init k (fun _ -> Reg.fresh ctx.Prog.rgen v.Reg.cls) in
+        Impact_obs.Obs.count "pass.accum_expand.expanded";
         (* Initialize: first temp to V, the rest to the additive identity. *)
         List.iteri
           (fun j t ->

@@ -277,6 +277,7 @@ let round ctx (l : Block.loop) : Block.loop * bool =
                     | Some i2' ->
                       Hashtbl.replace replace p2 i2';
                       if self_feeding then Hashtbl.replace swap p2 ();
+                      Impact_obs.Obs.count "pass.combine.combined";
                       changed := true
                     | None -> ())
               | _ -> ())

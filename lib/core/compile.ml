@@ -6,7 +6,8 @@
    shared across machine configurations. [schedule_and_measure] does
    the per-machine work: list scheduling for the target, execution-
    driven simulation, and register-usage measurement. Each stage
-   reports its wall time to [Impact_exec.Timing] for `bench json`. *)
+   reports its wall time to [Impact_obs.Obs] for `bench json` and the
+   bench stderr stage report. *)
 
 open Impact_ir
 
@@ -20,26 +21,27 @@ type measurement = {
 }
 
 let transform ?unroll_factor (level : Level.t) (p : Prog.t) : Prog.t =
-  Impact_exec.Timing.time "transform" (fun () ->
+  Impact_obs.Obs.stage "transform" (fun () ->
     let p = Level.apply ?unroll_factor level p in
-    Impact_sched.Superblock.run p)
+    Impact_obs.Obs.span ~cat:"sched" "sched.superblock" (fun () ->
+      Impact_sched.Superblock.run p))
 
 let schedule ?(sched = `List) (machine : Machine.t) (p : Prog.t) : Prog.t =
   match sched with
   | `List ->
-    Impact_exec.Timing.time "schedule" (fun () ->
-      Impact_sched.List_sched.run machine p)
+    Impact_obs.Obs.stage "schedule" (fun () ->
+      Impact_obs.Obs.span ~cat:"sched" "sched.list" (fun () ->
+        Impact_sched.List_sched.run machine p))
   | `Pipe -> Impact_pipe.Pipe.run machine p
 
 let schedule_and_measure ?(sched = `List) ?fuel (level : Level.t)
     (machine : Machine.t) (p : Prog.t) : measurement =
   let compiled = schedule ~sched machine p in
   let result =
-    Impact_exec.Timing.time "simulate" (fun () ->
-      Impact_sim.Sim.run ?fuel machine compiled)
+    Impact_obs.Obs.stage "simulate" (fun () -> Impact_sim.Sim.run ?fuel machine compiled)
   in
   let usage =
-    Impact_exec.Timing.time "regalloc" (fun () ->
+    Impact_obs.Obs.stage "regalloc" (fun () ->
       Impact_regalloc.Regalloc.measure compiled)
   in
   {

@@ -79,6 +79,7 @@ let expand_loop ctx (pre : Block.item list) (l : Block.loop) : Block.item list =
       (fun ((v : Reg.t), positions, m) ->
         let k = List.length positions in
         let temps = Array.init (k + 1) (fun _ -> Reg.fresh ctx.Prog.rgen Reg.Int) in
+        Impact_obs.Obs.count "pass.ind_expand.expanded";
         (* Initialization: temp_p = V + p*m. *)
         Array.iteri
           (fun p t ->

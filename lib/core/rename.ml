@@ -68,6 +68,7 @@ let rename_loop ctx (l : Block.loop) : Block.loop =
                   else begin
                     let d' = Reg.fresh ctx.Prog.rgen d.Reg.cls in
                     Hashtbl.replace cur key d';
+                    Impact_obs.Obs.count "pass.rename.renamed";
                     Some d'
                   end
                 | _ -> i.Insn.dst)

@@ -91,6 +91,7 @@ let expand_loop ctx (pre : Block.item list) (l : Block.loop) : Block.item list =
     List.iter
       (fun ((v : Reg.t), sites) ->
         let temps = List.map (fun _ -> Reg.fresh ctx.Prog.rgen v.Reg.cls) sites in
+        Impact_obs.Obs.count "pass.search_expand.expanded";
         List.iter
           (fun t ->
             let init =

@@ -121,20 +121,24 @@ let def_table (block : Block.t) : (int, Insn.t) Hashtbl.t =
   defs
 
 let reduce_insn ctx defs (i : Insn.t) : Insn.t list =
+  let reduced seq =
+    Impact_obs.Obs.count "pass.strength.reduced";
+    seq
+  in
   match i.Insn.op, i.Insn.dst with
   | Insn.IBin Insn.Mul, Some d -> (
     let attempt x c = if mul_latency <= 2 then None else expand_mul ctx d x c in
     match i.Insn.srcs.(0), i.Insn.srcs.(1) with
     | (Operand.Reg _ as x), Operand.Int c -> (
-      match attempt x c with Some seq -> seq | None -> [ i ])
+      match attempt x c with Some seq -> reduced seq | None -> [ i ])
     | Operand.Int c, (Operand.Reg _ as x) -> (
-      match attempt x c with Some seq -> seq | None -> [ i ])
+      match attempt x c with Some seq -> reduced seq | None -> [ i ])
     | _ -> [ i ])
   | Insn.IBin ((Insn.Div | Insn.Rem) as op), Some d -> (
     match i.Insn.srcs.(0), i.Insn.srcs.(1) with
     | (Operand.Reg _ as x), Operand.Int c when nonneg_operand defs 0 x -> (
       match expand_divrem ctx ~is_rem:(op = Insn.Rem) d x c with
-      | Some seq -> seq
+      | Some seq -> reduced seq
       | None -> [ i ])
     | _ -> [ i ])
   | _ -> [ i ]

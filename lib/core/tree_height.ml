@@ -242,6 +242,7 @@ let run (p : Prog.t) : Prog.t =
               if safe then
                 match rebuild g i ls with
                 | Some (code, new_h) when new_h < old_height g j ->
+                  Impact_obs.Obs.count "pass.tree_height.reduced";
                   Hashtbl.replace replace j code
                 | _ -> ()
             end)

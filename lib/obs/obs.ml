@@ -1,0 +1,210 @@
+(* Cross-layer observability. Design constraints, in order:
+
+   - Disabled cost: every instrumented call site in the compiler and
+     simulator hot paths must reduce to a single atomic load when both
+     switches are off, so telemetry never perturbs benchmark results.
+   - Determinism: worker domains record concurrently, so everything
+     aggregated here is either a commutative sum (counters, span
+     totals, stage seconds) or carries its own ordering key (trace
+     events carry timestamps; Perfetto sorts). Readback sorts by name,
+     so reports are byte-stable for any worker count and interleaving.
+   - One clock: bechamel's monotonic clock (clock_gettime MONOTONIC,
+     nanoseconds), already a dependency of the bench harness. *)
+
+type event = {
+  ename : string;
+  ecat : string;
+  ets_us : float;
+  edur_us : float;
+  etid : int;
+  eargs : (string * string) list;
+}
+
+type span_total = { sp_name : string; sp_calls : int; sp_total_s : float }
+
+type report = {
+  r_spans : span_total list;
+  r_counters : (string * int) list;
+  r_stages : (string * float) list;
+  r_notes : (string * string) list;
+}
+
+let collecting_flag = Atomic.make false
+
+let tracing_flag = Atomic.make false
+
+let set_collecting b = Atomic.set collecting_flag b
+
+let collecting () = Atomic.get collecting_flag
+
+let set_tracing b = Atomic.set tracing_flag b
+
+let tracing () = Atomic.get tracing_flag
+
+let enabled () = Atomic.get collecting_flag || Atomic.get tracing_flag
+
+let now () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+(* One mutex for all tables: contention is negligible at span/stage
+   granularity, and a single lock keeps the invariants simple. *)
+let m = Mutex.create ()
+
+let locked f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let events_rev : event list ref = ref []
+
+let notes_rev : (string * string) list ref = ref []
+
+let span_tbl : (string, float * int) Hashtbl.t = Hashtbl.create 64
+
+let counter_tbl : (string, int) Hashtbl.t = Hashtbl.create 64
+
+let stage_tbl : (string, float) Hashtbl.t = Hashtbl.create 16
+
+let tid () = (Domain.self () :> int)
+
+let add_span_total name dur =
+  locked (fun () ->
+    let total, calls =
+      Option.value ~default:(0.0, 0) (Hashtbl.find_opt span_tbl name)
+    in
+    Hashtbl.replace span_tbl name (total +. dur, calls + 1))
+
+let push_event ~cat ~args name ~t0 ~t1 =
+  let ev =
+    {
+      ename = name;
+      ecat = cat;
+      ets_us = t0 *. 1e6;
+      edur_us = (t1 -. t0) *. 1e6;
+      etid = tid ();
+      eargs = args;
+    }
+  in
+  locked (fun () -> events_rev := ev :: !events_rev)
+
+(* Shared close-out for span/emit/stage. *)
+let finish ~cat ~args ~as_stage name t0 =
+  let t1 = now () in
+  let dur = t1 -. t0 in
+  if as_stage then
+    locked (fun () ->
+      let prev = Option.value ~default:0.0 (Hashtbl.find_opt stage_tbl name) in
+      Hashtbl.replace stage_tbl name (prev +. dur))
+  else if Atomic.get collecting_flag then add_span_total name dur;
+  if Atomic.get tracing_flag then push_event ~cat ~args name ~t0 ~t1
+
+let span ?(cat = "") ?(args = []) name f =
+  if not (enabled ()) then f ()
+  else begin
+    let t0 = now () in
+    Fun.protect ~finally:(fun () -> finish ~cat ~args ~as_stage:false name t0) f
+  end
+
+let emit ?(cat = "") ?(args = []) name ~t0 =
+  if enabled () then finish ~cat ~args ~as_stage:false name t0
+
+let count ?(n = 1) name =
+  if Atomic.get collecting_flag then
+    locked (fun () ->
+      let prev = Option.value ~default:0 (Hashtbl.find_opt counter_tbl name) in
+      Hashtbl.replace counter_tbl name (prev + n))
+
+let note name text =
+  if Atomic.get collecting_flag then
+    locked (fun () -> notes_rev := (name, text) :: !notes_rev)
+
+let stage name f =
+  let t0 = now () in
+  Fun.protect ~finally:(fun () -> finish ~cat:"stage" ~args:[] ~as_stage:true name t0) f
+
+let record_stage name seconds =
+  locked (fun () ->
+    let prev = Option.value ~default:0.0 (Hashtbl.find_opt stage_tbl name) in
+    Hashtbl.replace stage_tbl name (prev +. seconds))
+
+let sorted_bindings tbl =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let stage_snapshot () = locked (fun () -> sorted_bindings stage_tbl)
+
+let reset_stages () = locked (fun () -> Hashtbl.reset stage_tbl)
+
+let counters () = locked (fun () -> sorted_bindings counter_tbl)
+
+let report () =
+  locked (fun () ->
+    {
+      r_spans =
+        List.map
+          (fun (name, (total, calls)) ->
+            { sp_name = name; sp_calls = calls; sp_total_s = total })
+          (sorted_bindings span_tbl);
+      r_counters = sorted_bindings counter_tbl;
+      r_stages = sorted_bindings stage_tbl;
+      r_notes = List.rev !notes_rev;
+    })
+
+let reset () =
+  locked (fun () ->
+    events_rev := [];
+    notes_rev := [];
+    Hashtbl.reset span_tbl;
+    Hashtbl.reset counter_tbl;
+    Hashtbl.reset stage_tbl)
+
+(* ---- Chrome trace export ---- *)
+
+let events () =
+  let evs = locked (fun () -> List.rev !events_rev) in
+  match evs with
+  | [] -> []
+  | _ ->
+    (* Rebase to the earliest start: raw timestamps count from boot. *)
+    let t0 = List.fold_left (fun a ev -> Float.min a ev.ets_us) Float.infinity evs in
+    List.map (fun ev -> { ev with ets_us = ev.ets_us -. t0 }) evs
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_trace path =
+  let oc = open_out path in
+  output_string oc "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  List.iteri
+    (fun k ev ->
+      if k > 0 then output_char oc ',';
+      Printf.fprintf oc
+        "\n{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"pid\": 1, \"tid\": %d, \
+         \"ts\": %.3f, \"dur\": %.3f"
+        (json_escape ev.ename)
+        (json_escape (if ev.ecat = "" then "misc" else ev.ecat))
+        ev.etid ev.ets_us ev.edur_us;
+      (match ev.eargs with
+      | [] -> ()
+      | args ->
+        output_string oc ", \"args\": {";
+        List.iteri
+          (fun j (k', v) ->
+            if j > 0 then output_string oc ", ";
+            Printf.fprintf oc "\"%s\": \"%s\"" (json_escape k') (json_escape v))
+          args;
+        output_char oc '}');
+      output_char oc '}')
+    (events ());
+  output_string oc "\n]}\n";
+  close_out oc

@@ -1,0 +1,112 @@
+(** Cross-layer observability: spans, counters, stage timers and Chrome
+    trace export for the whole compiler/simulator stack.
+
+    Two independent switches control the fine-grained instrumentation,
+    both off by default so the instrumented code paths cost one atomic
+    read when telemetry is unused:
+
+    - {e collecting} accumulates span totals, counters and notes into
+      the in-process tables read back by {!report};
+    - {e tracing} additionally records every span as a timed event for
+      {!write_trace} (Chrome [trace_event] JSON, loadable in Perfetto).
+
+    The coarse {e stage} accumulators ([transform], [schedule],
+    [simulate], [regalloc], [pipe]) are always on: they feed the
+    [stages] object of [BENCH_eval.json] and the stderr stage report,
+    exactly as the former [Impact_exec.Timing] did.
+
+    All tables are guarded by one mutex and all counters are
+    commutative sums, so concurrent worker domains may record freely:
+    totals are deterministic for any worker count. *)
+
+val set_collecting : bool -> unit
+
+val collecting : unit -> bool
+
+val set_tracing : bool -> unit
+
+val tracing : unit -> bool
+
+val enabled : unit -> bool
+(** [collecting () || tracing ()]. *)
+
+val now : unit -> float
+(** Monotonic clock, in seconds. Not related to the epoch; use only for
+    durations. *)
+
+(** {1 Spans} *)
+
+val span : ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f ()], attributing its wall time to [name].
+    Nestable (events record the domain they ran on, so Perfetto renders
+    nesting per worker). When telemetry is disabled the only cost is
+    one atomic load. The duration is recorded even when [f] raises. *)
+
+val emit : ?cat:string -> ?args:(string * string) list -> string -> t0:float -> unit
+(** [emit name ~t0] closes a span opened by hand at time [t0 = now ()];
+    for call sites whose [args] are only known after the work is done. *)
+
+(** {1 Counters and notes} *)
+
+val count : ?n:int -> string -> unit
+(** Add [n] (default 1) to the named counter. No-op unless collecting. *)
+
+val counters : unit -> (string * int) list
+(** Accumulated counters, sorted by name. *)
+
+val note : string -> string -> unit
+(** Record a free-form (name, text) line — e.g. one per-loop pipelining
+    report. No-op unless collecting. *)
+
+(** {1 Stages (always on)} *)
+
+val stage : string -> (unit -> 'a) -> 'a
+(** Like {!span} but for the coarse pipeline stages: the duration is
+    always accumulated (and also recorded as a trace event when tracing
+    is on). *)
+
+val record_stage : string -> float -> unit
+(** Add [seconds] to the named stage. *)
+
+val stage_snapshot : unit -> (string * float) list
+(** Accumulated (stage, busy seconds), sorted by name. Busy time is
+    summed across worker domains, so a stage can exceed elapsed wall
+    time on a parallel run. *)
+
+val reset_stages : unit -> unit
+
+(** {1 Report} *)
+
+type span_total = { sp_name : string; sp_calls : int; sp_total_s : float }
+
+type report = {
+  r_spans : span_total list;  (** per-span call counts and total time *)
+  r_counters : (string * int) list;
+  r_stages : (string * float) list;
+  r_notes : (string * string) list;  (** in recording order *)
+}
+
+val report : unit -> report
+
+val reset : unit -> unit
+(** Clear spans, counters, notes, stages and buffered trace events.
+    Leaves the [collecting]/[tracing] switches untouched. *)
+
+(** {1 Chrome trace export} *)
+
+type event = {
+  ename : string;
+  ecat : string;
+  ets_us : float;  (** start, microseconds, rebased to the first event *)
+  edur_us : float;
+  etid : int;  (** recording domain *)
+  eargs : (string * string) list;
+}
+
+val events : unit -> event list
+(** Buffered trace events in recording order, timestamps rebased so the
+    earliest event starts at 0. *)
+
+val write_trace : string -> unit
+(** Write the buffered events to [path] as Chrome [trace_event] JSON
+    ([{"traceEvents": [...]}]), loadable in Perfetto / chrome://tracing. *)

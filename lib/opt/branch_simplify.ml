@@ -57,4 +57,6 @@ let drop_unreferenced_labels (p : Prog.t) : Prog.t =
   in
   Walk.rewrite_blocks process p
 
-let run (p : Prog.t) : Prog.t = drop_unreferenced_labels (invert_branches p)
+let run (p : Prog.t) : Prog.t =
+  Impact_obs.Obs.span ~cat:"opt" "opt.branch_simplify" (fun () ->
+    drop_unreferenced_labels (invert_branches p))

@@ -46,6 +46,7 @@ let store_may_touch ~store_base ~other_base =
 type entry = { result : Reg.t; srcs : Operand.t array }
 
 let run (p : Prog.t) : Prog.t =
+  Impact_obs.Obs.span ~cat:"opt" "opt.cse" @@ fun () ->
   let ctx = p.Prog.ctx in
   let process (items : Block.t) : Block.t =
     let avail : (string, entry) Hashtbl.t = Hashtbl.create 32 in

@@ -63,4 +63,6 @@ let round (p : Prog.t) : Prog.t =
   Prog.with_entry p
     (Block.concat_map_insns (fun i -> if keep i then [ i ] else []) p.Prog.entry)
 
-let run (p : Prog.t) : Prog.t = Walk.fixpoint ~max_rounds:6 round (mark_sweep p)
+let run (p : Prog.t) : Prog.t =
+  Impact_obs.Obs.span ~cat:"opt" "opt.dce" (fun () ->
+    Walk.fixpoint ~max_rounds:6 round (mark_sweep p))

@@ -69,4 +69,6 @@ let simplify_insn ctx (i : Insn.t) : Insn.t list =
   | _ -> keep
 
 let run (p : Prog.t) : Prog.t =
-  Prog.with_entry p (Block.concat_map_insns (fun i -> simplify_insn p.Prog.ctx i) p.Prog.entry)
+  Impact_obs.Obs.span ~cat:"opt" "opt.fold" (fun () ->
+    Prog.with_entry p
+      (Block.concat_map_insns (fun i -> simplify_insn p.Prog.ctx i) p.Prog.entry))

@@ -266,9 +266,11 @@ let eliminate_loop ctx (pre : Block.item list) (l : Block.loop) : Block.item lis
   | _ -> keep ()
 
 let reduce (p : Prog.t) : Prog.t =
+  Impact_obs.Obs.span ~cat:"opt" "opt.ivopt.reduce" @@ fun () ->
   Walk.rewrite_innermost_with_preheader (reduce_loop p.Prog.ctx) p
 
 let eliminate (p : Prog.t) : Prog.t =
+  Impact_obs.Obs.span ~cat:"opt" "opt.ivopt.eliminate" @@ fun () ->
   Walk.rewrite_innermost_with_preheader (eliminate_loop p.Prog.ctx) p
 
 let run (p : Prog.t) : Prog.t = eliminate (reduce p)

@@ -67,4 +67,6 @@ let hoist_loop (pre : Block.item list) (l : Block.loop) : Block.item list =
   done;
   pre @ List.rev !hoisted @ [ Block.Loop { l with Block.body = !body } ]
 
-let run (p : Prog.t) : Prog.t = Walk.rewrite_innermost_with_preheader hoist_loop p
+let run (p : Prog.t) : Prog.t =
+  Impact_obs.Obs.span ~cat:"opt" "opt.licm" (fun () ->
+    Walk.rewrite_innermost_with_preheader hoist_loop p)

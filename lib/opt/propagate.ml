@@ -6,6 +6,7 @@
 open Impact_ir
 
 let run (p : Prog.t) : Prog.t =
+  Impact_obs.Obs.span ~cat:"opt" "opt.propagate" @@ fun () ->
   let process (items : Block.t) : Block.t =
     let env : (int, Operand.t) Hashtbl.t = Hashtbl.create 32 in
     let kill (d : Reg.t) =

@@ -493,10 +493,20 @@ let pipeline_loop ctx machine ~live_at_target ~pre_env ~global_targets
                   Pipelined { ii; mii; res_mii; rec_mii; stages; kunroll; trip; list_ci };
               } ))))
 
+let report_to_string (r : report) : string =
+  match r.status with
+  | Pipelined i ->
+    Printf.sprintf
+      "loop %d: pipelined II=%d (ResMII %d, RecMII %d, MII %d), stages %d, kernel unroll %d, trip %d, list %d cyc/iter"
+      r.lid i.ii i.res_mii i.rec_mii i.mii i.stages i.kunroll i.trip i.list_ci
+  | Skipped { reason; list_ci } ->
+    let tail = match list_ci with None -> "" | Some c -> Printf.sprintf ", list %d cyc/iter" c in
+    Printf.sprintf "loop %d: not pipelined (%s)%s" r.lid reason tail
+
 (* ---- Whole-program traversal (mirrors List_sched.run) ---- *)
 
 let run_with_report (machine : Machine.t) (p : Prog.t) : Prog.t * report list =
-  Impact_exec.Timing.time "pipe" (fun () ->
+  Impact_obs.Obs.stage "pipe" (fun () ->
     let live = Liveness.of_prog p in
     let live_at_target i = Some (Liveness.live_at_target live i) in
     let global_targets =
@@ -513,9 +523,24 @@ let run_with_report (machine : Machine.t) (p : Prog.t) : Prog.t * report list =
         | [] -> List.rev acc
         | Block.Loop l :: rest when Block.is_innermost l ->
           let pre_env = Linval.env_of_items (List.rev acc) in
+          let t0 = if Impact_obs.Obs.enabled () then Impact_obs.Obs.now () else 0.0 in
           let items, rep =
             pipeline_loop ctx machine ~live_at_target ~pre_env ~global_targets l
           in
+          if Impact_obs.Obs.enabled () then begin
+            Impact_obs.Obs.emit ~cat:"pipe"
+              ~args:[ ("report", report_to_string rep) ]
+              (Printf.sprintf "pipe.loop%d" rep.lid)
+              ~t0;
+            Impact_obs.Obs.count "pipe.loops";
+            Impact_obs.Obs.count
+              (match rep.status with
+              | Pipelined _ -> "pipe.pipelined"
+              | Skipped _ -> "pipe.skipped");
+            Impact_obs.Obs.note
+              (Printf.sprintf "pipe.%s.loop%d" machine.Machine.name rep.lid)
+              (report_to_string rep)
+          end;
           reports := rep :: !reports;
           go (List.rev_append items acc) rest
         | Block.Loop l :: rest ->
@@ -528,13 +553,3 @@ let run_with_report (machine : Machine.t) (p : Prog.t) : Prog.t * report list =
     (Prog.with_entry p entry, List.rev !reports))
 
 let run machine p = fst (run_with_report machine p)
-
-let report_to_string (r : report) : string =
-  match r.status with
-  | Pipelined i ->
-    Printf.sprintf
-      "loop %d: pipelined II=%d (ResMII %d, RecMII %d, MII %d), stages %d, kernel unroll %d, trip %d, list %d cyc/iter"
-      r.lid i.ii i.res_mii i.rec_mii i.mii i.stages i.kunroll i.trip i.list_ci
-  | Skipped { reason; list_ci } ->
-    let tail = match list_ci with None -> "" | Some c -> Printf.sprintf ", list %d cyc/iter" c in
-    Printf.sprintf "loop %d: not pipelined (%s)%s" r.lid reason tail

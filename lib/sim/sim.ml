@@ -117,9 +117,84 @@ let collect (p : Prog.t) (mem : mem) ivals fvals : (string * value) list * (stri
 
 let default_fuel = 400_000_000
 
+(* ---- Issue-slot accounting (stall attribution) ---- *)
+
+(* A profiled run classifies every one of its [p_cycles * p_issue]
+   issue slots: [p_issued_slots] of them issued an instruction and each
+   empty slot has exactly one attributed cause, so the categories sum
+   to [empty_slots] by construction (checked by the tier-1 tests). The
+   in-order pipeline empties the rest of a cycle for whichever reason
+   stops issue first, which is why one cause per cycle suffices. *)
+type profile = {
+  p_issue : int;
+  p_cycles : int;
+  p_issued_slots : int;  (* = dyn_insns *)
+  p_interlock : (int * int) array;
+      (* (producer latency, slot-cycles) — slots lost waiting on a
+         result, keyed by the latency class of the op producing it *)
+  p_branch_limit : int;  (* slots lost to the branch-slot limit *)
+  p_redirect : int;  (* slots emptied after a taken branch *)
+  p_drain : int;  (* program ran out of instructions / final writebacks *)
+  p_ilp : int array;  (* p_ilp.(k) = cycles that issued exactly k *)
+  p_insn_issues : (Insn.t * int) array;  (* per static instruction *)
+}
+
+let empty_slots p = (p.p_cycles * p.p_issue) - p.p_issued_slots
+
+let classified_slots p =
+  Array.fold_left (fun acc (_, n) -> acc + n) 0 p.p_interlock
+  + p.p_branch_limit + p.p_redirect + p.p_drain
+
+(* Largest Table 1 latency; bounds the interlock histogram. *)
+let max_latency = List.fold_left (fun acc (_, l) -> max acc l) 1 Machine.table1_rows
+
+(* Mutable accumulator threaded through a profiled run. [ps_iprod] /
+   [ps_fprod] remember the latency of the op that last wrote each
+   register, so an interlock can be attributed to its producer's
+   latency class (the paper's Fig. 8 mechanism: renaming and expansion
+   remove exactly these waits). *)
+type pstate = {
+  ps_interlock : int array;
+  mutable ps_blimit : int;
+  mutable ps_redirect : int;
+  mutable ps_drain : int;
+  ps_ilp : int array;
+  ps_insn : int array;
+  ps_iprod : int array;
+  ps_fprod : int array;
+}
+
+let make_pstate ~issue ~ncode ~nregs =
+  {
+    ps_interlock = Array.make (max_latency + 1) 0;
+    ps_blimit = 0;
+    ps_redirect = 0;
+    ps_drain = 0;
+    ps_ilp = Array.make (issue + 1) 0;
+    ps_insn = Array.make ncode 0;
+    ps_iprod = Array.make nregs 0;
+    ps_fprod = Array.make nregs 0;
+  }
+
+let profile_of_pstate (s : pstate) ~issue ~cycles ~dyn (code : Insn.t array) : profile =
+  let inter = ref [] in
+  Array.iteri (fun lat n -> if n > 0 then inter := (lat, n) :: !inter) s.ps_interlock;
+  {
+    p_issue = issue;
+    p_cycles = cycles;
+    p_issued_slots = dyn;
+    p_interlock = Array.of_list (List.rev !inter);
+    p_branch_limit = s.ps_blimit;
+    p_redirect = s.ps_redirect;
+    p_drain = s.ps_drain;
+    p_ilp = s.ps_ilp;
+    p_insn_issues = Array.mapi (fun k c -> (code.(k), c)) s.ps_insn;
+  }
+
 (* ---- Reference interpreter (also the traced path) ---- *)
 
-let run_ref ?(fuel = default_fuel) ?trace (machine : Machine.t) (p : Prog.t) : result =
+let run_ref_gen ?(fuel = default_fuel) ?trace ~profile (machine : Machine.t) (p : Prog.t)
+    : result * profile option =
   let flat = Flatten.of_prog p in
   let code = flat.Flatten.code in
   let ncode = Array.length code in
@@ -130,6 +205,7 @@ let run_ref ?(fuel = default_fuel) ?trace (machine : Machine.t) (p : Prog.t) : r
       code
   in
   let nregs = Reg.gen_count p.Prog.ctx.Prog.rgen + 1 in
+  let ps = if profile then Some (make_pstate ~issue:machine.Machine.issue ~ncode ~nregs) else None in
   let ivals = Array.make nregs 0 in
   let fvals = Array.make nregs 0.0 in
   let iready = Array.make nregs 0 in
@@ -180,6 +256,12 @@ let run_ref ?(fuel = default_fuel) ?trace (machine : Machine.t) (p : Prog.t) : r
       fvals.(r.Reg.id) <- x;
       fready.(r.Reg.id) <- cycle + lat
     | Reg.Int, VF _ | Reg.Float, VI _ -> errf "class mismatch writing %s" (Reg.to_string r));
+    (match ps with
+    | Some s -> (
+      match r.Reg.cls with
+      | Reg.Int -> s.ps_iprod.(r.Reg.id) <- lat
+      | Reg.Float -> s.ps_fprod.(r.Reg.id) <- lat)
+    | None -> ());
     ()
   in
   let icmp c a b =
@@ -205,6 +287,25 @@ let run_ref ?(fuel = default_fuel) ?trace (machine : Machine.t) (p : Prog.t) : r
   let dyn = ref 0 in
   let last_writeback = ref 0 in
   let running = ref true in
+  (* Producer latency of the first unready source, in operand order:
+     the register the in-order interlock is actually waiting on. *)
+  let blocking_lat (s : pstate) (i : Insn.t) =
+    let lat = ref 0 in
+    (try
+       Array.iter
+         (fun o ->
+           match o with
+           | Operand.Reg r when ready_of o > !cycle ->
+             (lat :=
+                match r.Reg.cls with
+                | Reg.Int -> s.ps_iprod.(r.Reg.id)
+                | Reg.Float -> s.ps_fprod.(r.Reg.id));
+             raise Exit
+           | _ -> ())
+         i.Insn.srcs
+     with Exit -> ());
+    !lat
+  in
   while !running && !pc < ncode do
     if !cycle > fuel then raise Timeout;
     let issued = ref 0 in
@@ -214,11 +315,23 @@ let run_ref ?(fuel = default_fuel) ?trace (machine : Machine.t) (p : Prog.t) : r
       let k = !pc in
       let i = code.(k) in
       (* Interlock: all register sources must be ready. *)
+      let regs_ready = Array.for_all (fun o -> ready_of o <= !cycle) i.Insn.srcs in
       let ready =
-        Array.for_all (fun o -> ready_of o <= !cycle) i.Insn.srcs
+        regs_ready
         && (not (Insn.is_branch i) || !branches < machine.Machine.branch_slots)
       in
-      if not ready then stall := true
+      if not ready then begin
+        (match ps with
+        | Some s ->
+          let open_slots = machine.Machine.issue - !issued in
+          if not regs_ready then begin
+            let lat = blocking_lat s i in
+            s.ps_interlock.(lat) <- s.ps_interlock.(lat) + open_slots
+          end
+          else s.ps_blimit <- s.ps_blimit + open_slots
+        | None -> ());
+        stall := true
+      end
       else begin
         (match trace with Some f -> f i ~cycle:!cycle | None -> ());
         incr dyn;
@@ -317,16 +430,49 @@ let run_ref ?(fuel = default_fuel) ?trace (machine : Machine.t) (p : Prog.t) : r
           pc := targets.(k);
           stall := true);
         if not (Insn.is_branch i) then incr pc
-        else if not !stall then incr pc (* untaken conditional: fall through *)
+        else if not !stall then incr pc (* untaken conditional: fall through *);
+        (match ps with
+        | Some s ->
+          s.ps_insn.(k) <- s.ps_insn.(k) + 1;
+          (* A taken branch empties the rest of the cycle. *)
+          if !stall then
+            s.ps_redirect <- s.ps_redirect + (machine.Machine.issue - !issued)
+        | None -> ())
       end
     done;
+    (match ps with
+    | Some s ->
+      s.ps_ilp.(!issued) <- s.ps_ilp.(!issued) + 1;
+      if (not !stall) && !issued < machine.Machine.issue then
+        (* The program ran out of instructions mid-cycle. *)
+        s.ps_drain <- s.ps_drain + (machine.Machine.issue - !issued)
+    | None -> ());
     incr cycle;
     if !pc >= ncode then running := false
   done;
   let outputs, arrays_out = collect p mem ivals fvals in
   (* Execution ends when the last in-flight result writes back, not at
      the last issue. *)
-  { cycles = max !cycle !last_writeback; dyn_insns = !dyn; outputs; arrays_out }
+  let cycles = max !cycle !last_writeback in
+  let prof =
+    Option.map
+      (fun s ->
+        (* Trailing cycles where issue has stopped but results are
+           still in flight. *)
+        s.ps_drain <- s.ps_drain + ((cycles - !cycle) * machine.Machine.issue);
+        s.ps_ilp.(0) <- s.ps_ilp.(0) + (cycles - !cycle);
+        profile_of_pstate s ~issue:machine.Machine.issue ~cycles ~dyn:!dyn code)
+      ps
+  in
+  ({ cycles; dyn_insns = !dyn; outputs; arrays_out }, prof)
+
+let run_ref ?fuel ?trace (machine : Machine.t) (p : Prog.t) : result =
+  fst (run_ref_gen ?fuel ?trace ~profile:false machine p)
+
+let run_ref_profiled ?fuel (machine : Machine.t) (p : Prog.t) : result * profile =
+  match run_ref_gen ?fuel ~profile:true machine p with
+  | r, Some prof -> (r, prof)
+  | _, None -> assert false
 
 (* ---- Pre-decoded fast path ---- *)
 
@@ -339,9 +485,11 @@ let run_ref ?(fuel = default_fuel) ?trace (machine : Machine.t) (p : Prog.t) : r
 type dinsn = {
   dop : Insn.op;
   ddst : int;  (* destination register index; -1 when none *)
+  ddst_f : bool;  (* destination is a float register *)
   dlat : int;
   dtarget : int;  (* branch target code index; -1 when not a branch *)
   dsrc_reg : int array;
+  dsrc_isf : bool array;  (* slot k reads the float register file *)
   dsrc_imm_i : int array;
   dsrc_imm_f : float array;
   drdy_i : int array;
@@ -361,6 +509,7 @@ let decode (mem : mem) (flat : Flatten.t) : dinsn array =
   let decode_one (i : Insn.t) : dinsn =
     let n = Array.length i.Insn.srcs in
     let dsrc_reg = Array.make n (-1) in
+    let dsrc_isf = Array.make n false in
     let dsrc_imm_i = Array.make n 0 in
     let dsrc_imm_f = Array.make n 0.0 in
     let rdy_i = ref [] in
@@ -382,6 +531,7 @@ let decode (mem : mem) (flat : Flatten.t) : dinsn array =
         if r.Reg.cls <> Reg.Float then
           errf "int register %s in float context" (Reg.to_string r);
         dsrc_reg.(k) <- r.Reg.id;
+        dsrc_isf.(k) <- true;
         rdy_f := r.Reg.id :: !rdy_f
       | Operand.Flt x -> dsrc_imm_f.(k) <- x
       | Operand.Int v -> dsrc_imm_f.(k) <- float_of_int v
@@ -410,21 +560,23 @@ let decode (mem : mem) (flat : Flatten.t) : dinsn array =
       cls_slot cls 0;
       cls_slot cls 1
     | Insn.Jmp -> ());
-    let ddst =
+    let ddst, ddst_f =
       match i.Insn.dst, Insn.result_cls i with
       | Some r, Some cls ->
         if r.Reg.cls <> cls then errf "class mismatch writing %s" (Reg.to_string r);
-        r.Reg.id
-      | Some _, None -> -1
+        (r.Reg.id, cls = Reg.Float)
+      | Some _, None -> (-1, false)
       | None, Some _ -> errf "instruction %d lacks destination" i.Insn.id
-      | None, None -> -1
+      | None, None -> (-1, false)
     in
     {
       dop = i.Insn.op;
       ddst;
+      ddst_f;
       dlat = Machine.latency i.Insn.op;
       dtarget = (if Insn.is_branch i then Flatten.target_index flat i else -1);
       dsrc_reg;
+      dsrc_isf;
       dsrc_imm_i;
       dsrc_imm_f;
       drdy_i = Array.of_list (List.rev !rdy_i);
@@ -434,10 +586,13 @@ let decode (mem : mem) (flat : Flatten.t) : dinsn array =
   in
   Array.map decode_one code
 
-let run_fast ?(fuel = default_fuel) (machine : Machine.t) (p : Prog.t) : result =
+let run_fast_gen ?(fuel = default_fuel) ~profile (machine : Machine.t) (p : Prog.t) :
+    result * profile option =
   let flat = Flatten.of_prog p in
-  let ncode = Array.length flat.Flatten.code in
+  let code = flat.Flatten.code in
+  let ncode = Array.length code in
   let nregs = Reg.gen_count p.Prog.ctx.Prog.rgen + 1 in
+  let ps = if profile then Some (make_pstate ~issue:machine.Machine.issue ~ncode ~nregs) else None in
   let ivals = Array.make nregs 0 in
   let fvals = Array.make nregs 0.0 in
   let iready = Array.make nregs 0 in
@@ -470,6 +625,30 @@ let run_fast ?(fuel = default_fuel) (machine : Machine.t) (p : Prog.t) : result 
     c
   [@@inline]
   in
+  (* Producer latency of the first unready source in operand-slot
+     order, matching the reference path's [blocking_lat] (the
+     [drdy_i]/[drdy_f] arrays group slots by class, so they cannot be
+     used here: the classification must agree between both paths). *)
+  let blocking_lat_fast (s : pstate) (d : dinsn) cyc =
+    let lat = ref 0 in
+    (try
+       for k = 0 to Array.length d.dsrc_reg - 1 do
+         let r = d.dsrc_reg.(k) in
+         if r >= 0 then
+           if d.dsrc_isf.(k) then begin
+             if fready.(r) > cyc then begin
+               lat := s.ps_fprod.(r);
+               raise Exit
+             end
+           end
+           else if iready.(r) > cyc then begin
+             lat := s.ps_iprod.(r);
+             raise Exit
+           end
+       done
+     with Exit -> ());
+    !lat
+  in
   let pc = ref 0 in
   let cycle = ref 0 in
   let dyn = ref 0 in
@@ -482,23 +661,35 @@ let run_fast ?(fuel = default_fuel) (machine : Machine.t) (p : Prog.t) : result 
     let branches = ref 0 in
     let stall = ref false in
     while (not !stall) && !issued < issue_width && !pc < ncode do
-      let d = dcode.(!pc) in
+      let k = !pc in
+      let d = dcode.(k) in
       (* Interlock: all register sources ready, and a branch slot free
          for branches. *)
-      let ready =
-        (let ok = ref true in
-         let ri = d.drdy_i in
-         for s = 0 to Array.length ri - 1 do
-           if iready.(ri.(s)) > cyc then ok := false
-         done;
-         let rf = d.drdy_f in
-         for s = 0 to Array.length rf - 1 do
-           if fready.(rf.(s)) > cyc then ok := false
-         done;
-         !ok)
-        && ((not d.dbr) || !branches < branch_slots)
+      let regs_ready =
+        let ok = ref true in
+        let ri = d.drdy_i in
+        for s = 0 to Array.length ri - 1 do
+          if iready.(ri.(s)) > cyc then ok := false
+        done;
+        let rf = d.drdy_f in
+        for s = 0 to Array.length rf - 1 do
+          if fready.(rf.(s)) > cyc then ok := false
+        done;
+        !ok
       in
-      if not ready then stall := true
+      let ready = regs_ready && ((not d.dbr) || !branches < branch_slots) in
+      if not ready then begin
+        (match ps with
+        | Some s ->
+          let open_slots = issue_width - !issued in
+          if not regs_ready then begin
+            let lat = blocking_lat_fast s d cyc in
+            s.ps_interlock.(lat) <- s.ps_interlock.(lat) + open_slots
+          end
+          else s.ps_blimit <- s.ps_blimit + open_slots
+        | None -> ());
+        stall := true
+      end
       else begin
         incr dyn;
         incr issued;
@@ -586,16 +777,53 @@ let run_fast ?(fuel = default_fuel) (machine : Machine.t) (p : Prog.t) : result 
           pc := d.dtarget;
           stall := true);
         if not d.dbr then incr pc
-        else if not !stall then incr pc (* untaken conditional: fall through *)
+        else if not !stall then incr pc (* untaken conditional: fall through *);
+        (match ps with
+        | Some s ->
+          s.ps_insn.(k) <- s.ps_insn.(k) + 1;
+          if d.ddst >= 0 then
+            if d.ddst_f then s.ps_fprod.(d.ddst) <- lat
+            else s.ps_iprod.(d.ddst) <- lat;
+          (* A taken branch empties the rest of the cycle. *)
+          if !stall then s.ps_redirect <- s.ps_redirect + (issue_width - !issued)
+        | None -> ())
       end
     done;
+    (match ps with
+    | Some s ->
+      s.ps_ilp.(!issued) <- s.ps_ilp.(!issued) + 1;
+      if (not !stall) && !issued < issue_width then
+        (* The program ran out of instructions mid-cycle. *)
+        s.ps_drain <- s.ps_drain + (issue_width - !issued)
+    | None -> ());
     incr cycle;
     if !pc >= ncode then running := false
   done;
   let outputs, arrays_out = collect p mem ivals fvals in
-  { cycles = max !cycle !last_writeback; dyn_insns = !dyn; outputs; arrays_out }
+  let cycles = max !cycle !last_writeback in
+  let prof =
+    Option.map
+      (fun s ->
+        (* Trailing cycles where issue has stopped but results are
+           still in flight. *)
+        s.ps_drain <- s.ps_drain + ((cycles - !cycle) * issue_width);
+        s.ps_ilp.(0) <- s.ps_ilp.(0) + (cycles - !cycle);
+        profile_of_pstate s ~issue:issue_width ~cycles ~dyn:!dyn code)
+      ps
+  in
+  ({ cycles; dyn_insns = !dyn; outputs; arrays_out }, prof)
+
+let run_fast ?fuel (machine : Machine.t) (p : Prog.t) : result =
+  fst (run_fast_gen ?fuel ~profile:false machine p)
 
 let run ?fuel ?trace (machine : Machine.t) (p : Prog.t) : result =
-  match trace with
-  | Some _ -> run_ref ?fuel ?trace machine p
-  | None -> run_fast ?fuel machine p
+  Impact_obs.Obs.span ~cat:"sim" "sim.run" (fun () ->
+    match trace with
+    | Some _ -> run_ref ?fuel ?trace machine p
+    | None -> run_fast ?fuel machine p)
+
+let run_profiled ?fuel (machine : Machine.t) (p : Prog.t) : result * profile =
+  Impact_obs.Obs.span ~cat:"sim" "sim.run" (fun () ->
+    match run_fast_gen ?fuel ~profile:true machine p with
+    | r, Some prof -> (r, prof)
+    | _, None -> assert false)

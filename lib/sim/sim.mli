@@ -39,7 +39,11 @@ val run :
     validate schedules and by the issue-profile checks. Without [trace]
     the program is first pre-decoded into flat execution records so the
     per-dynamic-instruction path does no operand matching, list lookups
-    or trace checks; with [trace] the reference interpreter runs. *)
+    or trace checks. Passing [trace] silently switches execution to the
+    reference interpreter ({!run_ref}): the fast path carries no trace
+    hook, and the two paths are interchangeable because the conformance
+    tests pin them to identical results. The run is recorded as a
+    ["sim.run"] span when [Impact_obs.Obs] telemetry is on. *)
 
 val run_ref :
   ?fuel:int ->
@@ -49,4 +53,61 @@ val run_ref :
   result
 (** The reference interpreter (always un-decoded); [run] must agree with
     it on [cycles], [dyn_insns] and all observables. Used by the
-    conformance tests. *)
+    conformance tests and, via [run]'s fallback, whenever a [trace]
+    hook is supplied. *)
+
+(** {1 Stall attribution}
+
+    A profiled run additionally accounts for every issue slot of every
+    cycle: [p_cycles * p_issue] slot-cycles in total, of which
+    [p_issued_slots] issued an instruction and each empty one has
+    exactly one attributed cause. The in-order pipeline stops issue
+    within a cycle for whichever reason hits first, and the rest of
+    that cycle's slots are charged to that reason:
+
+    - {e interlock}: the next instruction waits on a source register;
+      charged to the latency class of the producing op ([p_interlock]
+      maps producer latency to slot-cycles);
+    - {e branch-slot limit}: the next instruction is a branch but the
+      cycle's branch slots are used up;
+    - {e redirect}: slots after a taken branch (fetch resumes at the
+      target next cycle);
+    - {e drain}: the program ran out of instructions — mid-cycle at
+      the end, plus whole trailing cycles waiting for the last
+      writebacks.
+
+    By construction [classified_slots] equals [empty_slots]; the tier-1
+    tests assert this and that both execution paths produce identical
+    profiles. *)
+
+type profile = {
+  p_issue : int;
+  p_cycles : int;
+  p_issued_slots : int;  (** = [dyn_insns] *)
+  p_interlock : (int * int) array;
+      (** (producer latency, slot-cycles), ascending, zero rows elided *)
+  p_branch_limit : int;
+  p_redirect : int;
+  p_drain : int;
+  p_ilp : int array;
+      (** [p_ilp.(k)] = cycles that issued exactly [k] instructions;
+          length [p_issue + 1], sums to [p_cycles] *)
+  p_insn_issues : (Impact_ir.Insn.t * int) array;
+      (** issue count per static instruction, in code order *)
+}
+
+val empty_slots : profile -> int
+(** [p_cycles * p_issue - p_issued_slots]. *)
+
+val classified_slots : profile -> int
+(** Sum of all attributed categories; equals {!empty_slots}. *)
+
+val run_profiled :
+  ?fuel:int -> Impact_ir.Machine.t -> Impact_ir.Prog.t -> result * profile
+(** [run] (fast path) with issue-slot accounting. *)
+
+val run_ref_profiled :
+  ?fuel:int -> Impact_ir.Machine.t -> Impact_ir.Prog.t -> result * profile
+(** [run_ref] with issue-slot accounting; must produce a profile
+    identical to {!run_profiled}'s (asserted by the conformance
+    tests). *)

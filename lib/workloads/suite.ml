@@ -948,7 +948,12 @@ let all : t list =
       ~conds:false vsum;
   ]
 
-let find name = List.find_opt (fun w -> w.name = name) all
+(* Alternate names accepted by the command-line tools. *)
+let aliases = [ ("vecadd", "add") ]
+
+let find name =
+  let name = Option.value ~default:name (List.assoc_opt name aliases) in
+  List.find_opt (fun w -> w.name = name) all
 
 let doall_subset = List.filter (fun w -> w.ltype = Doall) all
 

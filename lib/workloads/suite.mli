@@ -25,6 +25,8 @@ val sim_cap : int
 val all : t list
 
 val find : string -> t option
+(** Lookup by [name], also accepting a few aliases (e.g. ["vecadd"] for
+    the vector-add kernel ["add"]). *)
 
 val doall_subset : t list
 

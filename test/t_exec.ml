@@ -204,6 +204,36 @@ let test_sim_conformance () =
         [ Level.Conv; Level.Lev4 ])
     Impact_workloads.Suite.all
 
+(* Stall attribution must agree exactly between the two execution
+   paths: same categories, same interlock latency classes, same ILP
+   histogram, same per-instruction issue counts. *)
+let test_stall_counter_conformance () =
+  List.iter
+    (fun wname ->
+      let w = Option.get (Impact_workloads.Suite.find wname) in
+      List.iter
+        (fun level ->
+          List.iter
+            (fun machine ->
+              let p =
+                Compile.compile level machine
+                  (Helpers.lower w.Impact_workloads.Suite.ast)
+              in
+              let rf, pf = Impact_sim.Sim.run_profiled machine p in
+              let rr, pr = Impact_sim.Sim.run_ref_profiled machine p in
+              let name =
+                Printf.sprintf "%s/%s/%s" wname (Level.to_string level)
+                  machine.Machine.name
+              in
+              same_result name rf rr;
+              Helpers.check_bool (name ^ ": profiles identical") true (pf = pr);
+              Helpers.check_int (name ^ ": conservation")
+                (Impact_sim.Sim.empty_slots pf)
+                (Impact_sim.Sim.classified_slots pf))
+            [ Machine.issue_2; Machine.issue_8 ])
+        [ Level.Conv; Level.Lev4 ])
+    [ "add"; "dotprod"; "maxval"; "merge"; "SDS-1"; "WSS-2" ]
+
 (* Decode-time validation must reject the same ill-formed programs as
    the interpreter, with the same error. *)
 let test_sim_errors_agree () =
@@ -255,6 +285,8 @@ let suite =
       [
         Alcotest.test_case "pre-decoded run == run_ref on suite" `Slow
           test_sim_conformance;
+        Alcotest.test_case "stall counters: fast == ref on suite subset" `Slow
+          test_stall_counter_conformance;
         Alcotest.test_case "decode errors match interpreter errors" `Quick
           test_sim_errors_agree;
       ] );

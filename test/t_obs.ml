@@ -1,0 +1,296 @@
+(* Tests for the observability layer (lib/obs) and the simulator's
+   stall attribution:
+
+   - Obs: span totals, counters, notes and stages accumulate under the
+     switches; trace events rebase to 0 and survive JSON export; reset
+     clears tables but not switches; everything is off by default.
+   - Stall attribution: categories sum exactly to
+     cycles * issue - dyn_insns (vecadd at issue 2/4/8, every level);
+     the ILP histogram sums to cycles and its weighted sum to
+     dyn_insns; per-instruction issue counts sum to dyn_insns.
+   - Telemetry invariance (qcheck): enabling collecting + tracing never
+     changes cycles, dyn_insns or observables of a run. *)
+
+open Impact_ir
+open Impact_core
+module Obs = Impact_obs.Obs
+module Sim = Impact_sim.Sim
+
+(* Run [f] with both switches forced to [c]/[t], restoring the previous
+   state (tests share the process with the rest of the suite). *)
+let with_switches ~collecting ~tracing f =
+  let c0 = Obs.collecting () and t0 = Obs.tracing () in
+  Obs.set_collecting collecting;
+  Obs.set_tracing tracing;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_collecting c0;
+      Obs.set_tracing t0)
+    f
+
+(* ---- Obs core ---- *)
+
+let test_off_by_default () =
+  with_switches ~collecting:false ~tracing:false @@ fun () ->
+  Obs.reset ();
+  ignore (Obs.span "t.off" (fun () -> Obs.count "t.off.counter"; 41 + 1));
+  let rep = Obs.report () in
+  Helpers.check_int "no spans" 0 (List.length rep.Obs.r_spans);
+  Helpers.check_int "no counters" 0 (List.length rep.Obs.r_counters);
+  Helpers.check_int "no events" 0 (List.length (Obs.events ()))
+
+let test_span_totals () =
+  with_switches ~collecting:true ~tracing:false @@ fun () ->
+  Obs.reset ();
+  for _ = 1 to 3 do
+    ignore (Obs.span "t.outer" (fun () -> Obs.span "t.inner" (fun () -> ())))
+  done;
+  let rep = Obs.report () in
+  let find n =
+    List.find (fun (s : Obs.span_total) -> s.Obs.sp_name = n) rep.Obs.r_spans
+  in
+  Helpers.check_int "outer calls" 3 (find "t.outer").Obs.sp_calls;
+  Helpers.check_int "inner calls" 3 (find "t.inner").Obs.sp_calls;
+  Helpers.check_bool "outer >= inner" true
+    ((find "t.outer").Obs.sp_total_s >= (find "t.inner").Obs.sp_total_s);
+  (* Collecting without tracing must not buffer events. *)
+  Helpers.check_int "no events" 0 (List.length (Obs.events ()))
+
+let test_span_raises () =
+  with_switches ~collecting:true ~tracing:false @@ fun () ->
+  Obs.reset ();
+  (try Obs.span "t.raise" (fun () -> failwith "boom") with Failure _ -> ());
+  let rep = Obs.report () in
+  Helpers.check_bool "span recorded despite raise" true
+    (List.exists (fun (s : Obs.span_total) -> s.Obs.sp_name = "t.raise")
+       rep.Obs.r_spans)
+
+let test_counters_and_notes () =
+  with_switches ~collecting:true ~tracing:false @@ fun () ->
+  Obs.reset ();
+  Obs.count "t.a";
+  Obs.count ~n:4 "t.a";
+  Obs.count "t.b";
+  Obs.note "t.note" "hello";
+  let rep = Obs.report () in
+  Helpers.check_int "t.a" 5 (List.assoc "t.a" rep.Obs.r_counters);
+  Helpers.check_int "t.b" 1 (List.assoc "t.b" rep.Obs.r_counters);
+  Helpers.check_string "note" "hello" (List.assoc "t.note" rep.Obs.r_notes)
+
+let test_stages_always_on () =
+  with_switches ~collecting:false ~tracing:false @@ fun () ->
+  Obs.reset ();
+  ignore (Obs.stage "t.stage" (fun () -> 7));
+  Obs.record_stage "t.stage" 1.5;
+  let s = Obs.stage_snapshot () in
+  Helpers.check_bool "stage accumulated with switches off" true
+    (List.assoc "t.stage" s >= 1.5);
+  Obs.reset_stages ();
+  Helpers.check_int "stages cleared" 0 (List.length (Obs.stage_snapshot ()))
+
+(* Naive substring test (no Str dependency). *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go k = k + nn <= nh && (String.sub haystack k nn = needle || go (k + 1)) in
+  go 0
+
+let test_trace_events_and_json () =
+  with_switches ~collecting:false ~tracing:true @@ fun () ->
+  Obs.reset ();
+  ignore (Obs.span ~cat:"t" ~args:[ ("k", "v\"esc") ] "t.ev1" (fun () -> ()));
+  ignore (Obs.span ~cat:"t" "t.ev2" (fun () -> ()));
+  let evs = Obs.events () in
+  Helpers.check_int "two events" 2 (List.length evs);
+  Helpers.check_bool "rebased to zero" true
+    (List.exists (fun e -> e.Obs.ets_us = 0.0) evs);
+  List.iter
+    (fun e -> Helpers.check_bool "non-negative ts" true (e.Obs.ets_us >= 0.0))
+    evs;
+  let path = Filename.temp_file "obs_test" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Obs.write_trace path;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  Helpers.check_bool "has traceEvents key" true (contains body "\"traceEvents\"");
+  Helpers.check_bool "has event name" true (contains body "t.ev1");
+  Helpers.check_bool "escaped arg value" true (contains body "\\\"esc");
+  Helpers.check_bool "valid tail" true (contains body "]}")
+
+let test_reset_keeps_switches () =
+  with_switches ~collecting:true ~tracing:true @@ fun () ->
+  Obs.count "t.gone";
+  Obs.reset ();
+  Helpers.check_bool "collecting survives reset" true (Obs.collecting ());
+  Helpers.check_bool "tracing survives reset" true (Obs.tracing ());
+  Helpers.check_int "counters cleared" 0 (List.length (Obs.counters ()))
+
+(* ---- Stall attribution ---- *)
+
+let interlock_total (p : Sim.profile) =
+  Array.fold_left (fun acc (_, n) -> acc + n) 0 p.Sim.p_interlock
+
+let check_profile name machine (r : Sim.result) (p : Sim.profile) =
+  Helpers.check_int (name ^ ": p_issue") machine.Machine.issue p.Sim.p_issue;
+  Helpers.check_int (name ^ ": p_cycles") r.Sim.cycles p.Sim.p_cycles;
+  Helpers.check_int (name ^ ": issued slots = dyn insns") r.Sim.dyn_insns
+    p.Sim.p_issued_slots;
+  (* The acceptance invariant: categories sum to cycles*issue - dyn. *)
+  Helpers.check_int
+    (name ^ ": categories sum to empty slots")
+    (r.Sim.cycles * machine.Machine.issue - r.Sim.dyn_insns)
+    (Sim.classified_slots p);
+  Helpers.check_int (name ^ ": empty_slots consistent") (Sim.empty_slots p)
+    (Sim.classified_slots p);
+  (* ILP histogram: one bucket per executed cycle, weighted sum = dyn. *)
+  Helpers.check_int (name ^ ": ilp buckets sum to cycles") r.Sim.cycles
+    (Array.fold_left ( + ) 0 p.Sim.p_ilp);
+  let weighted = ref 0 in
+  Array.iteri (fun k n -> weighted := !weighted + (k * n)) p.Sim.p_ilp;
+  Helpers.check_int (name ^ ": ilp weighted sum = dyn") r.Sim.dyn_insns !weighted;
+  (* Per-instruction issue counts partition the dynamic stream. *)
+  Helpers.check_int
+    (name ^ ": insn issues sum to dyn")
+    r.Sim.dyn_insns
+    (Array.fold_left (fun acc (_, n) -> acc + n) 0 p.Sim.p_insn_issues);
+  Array.iter
+    (fun (lat, n) ->
+      Helpers.check_bool (name ^ ": interlock rows positive") true
+        (lat >= 1 && n > 0))
+    p.Sim.p_interlock
+
+let test_conservation_vecadd () =
+  let ast = Helpers.vecadd_ast 64 in
+  List.iter
+    (fun level ->
+      List.iter
+        (fun issue ->
+          let machine = Machine.make ~issue () in
+          let prog = Compile.compile level machine (Helpers.lower ast) in
+          let r, p = Sim.run_profiled machine prog in
+          check_profile
+            (Printf.sprintf "vecadd/%s/issue-%d" (Level.to_string level) issue)
+            machine r p)
+        [ 2; 4; 8 ])
+    Level.all
+
+(* Conservation must also hold on control-heavy and recurrence-bound
+   kernels, and under software pipelining. *)
+let test_conservation_other_kernels () =
+  List.iter
+    (fun (name, ast, sched) ->
+      let machine = Machine.issue_8 in
+      let prog =
+        Compile.compile ~sched Level.Lev4 machine (Helpers.lower ast)
+      in
+      let r, p = Sim.run_profiled machine prog in
+      check_profile name machine r p)
+    [
+      ("maxval", Helpers.maxval_ast 64, `List);
+      ("recurrence", Helpers.recurrence_ast 64, `List);
+      ("dotprod-pipe", Helpers.dotprod_ast 64, `Pipe);
+    ]
+
+let same_profile name (a : Sim.profile) (b : Sim.profile) =
+  Helpers.check_int (name ^ ": issue") a.Sim.p_issue b.Sim.p_issue;
+  Helpers.check_int (name ^ ": cycles") a.Sim.p_cycles b.Sim.p_cycles;
+  Helpers.check_int (name ^ ": issued") a.Sim.p_issued_slots b.Sim.p_issued_slots;
+  Helpers.check_bool (name ^ ": interlock rows") true
+    (a.Sim.p_interlock = b.Sim.p_interlock);
+  Helpers.check_int (name ^ ": branch limit") a.Sim.p_branch_limit
+    b.Sim.p_branch_limit;
+  Helpers.check_int (name ^ ": redirect") a.Sim.p_redirect b.Sim.p_redirect;
+  Helpers.check_int (name ^ ": drain") a.Sim.p_drain b.Sim.p_drain;
+  Helpers.check_bool (name ^ ": ilp histogram") true (a.Sim.p_ilp = b.Sim.p_ilp);
+  Helpers.check_bool (name ^ ": per-insn issues") true
+    (Array.for_all2 (fun (_, x) (_, y) -> x = y) a.Sim.p_insn_issues
+       b.Sim.p_insn_issues)
+
+(* Redundant with the t_exec conformance sweep but cheap and local:
+   fast-path and reference profiles agree bit for bit. *)
+let test_fast_vs_ref_profile () =
+  let ast = Helpers.dotprod_ast 64 in
+  List.iter
+    (fun issue ->
+      let machine = Machine.make ~issue () in
+      let prog = Compile.compile Level.Lev3 machine (Helpers.lower ast) in
+      let _, pf = Sim.run_profiled machine prog in
+      let _, pr = Sim.run_ref_profiled machine prog in
+      same_profile (Printf.sprintf "dotprod/issue-%d" issue) pf pr)
+    [ 2; 8 ]
+
+(* ---- Telemetry invariance (qcheck) ---- *)
+
+let kernel_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun n -> ("vecadd", Helpers.vecadd_ast n)) (int_range 4 48);
+        map (fun n -> ("dotprod", Helpers.dotprod_ast n)) (int_range 4 48);
+        map (fun n -> ("maxval", Helpers.maxval_ast n)) (int_range 4 48);
+        map (fun n -> ("recurrence", Helpers.recurrence_ast n)) (int_range 4 48);
+      ])
+
+let config_gen =
+  QCheck.Gen.(
+    triple kernel_gen
+      (oneofl Level.all)
+      (oneofl [ Machine.issue_2; Machine.issue_4; Machine.issue_8 ]))
+
+let config_arb =
+  QCheck.make config_gen ~print:(fun (((name, _), level, machine)) ->
+      Printf.sprintf "%s/%s/%s" name (Level.to_string level)
+        machine.Machine.name)
+
+(* Turning every switch on (and profiling) must not change what the
+   program computes or how long it takes. *)
+let prop_telemetry_invariant =
+  QCheck.Test.make ~count:40 ~name:"telemetry never changes results"
+    config_arb
+    (fun ((_, ast), level, machine) ->
+      let prog () = Compile.compile level machine (Helpers.lower ast) in
+      let off =
+        with_switches ~collecting:false ~tracing:false @@ fun () ->
+        Sim.run machine (prog ())
+      in
+      let on, (r_prof, _) =
+        with_switches ~collecting:true ~tracing:true @@ fun () ->
+        Obs.reset ();
+        let p = prog () in
+        (Sim.run machine p, Sim.run_profiled machine p)
+      in
+      let same (a : Sim.result) (b : Sim.result) =
+        a.Sim.cycles = b.Sim.cycles
+        && a.Sim.dyn_insns = b.Sim.dyn_insns
+        && a.Sim.outputs = b.Sim.outputs
+        && a.Sim.arrays_out = b.Sim.arrays_out
+      in
+      same off on && same off r_prof)
+
+let suite =
+  [
+    ( "obs.core",
+      [
+        Alcotest.test_case "everything off by default" `Quick test_off_by_default;
+        Alcotest.test_case "span totals and nesting" `Quick test_span_totals;
+        Alcotest.test_case "span records on raise" `Quick test_span_raises;
+        Alcotest.test_case "counters and notes" `Quick test_counters_and_notes;
+        Alcotest.test_case "stages accumulate with switches off" `Quick
+          test_stages_always_on;
+        Alcotest.test_case "trace events and JSON export" `Quick
+          test_trace_events_and_json;
+        Alcotest.test_case "reset keeps switches" `Quick test_reset_keeps_switches;
+      ] );
+    ( "obs.stalls",
+      [
+        Alcotest.test_case "conservation: vecadd, all levels x issue 2/4/8"
+          `Quick test_conservation_vecadd;
+        Alcotest.test_case "conservation: branchy / recurrence / pipelined"
+          `Quick test_conservation_other_kernels;
+        Alcotest.test_case "fast and reference profiles identical" `Quick
+          test_fast_vs_ref_profile;
+      ] );
+    ( "obs.props",
+      [ QCheck_alcotest.to_alcotest prop_telemetry_invariant ] );
+  ]

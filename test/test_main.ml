@@ -21,4 +21,5 @@ let () =
          T_misc.suite;
          T_edge.suite;
          T_exec.suite;
+         T_obs.suite;
        ])
