@@ -1,4 +1,4 @@
-.PHONY: all build test bench smoke pipe profile check clean
+.PHONY: all build test bench smoke pipe profile serve check clean
 
 all: build
 
@@ -22,6 +22,12 @@ pipe: build
 # change; see DESIGN.md "Observability").
 profile: build
 	dune exec bin/impactc.exe -- profile $(or $(KERNEL),vecadd) --sched pipe
+
+# Batch query service demo: three lines in (valid, malformed, unknown
+# loop), three JSON records out, exit 0 (see README "impactc serve").
+serve: build
+	printf '{"loop": "dotprod", "level": "Lev4", "issue": 8}\nnot json\n{"loop": "nope"}\n' \
+	  | dune exec bin/impactc.exe -- serve
 
 check: build test smoke
 

@@ -15,6 +15,15 @@
      main.exe --trace-out f.json ...
                               additionally record every span as a
                               Chrome trace_event JSON (Perfetto)
+     main.exe --no-cache | --cache-dir DIR
+                              persistent result cache control
+
+   The evaluation matrix consults the persistent content-addressed
+   result cache (default directory _cache/, overridable with
+   --cache-dir or IMPACT_CACHE_DIR; disable with --no-cache or
+   IMPACT_CACHE=0), so a warm re-run answers every cell from disk.
+   Cache hit/miss totals go to stderr; stdout is byte-identical cold
+   or warm, at any worker count.
 
    Stage timings are printed to stderr at the end of every run; all
    tables and figures on stdout stay byte-identical for any worker
@@ -22,6 +31,18 @@
 
 open Impact_ir
 open Impact_core
+
+(* Resolved options for the whole matrix: the defaults, i.e. list
+   scheduling, Level's unroll factor, Sim's fuel. Echoed into
+   BENCH_eval.json's [config]. *)
+let bench_opts = Opts.default
+
+(* Persistent result cache: on by default, off with --no-cache or
+   IMPACT_CACHE=0; directory from --cache-dir, else IMPACT_CACHE_DIR,
+   else _cache/. *)
+let cache_enabled = ref (Sys.getenv_opt "IMPACT_CACHE" <> Some "0")
+let cache_dir = ref (Impact_svc.Store.resolve_dir ())
+let cache_store : Impact_svc.Store.t option ref = ref None
 
 let subjects : Experiment.subject list =
   List.map
@@ -43,11 +64,11 @@ let cells : Experiment.cell list Lazy.t =
   lazy
     (let t0 = Impact_obs.Obs.now () in
      let cs =
-       Experiment.run_all
+       Experiment.run_all_with
          ~progress:(fun name ->
            prerr_string (Printf.sprintf "  [run] %s\n" name);
            flush stderr)
-         machines Level.all subjects
+         bench_opts machines Level.all subjects
      in
      cells_wall := Impact_obs.Obs.now () -. t0;
      cs)
@@ -216,7 +237,7 @@ let print_ablation () =
       let speedups =
         Impact_exec.Pool.map_list
           (fun (s : Experiment.subject) ->
-            let base = Experiment.base_measurement s in
+            let base = Experiment.base_measurement_with bench_opts s in
             let p = pipeline (Impact_fir.Lower.lower s.Experiment.ast) in
             let p = Impact_sched.Superblock.run p in
             let p = Impact_sched.List_sched.run Machine.issue_8 p in
@@ -268,8 +289,11 @@ let pipe_eval (mlist : Machine.t list) (ss : Experiment.subject list) :
     (Experiment.subject * pipe_row list) list =
   Impact_exec.Pool.map_list
     (fun (s : Experiment.subject) ->
-      let base = Experiment.base_measurement s in
-      let tp = Compile.transform Level.Conv (Impact_fir.Lower.lower s.Experiment.ast) in
+      let base = Experiment.base_measurement_with bench_opts s in
+      let tp =
+        Compile.transform_with bench_opts Level.Conv
+          (Impact_fir.Lower.lower s.Experiment.ast)
+      in
       let rows =
         List.map
           (fun machine ->
@@ -387,7 +411,7 @@ let print_issue_sweep () =
   Printf.printf "%s\n" (String.make 60 '-');
   let issues = [ 1; 2; 4; 8; 16 ] in
   let machines = List.map (fun i -> Machine.make ~issue:i ()) issues in
-  let cells = Experiment.run_all machines Level.all subjects in
+  let cells = Experiment.run_all_with bench_opts machines Level.all subjects in
   Printf.printf "%-7s" "issue";
   List.iter (fun l -> Printf.printf " %6s" (Level.to_string l)) Level.all;
   print_newline ();
@@ -522,12 +546,59 @@ let write_json path =
                rep.Impact_obs.Obs.r_spans) );
       ]
   in
+  (* The resolved run configuration (satellite: every run echoes the
+     query it answered, so a JSON consumer can key results without
+     reverse-engineering defaults). *)
+  let json_str s = "\"" ^ json_escape s ^ "\"" in
+  let json_arr xs = "[" ^ String.concat ", " xs ^ "]" in
+  let config =
+    let cache =
+      match !cache_store with
+      | None -> json_obj [ ("enabled", "false") ]
+      | Some st ->
+        let s = Impact_svc.Store.stats st in
+        json_obj
+          [
+            ("enabled", "true");
+            ("dir", json_str !cache_dir);
+            ("hits", string_of_int (Impact_svc.Store.hits s));
+            ("mem_hits", string_of_int s.Impact_svc.Store.mem_hits);
+            ("disk_hits", string_of_int s.Impact_svc.Store.disk_hits);
+            ("misses", string_of_int s.Impact_svc.Store.misses);
+            ("stores", string_of_int s.Impact_svc.Store.stores);
+            ("corrupt", string_of_int s.Impact_svc.Store.corrupt);
+          ]
+    in
+    let opt_int = function Some n -> string_of_int n | None -> "null" in
+    json_obj
+      [
+        ("levels", json_arr (List.map (fun l -> json_str (Level.to_string l)) Level.all));
+        ( "machines",
+          json_arr
+            (List.map
+               (fun (m : Machine.t) ->
+                 json_obj
+                   [
+                     ("name", json_str m.Machine.name);
+                     ("issue", string_of_int m.Machine.issue);
+                     ("branch_slots", string_of_int m.Machine.branch_slots);
+                   ])
+               machines) );
+        ("sched", json_str (Opts.sched_to_string bench_opts.Opts.sched));
+        ("unroll", opt_int bench_opts.Opts.unroll);
+        ("fuel", opt_int bench_opts.Opts.fuel);
+        ("cache_format_version", string_of_int Impact_svc.Query.format_version);
+        ("cache", cache);
+      ]
+  in
   let doc =
     json_obj
       [
-        ("schema", "\"impact-bench-eval/1\"");
+        ("schema", "\"impact-bench-eval/2\"");
+        ("schema_version", "2");
         ("generated_at_unix", json_num (Unix.gettimeofday ()));
         ("workers", string_of_int (Impact_exec.Pool.resolve_workers ()));
+        ("config", config);
         ("subjects", string_of_int (List.length subjects));
         ("cells", string_of_int (List.length cs));
         ("total_wall_s", json_num total_wall);
@@ -622,8 +693,9 @@ let usage () =
 (* Chrome trace destination from --trace-out, when given. *)
 let trace_out = ref None
 
-(* Parse -j/--jobs and --trace-out out of the argument list; returns
-   remaining args. Exits 2 on a malformed option. *)
+(* Parse -j/--jobs, --trace-out and the cache options out of the
+   argument list; returns remaining args. Exits 2 on a malformed
+   option. *)
 let rec parse_opts acc = function
   | [] -> List.rev acc
   | ("-j" | "--jobs") :: v :: rest -> (
@@ -644,6 +716,15 @@ let rec parse_opts acc = function
   | "--trace-out" :: [] ->
     prerr_string "--trace-out requires a file name\n";
     exit 2
+  | "--no-cache" :: rest ->
+    cache_enabled := false;
+    parse_opts acc rest
+  | "--cache-dir" :: dir :: rest ->
+    cache_dir := dir;
+    parse_opts acc rest
+  | "--cache-dir" :: [] ->
+    prerr_string "--cache-dir requires a directory\n";
+    exit 2
   | arg :: rest -> parse_opts (arg :: acc) rest
 
 (* Stage timings from the spans, to stderr so every table and figure on
@@ -656,8 +737,26 @@ let print_stage_timings () =
     List.iter (fun (name, secs) -> Printf.eprintf " %s %.3f" name secs) stages;
     prerr_newline ()
 
+(* Cache hit/miss totals, to stderr (stdout stays byte-identical cold or
+   warm). The CI warm-rerun step greps this line. *)
+let print_cache_stats () =
+  match !cache_store with
+  | None -> ()
+  | Some st ->
+    let s = Impact_svc.Store.stats st in
+    Printf.eprintf
+      "cache: %d hits (%d memory, %d disk), %d misses, %d stores, %d corrupt (dir %s)\n%!"
+      (Impact_svc.Store.hits s) s.Impact_svc.Store.mem_hits
+      s.Impact_svc.Store.disk_hits s.Impact_svc.Store.misses
+      s.Impact_svc.Store.stores s.Impact_svc.Store.corrupt !cache_dir
+
 let () =
   let args = parse_opts [] (List.tl (Array.to_list Sys.argv)) in
+  if !cache_enabled then begin
+    let st = Impact_svc.Store.open_store !cache_dir in
+    cache_store := Some st;
+    Impact_svc.Service.install_cache st
+  end;
   let args =
     if args = [] then
       [
@@ -706,6 +805,7 @@ let () =
       print_newline ())
     args;
   print_stage_timings ();
+  print_cache_stats ();
   match !trace_out with
   | Some path ->
     Impact_obs.Obs.write_trace path;

@@ -8,10 +8,14 @@
      profile NAME             stall attribution + pass telemetry report
      run-file FILE            compile and run a mini-Fortran source file
      show-file FILE           print a source file's generated code
+     serve   [FILE]           answer a batch of JSON queries (one per line)
 
-   run, sweep and profile accept --trace-out FILE to dump every
-   recorded span as Chrome trace_event JSON (open in Perfetto).
-*)
+   Every subcommand shares one option block ([common_opts]):
+   --level/--issue/--unroll/--sched/--trace-out, so e.g. `profile` takes
+   exactly the flags `run` does. --trace-out FILE dumps every recorded
+   span as Chrome trace_event JSON (open in Perfetto). `serve` consults
+   and fills the persistent content-addressed result cache under
+   _cache/ (see DESIGN.md "Query API & result cache"). *)
 
 open Cmdliner
 open Impact_ir
@@ -39,51 +43,72 @@ let loop_arg =
     & opt (some string) None
     & info [ "l"; "loop" ] ~docv:"NAME" ~doc:"Loop nest name from Table 2.")
 
-let level_arg =
-  Arg.(
-    value
-    & opt level_conv Level.Lev4
-    & info [ "O"; "level" ] ~docv:"LEVEL" ~doc:"Transformation level (Conv, Lev1..Lev4).")
+(* ---- The shared option block ---- *)
 
-let issue_arg =
-  Arg.(
-    value
-    & opt int 8
-    & info [ "issue" ] ~docv:"N" ~doc:"Processor issue rate (instructions/cycle).")
+type common_opts = {
+  co_level : Level.t;
+  co_issue : int;
+  co_unroll : int option;
+  co_sched : Opts.sched;
+  co_trace_out : string option;
+}
 
-let unroll_arg =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "unroll" ] ~docv:"N" ~doc:"Override the unroll factor (default 8).")
+let opts_of (co : common_opts) : Opts.t =
+  Opts.make ?unroll:co.co_unroll ~sched:co.co_sched ()
 
-let sched_arg =
-  Arg.(
-    value
-    & opt (enum [ ("list", `List); ("pipe", `Pipe) ]) `List
-    & info [ "sched" ] ~docv:"SCHED"
-        ~doc:
-          "Scheduler: $(b,list) (default) is plain list scheduling; $(b,pipe) \
-           software-pipelines every eligible innermost loop by iterative modulo \
-           scheduling (II bounded below by max(ResMII, RecMII), modulo variable \
-           expansion, prologue/kernel/epilogue code generation) and \
-           list-schedules everything else.")
+let machine_of (co : common_opts) = Machine.make ~issue:co.co_issue ()
 
-let machine_of_issue issue = Machine.make ~issue ()
-
-let trace_out_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "trace-out" ] ~docv:"FILE"
-        ~doc:
-          "Record every compiler/simulator span and write them to $(docv) as \
-           Chrome trace_event JSON (loadable in Perfetto or chrome://tracing).")
+let common_opts_term =
+  let level_arg =
+    Arg.(
+      value
+      & opt level_conv Level.Lev4
+      & info [ "O"; "level" ] ~docv:"LEVEL"
+          ~doc:"Transformation level (Conv, Lev1..Lev4). Ignored by $(b,sweep), which runs all levels.")
+  in
+  let issue_arg =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "issue" ] ~docv:"N"
+          ~doc:"Processor issue rate (instructions/cycle). Ignored by $(b,sweep), which runs all machines.")
+  in
+  let unroll_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "unroll" ] ~docv:"N" ~doc:"Override the unroll factor (default 8).")
+  in
+  let sched_arg =
+    Arg.(
+      value
+      & opt (enum [ ("list", `List); ("pipe", `Pipe) ]) `List
+      & info [ "sched" ] ~docv:"SCHED"
+          ~doc:
+            "Scheduler: $(b,list) (default) is plain list scheduling; $(b,pipe) \
+             software-pipelines every eligible innermost loop by iterative modulo \
+             scheduling (II bounded below by max(ResMII, RecMII), modulo variable \
+             expansion, prologue/kernel/epilogue code generation) and \
+             list-schedules everything else.")
+  in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Record every compiler/simulator span and write them to $(docv) as \
+             Chrome trace_event JSON (loadable in Perfetto or chrome://tracing).")
+  in
+  Term.(
+    const (fun co_level co_issue co_unroll co_sched co_trace_out ->
+        { co_level; co_issue; co_unroll; co_sched; co_trace_out })
+    $ level_arg $ issue_arg $ unroll_arg $ sched_arg $ trace_out_arg)
 
 (* Enable tracing for the command body when --trace-out is given, and
    write the trace file at the end (also on error). *)
-let with_trace trace_out f =
-  match trace_out with
+let with_trace (co : common_opts) f =
+  match co.co_trace_out with
   | None -> f ()
   | Some path ->
     Obs.set_tracing true;
@@ -122,21 +147,22 @@ let list_cmd =
 (* -- show -- *)
 
 let show_cmd =
-  let run name level issue unroll scheduled sched =
+  let run name co scheduled =
+    with_trace co @@ fun () ->
     let w = find_workload name in
     let p = Impact_fir.Lower.lower w.Impact_workloads.Suite.ast in
-    let p = Level.apply ?unroll_factor:unroll level p in
+    let p = Level.apply ?unroll_factor:co.co_unroll co.co_level p in
     (* --sched pipe implies scheduling: the pipelined structure only
        exists after the scheduler has run. *)
-    if scheduled || sched = `Pipe then begin
+    if scheduled || co.co_sched = `Pipe then begin
       let sb = Impact_sched.Superblock.run p in
-      match sched with
+      match co.co_sched with
       | `List ->
         print_string
-          (Pp.prog_to_string (Impact_sched.List_sched.run (machine_of_issue issue) sb))
+          (Pp.prog_to_string (Impact_sched.List_sched.run (machine_of co) sb))
       | `Pipe ->
         let piped, reports =
-          Impact_pipe.Pipe.run_with_report (machine_of_issue issue) sb
+          Impact_pipe.Pipe.run_with_report (machine_of co) sb
         in
         print_pipe_reports reports;
         print_string (Pp.prog_to_string piped)
@@ -148,23 +174,22 @@ let show_cmd =
   in
   Cmd.v
     (Cmd.info "show" ~doc:"Print the generated code of a loop nest at a level")
-    Term.(
-      const run $ loop_arg $ level_arg $ issue_arg $ unroll_arg $ scheduled_arg
-      $ sched_arg)
+    Term.(const run $ loop_arg $ common_opts_term $ scheduled_arg)
 
 (* -- run -- *)
 
 let run_cmd =
-  let run name level issue unroll sched trace_out =
-    with_trace trace_out @@ fun () ->
+  let run name co =
+    with_trace co @@ fun () ->
     let w = find_workload name in
     let lower () = Impact_fir.Lower.lower w.Impact_workloads.Suite.ast in
-    let machine = machine_of_issue issue in
-    let base = Compile.measure Level.Conv Machine.issue_1 (lower ()) in
-    let m = Compile.measure ?unroll_factor:unroll ~sched level machine (lower ()) in
-    Printf.printf "loop %s at %s on %s%s\n" name (Level.to_string level)
+    let machine = machine_of co in
+    let opts = opts_of co in
+    let base = Compile.measure_with (Opts.base opts) Level.Conv Machine.issue_1 (lower ()) in
+    let m = Compile.measure_with opts co.co_level machine (lower ()) in
+    Printf.printf "loop %s at %s on %s%s\n" name (Level.to_string co.co_level)
       machine.Machine.name
-      (match sched with `Pipe -> " (software pipelined)" | `List -> "");
+      (match co.co_sched with `Pipe -> " (software pipelined)" | `List -> "");
     Printf.printf "  cycles        %d (base issue-1 Conv: %d)\n" m.Compile.cycles
       base.Compile.cycles;
     Printf.printf "  dyn insns     %d\n" m.Compile.dyn_insns;
@@ -178,26 +203,23 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile, simulate and report one loop nest")
-    Term.(
-      const run $ loop_arg $ level_arg $ issue_arg $ unroll_arg $ sched_arg
-      $ trace_out_arg)
+    Term.(const run $ loop_arg $ common_opts_term)
 
 (* -- sweep -- *)
 
 let sweep_cmd =
-  let run name unroll sched trace_out =
-    with_trace trace_out @@ fun () ->
+  let run name co =
+    with_trace co @@ fun () ->
     let w = find_workload name in
     let lower () = Impact_fir.Lower.lower w.Impact_workloads.Suite.ast in
-    let base = Compile.measure Level.Conv Machine.issue_1 (lower ()) in
+    let opts = opts_of co in
+    let base = Compile.measure_with (Opts.base opts) Level.Conv Machine.issue_1 (lower ()) in
     Printf.printf "%-6s %-9s %10s %8s %6s\n" "level" "machine" "cycles" "speedup" "regs";
     List.iter
       (fun machine ->
         List.iter
           (fun level ->
-            let m =
-              Compile.measure ?unroll_factor:unroll ~sched level machine (lower ())
-            in
+            let m = Compile.measure_with opts level machine (lower ()) in
             Printf.printf "%-6s %-9s %10d %8.2f %6d\n" (Level.to_string level)
               machine.Machine.name m.Compile.cycles
               (Compile.speedup ~base ~this:m)
@@ -207,7 +229,7 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Run one loop nest across all levels and machines")
-    Term.(const run $ loop_arg $ unroll_arg $ sched_arg $ trace_out_arg)
+    Term.(const run $ loop_arg $ common_opts_term)
 
 (* -- profile -- *)
 
@@ -267,7 +289,7 @@ let print_hot_insns ?(limit = 8) (prof : Impact_sim.Sim.profile) =
 (* Stall summary per level x issue rate for one kernel: the paper's
    Fig. 8-10 mechanism made visible (interlock share shrinking as the
    transformation level rises). *)
-let print_level_matrix w unroll sched =
+let print_level_matrix w (opts : Opts.t) =
   Printf.printf
     "stall summary per level x issue rate (%% of issue slots)\n";
   Printf.printf "  %-6s %-8s %9s %5s %7s %10s %7s %9s %6s\n" "level" "machine"
@@ -275,13 +297,13 @@ let print_level_matrix w unroll sched =
   List.iter
     (fun level ->
       let tp =
-        Compile.transform ?unroll_factor:unroll level
+        Compile.transform_with opts level
           (Impact_fir.Lower.lower w.Impact_workloads.Suite.ast)
       in
       List.iter
         (fun issue ->
-          let machine = machine_of_issue issue in
-          let scheduled = Compile.schedule ~sched machine tp in
+          let machine = Machine.make ~issue () in
+          let scheduled = Compile.schedule_with opts machine tp in
           let r, prof = Impact_sim.Sim.run_profiled machine scheduled in
           let open Impact_sim.Sim in
           let total = float_of_int (max 1 (prof.p_cycles * prof.p_issue)) in
@@ -305,25 +327,26 @@ let profile_loop_arg =
     & info [] ~docv:"NAME" ~doc:"Loop nest name from Table 2.")
 
 let profile_cmd =
-  let run name level issue unroll sched trace_out =
+  let run name co =
     let w = find_workload name in
     Obs.reset ();
     Obs.set_collecting true;
-    with_trace trace_out @@ fun () ->
-    let machine = machine_of_issue issue in
+    with_trace co @@ fun () ->
+    let machine = machine_of co in
+    let opts = opts_of co in
     let tp =
-      Compile.transform ?unroll_factor:unroll level
+      Compile.transform_with opts co.co_level
         (Impact_fir.Lower.lower w.Impact_workloads.Suite.ast)
     in
     let scheduled, pipe_reports =
-      match sched with
-      | `List -> (Compile.schedule machine tp, [])
+      match co.co_sched with
+      | `List -> (Compile.schedule_with opts machine tp, [])
       | `Pipe -> Impact_pipe.Pipe.run_with_report machine tp
     in
     let result, prof = Impact_sim.Sim.run_profiled machine scheduled in
-    Printf.printf "profile %s at %s on %s%s\n" name (Level.to_string level)
+    Printf.printf "profile %s at %s on %s%s\n" name (Level.to_string co.co_level)
       machine.Machine.name
-      (match sched with `Pipe -> " (software pipelined)" | `List -> "");
+      (match co.co_sched with `Pipe -> " (software pipelined)" | `List -> "");
     Printf.printf "  cycles %d, dyn insns %d, ipc %.2f\n\n"
       result.Impact_sim.Sim.cycles result.Impact_sim.Sim.dyn_insns
       (float_of_int result.Impact_sim.Sim.dyn_insns
@@ -354,16 +377,14 @@ let profile_cmd =
     print_newline ();
     print_hot_insns prof;
     print_newline ();
-    print_level_matrix w unroll sched
+    print_level_matrix w opts
   in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
          "Report stall attribution, ILP histogram and pass telemetry for one \
           loop nest")
-    Term.(
-      const run $ profile_loop_arg $ level_arg $ issue_arg $ unroll_arg
-      $ sched_arg $ trace_out_arg)
+    Term.(const run $ profile_loop_arg $ common_opts_term)
 
 (* -- run-file / show-file -- *)
 
@@ -381,17 +402,19 @@ let load_file path =
     exit 1
 
 let run_file_cmd =
-  let run path level issue unroll sched =
+  let run path co =
+    with_trace co @@ fun () ->
     let ast = load_file path in
-    let machine = machine_of_issue issue in
-    let base = Compile.measure Level.Conv Machine.issue_1 (Impact_fir.Lower.lower ast) in
-    let m =
-      Compile.measure ?unroll_factor:unroll ~sched level machine
+    let machine = machine_of co in
+    let opts = opts_of co in
+    let base =
+      Compile.measure_with (Opts.base opts) Level.Conv Machine.issue_1
         (Impact_fir.Lower.lower ast)
     in
-    Printf.printf "%s at %s on %s%s\n" path (Level.to_string level)
+    let m = Compile.measure_with opts co.co_level machine (Impact_fir.Lower.lower ast) in
+    Printf.printf "%s at %s on %s%s\n" path (Level.to_string co.co_level)
       machine.Machine.name
-      (match sched with `Pipe -> " (software pipelined)" | `List -> "");
+      (match co.co_sched with `Pipe -> " (software pipelined)" | `List -> "");
     Printf.printf "  cycles        %d (base issue-1 Conv: %d)\n" m.Compile.cycles
       base.Compile.cycles;
     Printf.printf "  speedup       %.2f\n" (Compile.speedup ~base ~this:m);
@@ -404,17 +427,18 @@ let run_file_cmd =
   in
   Cmd.v
     (Cmd.info "run-file" ~doc:"Compile and run a mini-Fortran source file")
-    Term.(const run $ file_arg $ level_arg $ issue_arg $ unroll_arg $ sched_arg)
+    Term.(const run $ file_arg $ common_opts_term)
 
 let show_file_cmd =
-  let run path level issue unroll sched =
+  let run path co =
+    with_trace co @@ fun () ->
     let ast = load_file path in
-    let p = Level.apply ?unroll_factor:unroll level (Impact_fir.Lower.lower ast) in
-    match sched with
+    let p = Level.apply ?unroll_factor:co.co_unroll co.co_level (Impact_fir.Lower.lower ast) in
+    match co.co_sched with
     | `List -> print_string (Pp.prog_to_string p)
     | `Pipe ->
       let piped, reports =
-        Impact_pipe.Pipe.run_with_report (machine_of_issue issue)
+        Impact_pipe.Pipe.run_with_report (machine_of co)
           (Impact_sched.Superblock.run p)
       in
       print_pipe_reports reports;
@@ -422,7 +446,74 @@ let show_file_cmd =
   in
   Cmd.v
     (Cmd.info "show-file" ~doc:"Print a source file's generated code at a level")
-    Term.(const run $ file_arg $ level_arg $ issue_arg $ unroll_arg $ sched_arg)
+    Term.(const run $ file_arg $ common_opts_term)
+
+(* -- serve -- *)
+
+let serve_cmd =
+  let run file cache_dir no_cache jobs =
+    let store =
+      if no_cache then None
+      else Some (Impact_svc.Store.open_store cache_dir)
+    in
+    (* The base-measurement path goes through Experiment, so give it the
+       same store; counters come back through Obs. *)
+    (match store with
+    | Some st -> Impact_svc.Service.install_cache st
+    | None -> ());
+    Obs.set_collecting true;
+    let ic = match file with None -> stdin | Some f -> open_in f in
+    Fun.protect
+      ~finally:(fun () -> if file <> None then close_in_noerr ic)
+      (fun () -> Impact_svc.Service.run_channel ?workers:jobs ~store ic stdout);
+    match store with
+    | None -> ()
+    | Some st ->
+      let s = Impact_svc.Store.stats st in
+      Printf.eprintf
+        "cache: %d hits (%d memory, %d disk), %d misses, %d stores, %d corrupt \
+         (dir %s)\n%!"
+        (Impact_svc.Store.hits s) s.Impact_svc.Store.mem_hits
+        s.Impact_svc.Store.disk_hits s.Impact_svc.Store.misses
+        s.Impact_svc.Store.stores s.Impact_svc.Store.corrupt
+        (Impact_svc.Store.dir st)
+  in
+  let file_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"Read queries from $(docv) instead of standard input.")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt string (Impact_svc.Store.resolve_dir ())
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persistent result-cache directory (default: \\$IMPACT_CACHE_DIR \
+             or $(b,_cache)).")
+  in
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Recompute every query; touch no cache directory.")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains for the batch (default: IMPACT_JOBS or the core count).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Answer a batch of JSON queries (one object per line; see DESIGN.md \
+          \"Query API & result cache\"). Every line is answered in order with \
+          a JSON result or a structured error record; the exit code is 0 even \
+          when individual queries fail.")
+    Term.(const run $ file_arg $ cache_dir_arg $ no_cache_arg $ jobs_arg)
 
 let () =
   let doc = "IMPACT-style ILP transformation compiler (SC'92 reproduction)" in
@@ -430,4 +521,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "impactc" ~doc)
           [ list_cmd; show_cmd; run_cmd; sweep_cmd; profile_cmd; run_file_cmd;
-            show_file_cmd ]))
+            show_file_cmd; serve_cmd ]))

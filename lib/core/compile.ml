@@ -7,7 +7,11 @@
    the per-machine work: list scheduling for the target, execution-
    driven simulation, and register-usage measurement. Each stage
    reports its wall time to [Impact_obs.Obs] for `bench json` and the
-   bench stderr stage report. *)
+   bench stderr stage report.
+
+   The [*_with] entry points take the consolidated [Opts.t] record; the
+   optional-argument signatures below them are retained as thin
+   wrappers for existing call sites. *)
 
 open Impact_ir
 
@@ -20,25 +24,26 @@ type measurement = {
   result : Impact_sim.Sim.result;
 }
 
-let transform ?unroll_factor (level : Level.t) (p : Prog.t) : Prog.t =
+let transform_with (opts : Opts.t) (level : Level.t) (p : Prog.t) : Prog.t =
   Impact_obs.Obs.stage "transform" (fun () ->
-    let p = Level.apply ?unroll_factor level p in
+    let p = Level.apply ?unroll_factor:opts.Opts.unroll level p in
     Impact_obs.Obs.span ~cat:"sched" "sched.superblock" (fun () ->
       Impact_sched.Superblock.run p))
 
-let schedule ?(sched = `List) (machine : Machine.t) (p : Prog.t) : Prog.t =
-  match sched with
+let schedule_with (opts : Opts.t) (machine : Machine.t) (p : Prog.t) : Prog.t =
+  match opts.Opts.sched with
   | `List ->
     Impact_obs.Obs.stage "schedule" (fun () ->
       Impact_obs.Obs.span ~cat:"sched" "sched.list" (fun () ->
         Impact_sched.List_sched.run machine p))
   | `Pipe -> Impact_pipe.Pipe.run machine p
 
-let schedule_and_measure ?(sched = `List) ?fuel (level : Level.t)
+let schedule_and_measure_with (opts : Opts.t) (level : Level.t)
     (machine : Machine.t) (p : Prog.t) : measurement =
-  let compiled = schedule ~sched machine p in
+  let compiled = schedule_with opts machine p in
   let result =
-    Impact_obs.Obs.stage "simulate" (fun () -> Impact_sim.Sim.run ?fuel machine compiled)
+    Impact_obs.Obs.stage "simulate" (fun () ->
+      Impact_sim.Sim.run ?fuel:opts.Opts.fuel machine compiled)
   in
   let usage =
     Impact_obs.Obs.stage "regalloc" (fun () ->
@@ -53,13 +58,29 @@ let schedule_and_measure ?(sched = `List) ?fuel (level : Level.t)
     result;
   }
 
-let compile ?unroll_factor ?sched (level : Level.t) (machine : Machine.t)
+let compile_with (opts : Opts.t) (level : Level.t) (machine : Machine.t)
     (p : Prog.t) : Prog.t =
-  schedule ?sched machine (transform ?unroll_factor level p)
+  schedule_with opts machine (transform_with opts level p)
 
-let measure ?unroll_factor ?sched ?fuel (level : Level.t) (machine : Machine.t)
+let measure_with (opts : Opts.t) (level : Level.t) (machine : Machine.t)
     (p : Prog.t) : measurement =
-  schedule_and_measure ?sched ?fuel level machine (transform ?unroll_factor level p)
+  schedule_and_measure_with opts level machine (transform_with opts level p)
+
+(* ---- Deprecated optional-argument wrappers ---- *)
+
+let transform ?unroll_factor level p =
+  transform_with (Opts.make ?unroll:unroll_factor ()) level p
+
+let schedule ?sched machine p = schedule_with (Opts.make ?sched ()) machine p
+
+let schedule_and_measure ?sched ?fuel level machine p =
+  schedule_and_measure_with (Opts.make ?sched ?fuel ()) level machine p
+
+let compile ?unroll_factor ?sched level machine p =
+  compile_with (Opts.make ?unroll:unroll_factor ?sched ()) level machine p
+
+let measure ?unroll_factor ?sched ?fuel level machine p =
+  measure_with (Opts.make ?unroll:unroll_factor ?sched ?fuel ()) level machine p
 
 (* Speedup of a measurement against the paper's base configuration: an
    issue-1 processor with conventional optimizations. *)

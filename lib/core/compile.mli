@@ -1,6 +1,10 @@
 (** End-to-end compilation and measurement, split at the machine-
     independence boundary so the harness can cache the transform prefix
-    and share it across machine configurations. *)
+    and share it across machine configurations.
+
+    The canonical entry points are the [*_with] functions taking the
+    consolidated {!Opts.t}; the optional-argument variants are kept as
+    thin wrappers so existing call sites build unchanged. *)
 
 open Impact_ir
 
@@ -13,32 +17,54 @@ type measurement = {
   result : Impact_sim.Sim.result;
 }
 
-val transform : ?unroll_factor:int -> Level.t -> Prog.t -> Prog.t
+val transform_with : Opts.t -> Level.t -> Prog.t -> Prog.t
 (** The machine-independent pipeline prefix: the level's transformations
-    plus superblock formation. Cacheable per (program, level,
-    unroll_factor) and shareable across machines. *)
+    plus superblock formation. Cacheable per (program, level, unroll)
+    and shareable across machines; only [Opts.unroll] is read. *)
 
-val schedule : ?sched:[ `List | `Pipe ] -> Machine.t -> Prog.t -> Prog.t
-(** Schedule a transformed program for the target machine: [`List]
-    (default) is plain list scheduling, [`Pipe] software-pipelines every
-    eligible innermost loop via {!Impact_pipe.Pipe.run} and
-    list-schedules the rest. *)
+val schedule_with : Opts.t -> Machine.t -> Prog.t -> Prog.t
+(** Schedule a transformed program for the target machine per
+    [Opts.sched]: [`List] is plain list scheduling, [`Pipe]
+    software-pipelines every eligible innermost loop via
+    {!Impact_pipe.Pipe.run} and list-schedules the rest. *)
+
+val schedule_and_measure_with :
+  Opts.t -> Level.t -> Machine.t -> Prog.t -> measurement
+(** Per-machine suffix on a transformed program: schedule, simulate
+    (with [Opts.fuel]), measure register usage. *)
+
+val compile_with : Opts.t -> Level.t -> Machine.t -> Prog.t -> Prog.t
+(** [schedule_with opts machine (transform_with opts level p)]. *)
+
+val measure_with : Opts.t -> Level.t -> Machine.t -> Prog.t -> measurement
+(** [schedule_and_measure_with opts level machine (transform_with opts level p)]. *)
+
+(** {1 Deprecated optional-argument wrappers}
+
+    Thin wrappers over the [*_with] API, kept so pre-[Opts] call sites
+    (and their tests) build unchanged. New code should pass an
+    {!Opts.t}. *)
+
+val transform : ?unroll_factor:int -> Level.t -> Prog.t -> Prog.t
+(** @deprecated Use {!transform_with}. *)
+
+val schedule : ?sched:Opts.sched -> Machine.t -> Prog.t -> Prog.t
+(** @deprecated Use {!schedule_with}. *)
 
 val schedule_and_measure :
-  ?sched:[ `List | `Pipe ] -> ?fuel:int -> Level.t -> Machine.t -> Prog.t ->
+  ?sched:Opts.sched -> ?fuel:int -> Level.t -> Machine.t -> Prog.t ->
   measurement
-(** Per-machine suffix on a [transform]ed program: schedule, simulate,
-    measure register usage. *)
+(** @deprecated Use {!schedule_and_measure_with}. *)
 
 val compile :
-  ?unroll_factor:int -> ?sched:[ `List | `Pipe ] -> Level.t -> Machine.t ->
-  Prog.t -> Prog.t
-(** [schedule machine (transform level p)]. *)
+  ?unroll_factor:int -> ?sched:Opts.sched -> Level.t -> Machine.t -> Prog.t ->
+  Prog.t
+(** @deprecated Use {!compile_with}. *)
 
 val measure :
-  ?unroll_factor:int -> ?sched:[ `List | `Pipe ] -> ?fuel:int -> Level.t ->
+  ?unroll_factor:int -> ?sched:Opts.sched -> ?fuel:int -> Level.t ->
   Machine.t -> Prog.t -> measurement
-(** [schedule_and_measure level machine (transform level p)]. *)
+(** @deprecated Use {!measure_with}. *)
 
 val speedup : base:measurement -> this:measurement -> float
 (** Speedup against the paper's base configuration (issue-1, Conv). *)

@@ -6,14 +6,24 @@
    The matrix is evaluated on a domain work pool (Impact_exec.Pool),
    one task per subject, so every task owns its lowered program and no
    IR state is shared across domains. Within a subject the machine-
-   independent pipeline prefix ([Compile.transform]) is computed once
-   per (level, unroll_factor) and shared across all machine
-   configurations, and the issue-1 Conv base measurement is served from
-   a process-wide cache keyed by (subject name, unroll_factor) so
-   repeated sweeps (summary, ablation, issue sweep) pay for it once.
-   Cells are returned in the same deterministic order as the sequential
-   evaluation: subjects in input order, machine-major within a
-   subject. *)
+   independent pipeline prefix ([Compile.transform_with]) is computed at
+   most once per (level, opts) and shared across all machine
+   configurations — and skipped entirely when every machine's cell is
+   served from the measurement cache — and the issue-1 Conv base
+   measurement is served from a process-wide cache keyed by (subject
+   name, unroll, fuel) so repeated sweeps (summary, ablation, issue
+   sweep) pay for it once. Cells are returned in the same deterministic
+   order as the sequential evaluation: subjects in input order,
+   machine-major within a subject.
+
+   An optional measurement cache ([set_cache]) is consulted before any
+   per-cell work is scheduled; Impact_svc.Service installs hooks backed
+   by the persistent content-addressed store, so a warm re-run of the
+   matrix never recompiles or resimulates a cell. The harness itself
+   stays cache-agnostic: hooks receive the subject and the resolved
+   options and may key the entry however they like. Only successful
+   measurements are offered to [store]; timeouts are re-tried on every
+   run. *)
 
 open Impact_ir
 
@@ -36,6 +46,27 @@ type cell = {
 
 type poisoned = { psubject : string; plevel : Level.t; pmachine : string }
 
+type cache = {
+  lookup : subject -> Opts.t -> Level.t -> Machine.t -> Compile.measurement option;
+  store : subject -> Opts.t -> Level.t -> Machine.t -> Compile.measurement -> unit;
+}
+
+(* Installed once by the driver before any evaluation; worker domains
+   only ever read it, so an atomic reference suffices. *)
+let cache_hooks : cache option Atomic.t = Atomic.make None
+
+let set_cache c = Atomic.set cache_hooks c
+
+let cache_lookup s opts level machine =
+  match Atomic.get cache_hooks with
+  | None -> None
+  | Some c -> c.lookup s opts level machine
+
+let cache_store s opts level machine m =
+  match Atomic.get cache_hooks with
+  | None -> ()
+  | Some c -> c.store s opts level machine m
+
 let total_regs c = c.int_regs + c.float_regs
 
 let default_on_poison p =
@@ -49,7 +80,7 @@ let default_on_poison p =
 
 let base_mutex = Mutex.create ()
 
-let base_cache : (string * int option, Compile.measurement) Hashtbl.t =
+let base_cache : (string * int option * int option, Compile.measurement) Hashtbl.t =
   Hashtbl.create 64
 
 let clear_base_cache () =
@@ -59,9 +90,11 @@ let clear_base_cache () =
 
 (* The issue-1 Conv measurement for a subject, computed from a fresh
    lowering (so the cached value does not depend on who asks first) and
-   cached for the life of the process. *)
-let base_measurement ?unroll_factor (s : subject) : Compile.measurement =
-  let key = (s.sname, unroll_factor) in
+   cached for the life of the process; the persistent measurement cache
+   (when installed) is consulted before computing. *)
+let base_measurement_with (opts : Opts.t) (s : subject) : Compile.measurement =
+  let bopts = Opts.base opts in
+  let key = (s.sname, bopts.Opts.unroll, bopts.Opts.fuel) in
   let cached =
     Mutex.lock base_mutex;
     let r = Hashtbl.find_opt base_cache key in
@@ -72,87 +105,121 @@ let base_measurement ?unroll_factor (s : subject) : Compile.measurement =
   | Some m -> m
   | None ->
     let m =
-      Compile.measure ?unroll_factor Level.Conv Machine.issue_1
-        (Impact_fir.Lower.lower s.ast)
+      match cache_lookup s bopts Level.Conv Machine.issue_1 with
+      | Some m -> m
+      | None ->
+        let m =
+          Compile.measure_with bopts Level.Conv Machine.issue_1
+            (Impact_fir.Lower.lower s.ast)
+        in
+        cache_store s bopts Level.Conv Machine.issue_1 m;
+        m
     in
     Mutex.lock base_mutex;
     Hashtbl.replace base_cache key m;
     Mutex.unlock base_mutex;
     m
 
+let base_measurement ?unroll_factor s =
+  base_measurement_with (Opts.make ?unroll:unroll_factor ()) s
+
 (* Run one subject across levels and machines; poisoned cells (fuel
    exhaustion) are reported separately instead of aborting the run.
-   [sched] selects the per-machine scheduler; the base measurement is
-   always list-scheduled (issue-1 Conv), so `Pipe speedups stay
+   [opts.sched] selects the per-machine scheduler; the base measurement
+   is always list-scheduled (issue-1 Conv), so `Pipe speedups stay
    comparable with the paper's baseline. *)
-let run_subject_full ?unroll_factor ?sched (machines : Machine.t list)
+let run_subject_full (opts : Opts.t) (machines : Machine.t list)
     (levels : Level.t list) (s : subject) : cell list * poisoned list =
-  match base_measurement ?unroll_factor s with
+  match base_measurement_with opts s with
   | exception Impact_sim.Sim.Timeout ->
     (* No base, no speedups: the whole subject is poisoned. *)
     ( [],
       [ { psubject = s.sname; plevel = Level.Conv;
           pmachine = Machine.issue_1.Machine.name } ] )
   | base ->
-    (* Machine-independent prefix, once per level, shared by machines.
+    (* Machine-independent prefix, at most once per level, shared by
+       machines and forced only on the first cache miss of that level.
        Each level starts from its own fresh lowering so the id streams
        (and hence allocator tie-breaks) match a standalone
-       [Compile.measure] of that cell exactly. *)
+       [Compile.measure_with] of that cell exactly. *)
     let transformed =
       List.map
         (fun level ->
-          (level, Compile.transform ?unroll_factor level (Impact_fir.Lower.lower s.ast)))
+          ( level,
+            lazy (Compile.transform_with opts level (Impact_fir.Lower.lower s.ast)) ))
         levels
     in
     let poisons = ref [] in
+    let cell_of_measurement level machine (m : Compile.measurement) =
+      {
+        subject = s;
+        level;
+        machine;
+        cycles = m.Compile.cycles;
+        dyn_insns = m.Compile.dyn_insns;
+        speedup = Compile.speedup ~base ~this:m;
+        int_regs = m.Compile.usage.Impact_regalloc.Regalloc.int_used;
+        float_regs = m.Compile.usage.Impact_regalloc.Regalloc.float_used;
+      }
+    in
     let cells =
       List.concat_map
         (fun machine ->
           List.filter_map
             (fun (level, tp) ->
-              match Compile.schedule_and_measure ?sched level machine tp with
-              | m ->
-                Some
-                  {
-                    subject = s;
-                    level;
-                    machine;
-                    cycles = m.Compile.cycles;
-                    dyn_insns = m.Compile.dyn_insns;
-                    speedup = Compile.speedup ~base ~this:m;
-                    int_regs = m.Compile.usage.Impact_regalloc.Regalloc.int_used;
-                    float_regs = m.Compile.usage.Impact_regalloc.Regalloc.float_used;
-                  }
-              | exception Impact_sim.Sim.Timeout ->
-                poisons :=
-                  { psubject = s.sname; plevel = level;
-                    pmachine = machine.Machine.name }
-                  :: !poisons;
-                None)
+              match cache_lookup s opts level machine with
+              | Some m -> Some (cell_of_measurement level machine m)
+              | None -> (
+                match
+                  Compile.schedule_and_measure_with opts level machine
+                    (Lazy.force tp)
+                with
+                | m ->
+                  cache_store s opts level machine m;
+                  Some (cell_of_measurement level machine m)
+                | exception Impact_sim.Sim.Timeout ->
+                  poisons :=
+                    { psubject = s.sname; plevel = level;
+                      pmachine = machine.Machine.name }
+                    :: !poisons;
+                  None))
             transformed)
         machines
     in
     (cells, List.rev !poisons)
 
-let run_subject ?unroll_factor ?sched ?(on_poison = default_on_poison)
+let run_subject_with ?(on_poison = default_on_poison) (opts : Opts.t)
     (machines : Machine.t list) (levels : Level.t list) (s : subject) : cell list =
-  let cells, poisons = run_subject_full ?unroll_factor ?sched machines levels s in
+  let cells, poisons = run_subject_full opts machines levels s in
   List.iter on_poison poisons;
   cells
 
-let run_all ?unroll_factor ?sched ?workers ?(progress = fun _ -> ())
-    ?(on_poison = default_on_poison) (machines : Machine.t list)
+let run_all_with ?workers ?(progress = fun _ -> ())
+    ?(on_poison = default_on_poison) (opts : Opts.t) (machines : Machine.t list)
     (levels : Level.t list) (subjects : subject list) : cell list =
   let results =
     Impact_exec.Pool.map ?workers
       (fun s ->
         progress s.sname;
-        run_subject_full ?unroll_factor ?sched machines levels s)
+        run_subject_full opts machines levels s)
       (Array.of_list subjects)
   in
   (* Poison reports after the join, in deterministic subject order. *)
   Array.iter (fun (_, ps) -> List.iter on_poison ps) results;
   List.concat_map fst (Array.to_list results)
+
+(* ---- Deprecated optional-argument wrappers ---- *)
+
+let run_subject ?unroll_factor ?sched ?on_poison machines levels s =
+  run_subject_with ?on_poison
+    (Opts.make ?unroll:unroll_factor ?sched ())
+    machines levels s
+
+let run_all ?unroll_factor ?sched ?workers ?progress ?on_poison machines levels
+    subjects =
+  run_all_with ?workers ?progress ?on_poison
+    (Opts.make ?unroll:unroll_factor ?sched ())
+    machines levels subjects
 
 (* ---- Aggregation ---- *)
 

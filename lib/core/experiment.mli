@@ -1,7 +1,12 @@
 (** The paper's evaluation harness (Section 3): compile each loop nest
     at each level, simulate on each machine, aggregate speedups (vs. the
     issue-1 Conv base) and register usage into the distributions of
-    Figures 8-15. *)
+    Figures 8-15.
+
+    The canonical entry points take the consolidated {!Opts.t}; the
+    optional-argument variants are kept as thin wrappers. An optional
+    measurement cache ({!set_cache}) is consulted before any per-cell
+    compilation or simulation is scheduled. *)
 
 open Impact_ir
 
@@ -26,36 +31,56 @@ type poisoned = { psubject : string; plevel : Level.t; pmachine : string }
 (** A cell whose simulation exhausted its fuel; named so the harness can
     report it without crashing the run. *)
 
+type cache = {
+  lookup : subject -> Opts.t -> Level.t -> Machine.t -> Compile.measurement option;
+  store : subject -> Opts.t -> Level.t -> Machine.t -> Compile.measurement -> unit;
+}
+(** Measurement-cache hooks. [lookup] runs before any cell work is
+    scheduled (a [Some] result must be byte-equivalent to recomputing);
+    [store] is offered every successfully computed measurement. Both may
+    be called concurrently from worker domains. *)
+
+val set_cache : cache option -> unit
+(** Install (or remove) the measurement cache consulted by
+    {!base_measurement_with}, {!run_subject_with} and {!run_all_with}.
+    [Impact_svc.Service.install_cache] provides hooks backed by the
+    persistent content-addressed store. *)
+
 val total_regs : cell -> int
 
-val base_measurement : ?unroll_factor:int -> subject -> Compile.measurement
-(** The issue-1 Conv base measurement for a subject, cached for the life
-    of the process (keyed by subject name and unroll factor). May raise
+val base_measurement_with : Opts.t -> subject -> Compile.measurement
+(** The issue-1 Conv base measurement for a subject under
+    [Opts.base opts] (always list-scheduled), cached for the life of the
+    process (keyed by subject name, unroll and fuel) and served from the
+    installed measurement cache when possible. May raise
     [Impact_sim.Sim.Timeout]. *)
+
+val base_measurement : ?unroll_factor:int -> subject -> Compile.measurement
+(** @deprecated Use {!base_measurement_with}. *)
 
 val clear_base_cache : unit -> unit
 
-val run_subject :
-  ?unroll_factor:int ->
-  ?sched:[ `List | `Pipe ] ->
+val run_subject_with :
   ?on_poison:(poisoned -> unit) ->
+  Opts.t ->
   Machine.t list ->
   Level.t list ->
   subject ->
   cell list
 (** Evaluate one subject. The machine-independent transform prefix is
-    computed once per level and shared across machines; cells that time
-    out are reported through [on_poison] (default: a stderr warning)
-    and omitted from the result. [sched] selects the per-machine
-    scheduler ({!Compile.schedule}); the base measurement is always
+    computed at most once per level, shared across machines, and skipped
+    entirely when every cell of that level is served from the
+    measurement cache; cells that time out are reported through
+    [on_poison] (default: a stderr warning) and omitted from the
+    result. [Opts.sched] selects the per-machine scheduler
+    ({!Compile.schedule_with}); the base measurement is always
     list-scheduled. *)
 
-val run_all :
-  ?unroll_factor:int ->
-  ?sched:[ `List | `Pipe ] ->
+val run_all_with :
   ?workers:int ->
   ?progress:(string -> unit) ->
   ?on_poison:(poisoned -> unit) ->
+  Opts.t ->
   Machine.t list ->
   Level.t list ->
   subject list ->
@@ -63,8 +88,31 @@ val run_all :
 (** Evaluate the full matrix on the domain pool, one task per subject
     ([workers] defaults to [Impact_exec.Pool.resolve_workers ()]). The
     returned cell list is deterministic and identical for any worker
-    count; [progress] runs on worker domains, poison reports are
-    delivered after the join in subject order. *)
+    count — with or without a warm measurement cache; [progress] runs on
+    worker domains, poison reports are delivered after the join in
+    subject order. *)
+
+val run_subject :
+  ?unroll_factor:int ->
+  ?sched:Opts.sched ->
+  ?on_poison:(poisoned -> unit) ->
+  Machine.t list ->
+  Level.t list ->
+  subject ->
+  cell list
+(** @deprecated Use {!run_subject_with}. *)
+
+val run_all :
+  ?unroll_factor:int ->
+  ?sched:Opts.sched ->
+  ?workers:int ->
+  ?progress:(string -> unit) ->
+  ?on_poison:(poisoned -> unit) ->
+  Machine.t list ->
+  Level.t list ->
+  subject list ->
+  cell list
+(** @deprecated Use {!run_all_with}. *)
 
 val filter_cells :
   ?group:string -> ?level:Level.t -> ?machine:Machine.t -> cell list -> cell list

@@ -1,0 +1,22 @@
+type sched = [ `List | `Pipe ]
+
+type t = { unroll : int option; sched : sched; fuel : int option }
+
+let default = { unroll = None; sched = `List; fuel = None }
+
+let make ?unroll ?(sched = `List) ?fuel () = { unroll; sched; fuel }
+
+let base t = { t with sched = `List }
+
+let sched_to_string = function `List -> "list" | `Pipe -> "pipe"
+
+let sched_of_string = function
+  | "list" -> Some `List
+  | "pipe" -> Some `Pipe
+  | _ -> None
+
+let opt_int_to_string = function None -> "-" | Some n -> string_of_int n
+
+let to_string t =
+  Printf.sprintf "sched=%s unroll=%s fuel=%s" (sched_to_string t.sched)
+    (opt_int_to_string t.unroll) (opt_int_to_string t.fuel)

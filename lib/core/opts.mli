@@ -1,0 +1,36 @@
+(** Resolved compilation/measurement options.
+
+    One record gathers the knobs that used to travel as scattered
+    optional arguments ([?unroll_factor], [?sched], [?fuel]) through
+    {!Compile}, {!Experiment} and the drivers. The [*_with] entry
+    points take an [Opts.t]; the old optional-argument signatures
+    remain as thin wrappers over {!make}. *)
+
+type sched = [ `List | `Pipe ]
+
+type t = {
+  unroll : int option;  (** unroll-factor override (default: Level's 8) *)
+  sched : sched;  (** per-machine scheduler ({!Compile.schedule}) *)
+  fuel : int option;  (** simulation cycle budget (default: Sim's) *)
+}
+
+val default : t
+(** [{ unroll = None; sched = `List; fuel = None }] — exactly the
+    behaviour of the old entry points with every optional argument
+    omitted. *)
+
+val make : ?unroll:int -> ?sched:sched -> ?fuel:int -> unit -> t
+
+val base : t -> t
+(** The options used for the paper's base configuration measurement:
+    same unroll and fuel, but always list-scheduled (the issue-1 Conv
+    baseline is never software-pipelined, so `Pipe speedups stay
+    comparable). *)
+
+val sched_to_string : sched -> string
+
+val sched_of_string : string -> sched option
+
+val to_string : t -> string
+(** Canonical one-line rendering, e.g. ["sched=list unroll=4 fuel=-"];
+    used by query digests and config echoes, so it must stay stable. *)

@@ -136,6 +136,9 @@ let reset_stages () = locked (fun () -> Hashtbl.reset stage_tbl)
 
 let counters () = locked (fun () -> sorted_bindings counter_tbl)
 
+let counter_value name =
+  locked (fun () -> Option.value ~default:0 (Hashtbl.find_opt counter_tbl name))
+
 let report () =
   locked (fun () ->
     {

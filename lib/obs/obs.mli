@@ -54,6 +54,11 @@ val count : ?n:int -> string -> unit
 val counters : unit -> (string * int) list
 (** Accumulated counters, sorted by name. *)
 
+val counter_value : string -> int
+(** Current value of one counter ([0] if it was never bumped). Used by
+    the drivers to report e.g. result-cache hit/miss totals without
+    scanning the full report. *)
+
 val note : string -> string -> unit
 (** Record a free-form (name, text) line — e.g. one per-loop pipelining
     report. No-op unless collecting. *)

@@ -1,0 +1,240 @@
+open Impact_ir
+open Impact_core
+
+(* ---- Experiment cache hooks ---- *)
+
+(* Subject digests are content hashes of the AST; memoized per subject
+   name so a 40-subject matrix hashes each source once per process.
+   (Subjects are immutable for the life of a run; the name is only the
+   memo key, the digest is still pure content.) *)
+let digest_memo : (string, string) Hashtbl.t = Hashtbl.create 64
+
+let digest_mutex = Mutex.create ()
+
+let subject_digest (s : Experiment.subject) =
+  Mutex.lock digest_mutex;
+  let d =
+    match Hashtbl.find_opt digest_memo s.Experiment.sname with
+    | Some d -> d
+    | None ->
+      let d = Query.subject_digest s.Experiment.ast in
+      Hashtbl.replace digest_memo s.Experiment.sname d;
+      d
+  in
+  Mutex.unlock digest_mutex;
+  d
+
+let query_of_subject s opts level machine =
+  Query.make ~subject:(subject_digest s) ~opts level machine
+
+let install_cache store =
+  Experiment.set_cache
+    (Some
+       {
+         Experiment.lookup =
+           (fun s opts level machine ->
+             Store.lookup store (query_of_subject s opts level machine));
+         store =
+           (fun s opts level machine m ->
+             Store.add store (query_of_subject s opts level machine) m);
+       })
+
+let uninstall_cache () = Experiment.set_cache None
+
+(* ---- Request parsing ---- *)
+
+type request = {
+  rq_loop : Impact_workloads.Suite.t;
+  rq_level : Level.t;
+  rq_machine : Machine.t;
+  rq_opts : Opts.t;
+}
+
+exception Malformed of string
+
+exception Unknown_loop of string
+
+let get_int name = function
+  | Json.Int n when n >= 1 -> n
+  | Json.Int n -> raise (Malformed (Printf.sprintf "%s must be >= 1, got %d" name n))
+  | _ -> raise (Malformed (Printf.sprintf "%s must be an integer" name))
+
+let get_str name = function
+  | Json.Str s -> s
+  | _ -> raise (Malformed (Printf.sprintf "%s must be a string" name))
+
+let parse_request raw : request =
+  let json =
+    match Json.parse raw with
+    | Ok j -> j
+    | Error msg -> raise (Malformed msg)
+  in
+  let members =
+    match json with
+    | Json.Obj ms -> ms
+    | _ -> raise (Malformed "query must be a JSON object")
+  in
+  let allowed = [ "loop"; "level"; "issue"; "sched"; "unroll"; "fuel" ] in
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem k allowed) then
+        raise (Malformed (Printf.sprintf "unknown field %S" k)))
+    members;
+  (match
+     List.filter (fun k -> List.length (List.filter (fun (k', _) -> k' = k) members) > 1) allowed
+   with
+  | [] -> ()
+  | k :: _ -> raise (Malformed (Printf.sprintf "duplicate field %S" k)));
+  (* [null] fields read as absent, so clients can send fixed shapes. *)
+  let field k =
+    match List.assoc_opt k members with Some Json.Null -> None | v -> v
+  in
+  let loop_name =
+    match field "loop" with
+    | Some v -> get_str "loop" v
+    | None -> raise (Malformed "missing required field \"loop\"")
+  in
+  let level =
+    match field "level" with
+    | None -> Level.Lev4
+    | Some v -> (
+      let s = get_str "level" v in
+      match Level.of_string s with
+      | Some l -> l
+      | None -> raise (Malformed (Printf.sprintf "unknown level %S" s)))
+  in
+  let issue = match field "issue" with None -> 8 | Some v -> get_int "issue" v in
+  let sched =
+    match field "sched" with
+    | None -> `List
+    | Some v -> (
+      let s = get_str "sched" v in
+      match Opts.sched_of_string s with
+      | Some sched -> sched
+      | None -> raise (Malformed (Printf.sprintf "unknown sched %S" s)))
+  in
+  let unroll = Option.map (get_int "unroll") (field "unroll") in
+  let fuel = Option.map (get_int "fuel") (field "fuel") in
+  let loop =
+    match Impact_workloads.Suite.find loop_name with
+    | Some w -> w
+    | None -> raise (Unknown_loop loop_name)
+  in
+  {
+    rq_loop = loop;
+    rq_level = level;
+    rq_machine = Machine.make ~issue ();
+    rq_opts = { Opts.unroll; sched; fuel };
+  }
+
+(* ---- Evaluation ---- *)
+
+let subject_of_workload (w : Impact_workloads.Suite.t) : Experiment.subject =
+  {
+    Experiment.sname = w.Impact_workloads.Suite.name;
+    group = Impact_workloads.Suite.ltype_to_string w.Impact_workloads.Suite.ltype;
+    ast = w.Impact_workloads.Suite.ast;
+  }
+
+(* The cell measurement, through the store when one is given. Returns
+   the cache disposition for the response record. *)
+let measure_cell ~store (rq : request) q =
+  let compute () =
+    Compile.measure_with rq.rq_opts rq.rq_level rq.rq_machine
+      (Impact_fir.Lower.lower rq.rq_loop.Impact_workloads.Suite.ast)
+  in
+  match store with
+  | None -> ("off", compute ())
+  | Some st -> (
+    match Store.lookup st q with
+    | Some m -> ("hit", m)
+    | None ->
+      let m = compute () in
+      Store.add st q m;
+      ("miss", m))
+
+let response_of_request ~store ~line (rq : request) : Json.t =
+  let q =
+    Query.of_ast ~ast:rq.rq_loop.Impact_workloads.Suite.ast ~opts:rq.rq_opts
+      rq.rq_level rq.rq_machine
+  in
+  let cache, m = measure_cell ~store rq q in
+  (* Speedup against the paper's issue-1 Conv baseline; served from the
+     process-wide base cache (which itself consults the installed
+     Experiment hooks, i.e. the same store). *)
+  let base =
+    Experiment.base_measurement_with rq.rq_opts (subject_of_workload rq.rq_loop)
+  in
+  let opt_int = function None -> Json.Null | Some n -> Json.Int n in
+  Json.Obj
+    [
+      ("ok", Json.Bool true);
+      ("line", Json.Int line);
+      ("loop", Json.Str rq.rq_loop.Impact_workloads.Suite.name);
+      ("level", Json.Str (Level.to_string rq.rq_level));
+      ("machine", Json.Str rq.rq_machine.Machine.name);
+      ("issue", Json.Int rq.rq_machine.Machine.issue);
+      ("sched", Json.Str (Opts.sched_to_string rq.rq_opts.Opts.sched));
+      ("unroll", opt_int rq.rq_opts.Opts.unroll);
+      ("fuel", opt_int rq.rq_opts.Opts.fuel);
+      ("digest", Json.Str (Query.digest q));
+      ("cache", Json.Str cache);
+      ("cycles", Json.Int m.Compile.cycles);
+      ("dyn_insns", Json.Int m.Compile.dyn_insns);
+      ("speedup", Json.Float (Compile.speedup ~base ~this:m));
+      ("int_regs", Json.Int m.Compile.usage.Impact_regalloc.Regalloc.int_used);
+      ("float_regs", Json.Int m.Compile.usage.Impact_regalloc.Regalloc.float_used);
+    ]
+
+let error_record ~line ~error ~detail =
+  Json.Obj
+    [
+      ("ok", Json.Bool false);
+      ("line", Json.Int line);
+      ("error", Json.Str error);
+      ("detail", Json.Str detail);
+    ]
+
+let answer_line ~store ~line raw =
+  let response =
+    match parse_request raw with
+    | exception Malformed detail ->
+      error_record ~line ~error:"malformed query" ~detail
+    | exception Unknown_loop name ->
+      error_record ~line ~error:"unknown loop"
+        ~detail:(Printf.sprintf "no loop nest named %S (try `impactc list`)" name)
+    | rq -> (
+      match response_of_request ~store ~line rq with
+      | r -> r
+      | exception Impact_sim.Sim.Timeout ->
+        error_record ~line ~error:"sim timeout"
+          ~detail:"simulation fuel exhausted; raise \"fuel\" or drop it")
+  in
+  Json.to_string response
+
+let is_blank s = String.trim s = ""
+
+let serve_lines ?workers ~store lines =
+  let numbered =
+    List.mapi (fun k line -> (k + 1, line)) lines
+    |> List.filter (fun (_, line) -> not (is_blank line))
+  in
+  Impact_exec.Pool.map_list ?workers
+    (fun (line, raw) -> answer_line ~store ~line raw)
+    numbered
+
+let read_lines ic =
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  go []
+
+let run_channel ?workers ~store ic oc =
+  List.iter
+    (fun response ->
+      output_string oc response;
+      output_char oc '\n')
+    (serve_lines ?workers ~store (read_lines ic));
+  flush oc

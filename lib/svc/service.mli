@@ -1,0 +1,40 @@
+(** Batch query service: JSON queries in, JSON results out.
+
+    The protocol is one JSON object per line. A request selects a Table 2
+    loop nest and a configuration:
+
+    {v {"loop": "dotprod", "level": "Lev4", "issue": 8,
+    "sched": "pipe", "unroll": 4, "fuel": 1000000} v}
+
+    Only ["loop"] is required; [level] defaults to [Lev4], [issue] to 8,
+    [sched] to ["list"], [unroll]/[fuel] to the compiler defaults
+    ([null] fields read as absent). Every input line is answered by
+    exactly one output line, in input order; blank lines are skipped.
+    Malformed queries, unknown loops and simulation timeouts produce
+    structured [{"ok": false, ...}] error records instead of failures —
+    the service never crashes on input. Requests are evaluated in
+    batches across the {!Impact_exec.Pool} worker domains, consulting
+    (and filling) the persistent measurement {!Store} when one is
+    given. *)
+
+val install_cache : Store.t -> unit
+(** Install measurement-cache hooks backed by the store into
+    {!Impact_core.Experiment.set_cache}, so [Experiment.run_all_with]
+    (and the bench harness built on it) consults the persistent store
+    before scheduling any cell work. Keys follow the {!Query} recipe, so
+    entries are shared with the query service. *)
+
+val uninstall_cache : unit -> unit
+
+val answer_line : store:Store.t option -> line:int -> string -> string
+(** Answer one request line ([line] is its 1-based input position, echoed
+    in the response). Always returns a single-line JSON record. *)
+
+val serve_lines : ?workers:int -> store:Store.t option -> string list -> string list
+(** Answer a batch on the domain pool; responses are in request order
+    (blank lines dropped). *)
+
+val run_channel :
+  ?workers:int -> store:Store.t option -> in_channel -> out_channel -> unit
+(** Read all requests from a channel, answer the batch, write one
+    response per line, flush. *)

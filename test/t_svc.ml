@@ -1,0 +1,371 @@
+(* Tests for the query service layer (lib/svc):
+
+   - Json: parse/print roundtrips and error reporting.
+   - Query: digest determinism and sensitivity to every field.
+   - Store: put/get roundtrip, disk hits across store instances,
+     corrupt-entry and version-mismatch fallback to miss, LRU eviction.
+   - Experiment + cache hooks: cold vs warm [run_all_with] produce
+     identical cells and the warm run is served from the store.
+   - Service: a batch with malformed, unknown-loop and valid lines is
+     answered in order with structured records and no exception; cache
+     dispositions go miss -> hit.
+   - Opts wrappers: the deprecated optional-argument entry points equal
+     their [_with] replacements under default options. *)
+
+open Impact_ir
+open Impact_core
+module Json = Impact_svc.Json
+module Query = Impact_svc.Query
+module Store = Impact_svc.Store
+module Service = Impact_svc.Service
+
+(* A fresh empty cache directory per test. *)
+let fresh_dir () =
+  let f = Filename.temp_file "impact-svc" ".cache" in
+  Sys.remove f;
+  Sys.mkdir f 0o755;
+  f
+
+let vecadd = Helpers.vecadd_ast 64
+
+let dotprod = Helpers.dotprod_ast 64
+
+let measure_default level machine ast =
+  Compile.measure_with Opts.default level machine (Helpers.lower ast)
+
+let same_measurement name (a : Compile.measurement) (b : Compile.measurement) =
+  Helpers.check_int (name ^ ": cycles") a.Compile.cycles b.Compile.cycles;
+  Helpers.check_int (name ^ ": dyn_insns") a.Compile.dyn_insns b.Compile.dyn_insns;
+  Helpers.check_int (name ^ ": int regs")
+    a.Compile.usage.Impact_regalloc.Regalloc.int_used
+    b.Compile.usage.Impact_regalloc.Regalloc.int_used;
+  Helpers.check_int (name ^ ": float regs")
+    a.Compile.usage.Impact_regalloc.Regalloc.float_used
+    b.Compile.usage.Impact_regalloc.Regalloc.float_used;
+  Helpers.same_observables name a.Compile.result b.Compile.result
+
+(* ---- Json ---- *)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      ("null", Json.Null);
+      ("true", Json.Bool true);
+      ("-42", Json.Int (-42));
+      ("\"a\\\"b\\\\c\\n\"", Json.Str "a\"b\\c\n");
+      ("[1, 2, 3]", Json.List [ Json.Int 1; Json.Int 2; Json.Int 3 ]);
+      ( "{\"loop\": \"add\", \"issue\": 8}",
+        Json.Obj [ ("loop", Json.Str "add"); ("issue", Json.Int 8) ] );
+    ]
+  in
+  List.iter
+    (fun (src, expected) ->
+      match Json.parse src with
+      | Ok j ->
+        Helpers.check_bool ("parse " ^ src) true (j = expected);
+        Helpers.check_bool ("reparse " ^ src) true
+          (Json.parse (Json.to_string j) = Ok j)
+      | Error msg -> Alcotest.failf "parse %s: %s" src msg)
+    cases
+
+let test_json_errors () =
+  List.iter
+    (fun src ->
+      match Json.parse src with
+      | Ok _ -> Alcotest.failf "parse %S unexpectedly succeeded" src
+      | Error msg -> Helpers.check_bool ("error nonempty for " ^ src) true (msg <> ""))
+    [ ""; "{"; "{\"a\": }"; "[1, 2"; "\"unterminated"; "{} trailing"; "nul"; "01" ]
+
+let test_json_unicode_escape () =
+  match Json.parse "\"\\u0041\\ud83d\\ude00\"" with
+  | Ok (Json.Str s) -> Helpers.check_string "escapes decode" "A\xf0\x9f\x98\x80" s
+  | Ok _ | Error _ -> Alcotest.fail "unicode escape parse failed"
+
+(* ---- Query digests ---- *)
+
+let test_query_digest_determinism () =
+  let q () = Query.of_ast ~ast:vecadd ~opts:Opts.default Level.Lev4 Machine.issue_8 in
+  Helpers.check_string "same query, same digest" (Query.digest (q ()))
+    (Query.digest (q ()));
+  Helpers.check_string "subject digest stable"
+    (Query.subject_digest vecadd) (Query.subject_digest vecadd)
+
+let test_query_digest_sensitivity () =
+  let base = Query.of_ast ~ast:vecadd ~opts:Opts.default Level.Lev4 Machine.issue_8 in
+  let differs name q =
+    Helpers.check_bool (name ^ " changes digest") false
+      (Query.digest q = Query.digest base)
+  in
+  differs "level" { base with Query.q_level = Level.Lev3 };
+  differs "machine" { base with Query.q_machine = Machine.issue_4 };
+  differs "sched" { base with Query.q_opts = { Opts.default with Opts.sched = `Pipe } };
+  differs "unroll" { base with Query.q_opts = { Opts.default with Opts.unroll = Some 2 } };
+  differs "fuel" { base with Query.q_opts = { Opts.default with Opts.fuel = Some 9 } };
+  differs "subject"
+    { base with Query.q_subject = Query.subject_digest dotprod };
+  Helpers.check_bool "different sources, different subject digests" false
+    (Query.subject_digest vecadd = Query.subject_digest dotprod)
+
+(* ---- Store ---- *)
+
+let test_store_roundtrip () =
+  let dir = fresh_dir () in
+  let st = Store.open_store dir in
+  let q = Query.of_ast ~ast:vecadd ~opts:Opts.default Level.Lev2 Machine.issue_4 in
+  Helpers.check_bool "empty store misses" true (Store.lookup st q = None);
+  let m = measure_default Level.Lev2 Machine.issue_4 vecadd in
+  Store.add st q m;
+  (match Store.lookup st q with
+  | Some m' -> same_measurement "lru roundtrip" m m'
+  | None -> Alcotest.fail "lookup after add missed");
+  (* A second store instance on the same directory has a cold LRU, so
+     this hit must come from disk — an exact Marshal roundtrip. *)
+  let st2 = Store.open_store dir in
+  (match Store.lookup st2 q with
+  | Some m' -> same_measurement "disk roundtrip" m m'
+  | None -> Alcotest.fail "disk lookup missed");
+  let s = Store.stats st2 in
+  Helpers.check_int "disk hit counted" 1 s.Store.disk_hits;
+  Helpers.check_int "no corruption" 0 s.Store.corrupt;
+  let s1 = Store.stats st in
+  Helpers.check_int "store counted" 1 s1.Store.stores;
+  Helpers.check_int "mem hit counted" 1 s1.Store.mem_hits
+
+let test_store_corrupt_entry () =
+  let dir = fresh_dir () in
+  let st = Store.open_store dir in
+  let q = Query.of_ast ~ast:vecadd ~opts:Opts.default Level.Conv Machine.issue_2 in
+  Store.add st q (measure_default Level.Conv Machine.issue_2 vecadd);
+  (* Overwrite the published entry with garbage: the lookup (from a
+     cold-LRU store) must degrade to a miss and count the corruption. *)
+  let path = Store.entry_path st q in
+  let oc = open_out_bin path in
+  output_string oc "not a cache entry at all";
+  close_out oc;
+  let st2 = Store.open_store dir in
+  Helpers.check_bool "corrupt entry misses" true (Store.lookup st2 q = None);
+  let s = Store.stats st2 in
+  Helpers.check_int "corrupt counted" 1 s.Store.corrupt;
+  Helpers.check_int "miss counted" 1 s.Store.misses
+
+let test_store_version_mismatch () =
+  let dir = fresh_dir () in
+  let st = Store.open_store dir in
+  let q = Query.of_ast ~ast:vecadd ~opts:Opts.default Level.Lev1 Machine.issue_2 in
+  Store.add st q (measure_default Level.Lev1 Machine.issue_2 vecadd);
+  (* Rewrite the header as a future format version, keeping the payload:
+     the entry must read as stale (miss), not corrupt. *)
+  let path = Store.entry_path st q in
+  let ic = open_in_bin path in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let nl = String.index data '\n' in
+  let header = String.sub data 0 nl in
+  let rest = String.sub data nl (String.length data - nl) in
+  let header' =
+    match String.split_on_char ' ' header with
+    | _magic :: fields -> String.concat " " ("impact-cache/9999" :: fields)
+    | [] -> assert false
+  in
+  let oc = open_out_bin path in
+  output_string oc header';
+  output_string oc rest;
+  close_out oc;
+  let st2 = Store.open_store dir in
+  Helpers.check_bool "stale entry misses" true (Store.lookup st2 q = None);
+  let s = Store.stats st2 in
+  Helpers.check_int "stale is not corrupt" 0 s.Store.corrupt;
+  Helpers.check_int "stale counted as miss" 1 s.Store.misses
+
+let test_store_obs_counters () =
+  let dir = fresh_dir () in
+  let st = Store.open_store dir in
+  let q = Query.of_ast ~ast:dotprod ~opts:Opts.default Level.Lev3 Machine.issue_8 in
+  let m = measure_default Level.Lev3 Machine.issue_8 dotprod in
+  let count = Impact_obs.Obs.counter_value in
+  let miss0 = count "svc.cache.miss" in
+  let store0 = count "svc.cache.store" in
+  let hit0 = count "svc.cache.hit.mem" in
+  Impact_obs.Obs.set_collecting true;
+  Fun.protect
+    ~finally:(fun () -> Impact_obs.Obs.set_collecting false)
+    (fun () ->
+      ignore (Store.lookup st q);
+      Store.add st q m;
+      ignore (Store.lookup st q));
+  Helpers.check_int "miss counted in Obs" (miss0 + 1) (count "svc.cache.miss");
+  Helpers.check_int "store counted in Obs" (store0 + 1) (count "svc.cache.store");
+  Helpers.check_int "hit counted in Obs" (hit0 + 1) (count "svc.cache.hit.mem")
+
+let test_store_lru_eviction () =
+  let dir = fresh_dir () in
+  let st = Store.open_store ~lru_capacity:1 dir in
+  let q1 = Query.of_ast ~ast:vecadd ~opts:Opts.default Level.Conv Machine.issue_4 in
+  let q2 = Query.of_ast ~ast:dotprod ~opts:Opts.default Level.Conv Machine.issue_4 in
+  let m1 = measure_default Level.Conv Machine.issue_4 vecadd in
+  let m2 = measure_default Level.Conv Machine.issue_4 dotprod in
+  Store.add st q1 m1;
+  Store.add st q2 m2;
+  (* q1 was evicted from the one-entry LRU by q2, so this lookup must
+     fall back to the directory and still hit. *)
+  (match Store.lookup st q1 with
+  | Some m -> same_measurement "evicted entry from disk" m1 m
+  | None -> Alcotest.fail "evicted entry missed on disk");
+  let s = Store.stats st in
+  Helpers.check_int "evicted hit is a disk hit" 1 s.Store.disk_hits;
+  (match Store.lookup st q1 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "re-promoted entry missed");
+  Helpers.check_int "re-promoted hit is a mem hit" 1 (Store.stats st).Store.mem_hits
+
+(* ---- Experiment cache hooks: cold vs warm ---- *)
+
+let same_cells name (a : Experiment.cell list) (b : Experiment.cell list) =
+  Helpers.check_int (name ^ ": cell count") (List.length a) (List.length b);
+  List.iter2
+    (fun (x : Experiment.cell) (y : Experiment.cell) ->
+      Helpers.check_string (name ^ ": subject")
+        x.Experiment.subject.Experiment.sname y.Experiment.subject.Experiment.sname;
+      Helpers.check_bool (name ^ ": level") true (x.Experiment.level = y.Experiment.level);
+      Helpers.check_int (name ^ ": cycles") x.Experiment.cycles y.Experiment.cycles;
+      Helpers.check_int (name ^ ": dyn") x.Experiment.dyn_insns y.Experiment.dyn_insns;
+      Helpers.check_bool (name ^ ": speedup") true
+        (x.Experiment.speedup = y.Experiment.speedup);
+      Helpers.check_int (name ^ ": int regs") x.Experiment.int_regs y.Experiment.int_regs;
+      Helpers.check_int (name ^ ": float regs")
+        x.Experiment.float_regs y.Experiment.float_regs)
+    a b
+
+let test_cold_warm_run_all () =
+  let subjects =
+    [
+      { Experiment.sname = "svc-add"; group = "doall"; ast = vecadd };
+      { Experiment.sname = "svc-dot"; group = "serial"; ast = dotprod };
+    ]
+  in
+  let dir = fresh_dir () in
+  let st = Store.open_store dir in
+  Service.install_cache st;
+  Fun.protect ~finally:Service.uninstall_cache (fun () ->
+    let run () =
+      Experiment.run_all_with ~workers:2 Opts.default [ Machine.issue_4 ]
+        [ Level.Conv; Level.Lev4 ] subjects
+    in
+    let cold = run () in
+    let s = Store.stats st in
+    Helpers.check_bool "cold run stores" true (s.Store.stores > 0);
+    let warm = run () in
+    same_cells "cold vs warm" cold warm;
+    let s' = Store.stats st in
+    Helpers.check_bool "warm run hits" true (Store.hits s' > Store.hits s);
+    Helpers.check_int "warm run stores nothing" s.Store.stores s'.Store.stores)
+
+(* ---- Service ---- *)
+
+let test_serve_batch () =
+  let lines =
+    [
+      "this is not json";
+      "{\"loop\": \"no-such-loop\"}";
+      "";
+      "{\"loop\": \"vecadd\", \"level\": \"Conv\", \"issue\": 2}";
+      "{\"loop\": \"dotprod\", \"frobnicate\": 1}";
+    ]
+  in
+  let answers = Service.serve_lines ~workers:2 ~store:None lines in
+  Helpers.check_int "blank line skipped" 4 (List.length answers);
+  let parsed =
+    List.map
+      (fun a ->
+        match Json.parse a with
+        | Ok j -> j
+        | Error msg -> Alcotest.failf "response not JSON (%s): %s" msg a)
+      answers
+  in
+  let field j k = Option.get (Json.member k j) in
+  (match parsed with
+  | [ e1; e2; ok; e3 ] ->
+    Helpers.check_bool "line 1 is an error" true (field e1 "ok" = Json.Bool false);
+    Helpers.check_bool "line 1 malformed" true
+      (field e1 "error" = Json.Str "malformed query");
+    Helpers.check_bool "line 2 unknown loop" true
+      (field e2 "error" = Json.Str "unknown loop");
+    Helpers.check_bool "line 4 ok" true (field ok "ok" = Json.Bool true);
+    Helpers.check_bool "line 4 echoes line number" true (field ok "line" = Json.Int 4);
+    Helpers.check_bool "alias resolves to suite name" true
+      (field ok "loop" = Json.Str "add");
+    (match field ok "cycles" with
+    | Json.Int n -> Helpers.check_bool "cycles positive" true (n > 0)
+    | _ -> Alcotest.fail "cycles not an int");
+    Helpers.check_bool "line 5 rejects unknown field" true
+      (field e3 "error" = Json.Str "malformed query")
+  | _ -> Alcotest.fail "unexpected answer shape")
+
+let test_serve_cache_disposition () =
+  let dir = fresh_dir () in
+  let st = Store.open_store dir in
+  let line = "{\"loop\": \"sum\", \"level\": \"Lev2\", \"issue\": 4}" in
+  let disposition a =
+    match Json.parse a with
+    | Ok j -> Option.get (Json.member "cache" j)
+    | Error _ -> Alcotest.fail "response not JSON"
+  in
+  let first = Service.answer_line ~store:(Some st) ~line:1 line in
+  let second = Service.answer_line ~store:(Some st) ~line:1 line in
+  Helpers.check_bool "first is a miss" true (disposition first = Json.Str "miss");
+  Helpers.check_bool "second is a hit" true (disposition second = Json.Str "hit");
+  (* The two answers must agree on everything but the disposition. *)
+  match (Json.parse first, Json.parse second) with
+  | Ok f, Ok s ->
+    List.iter
+      (fun k ->
+        Helpers.check_bool ("field " ^ k ^ " identical") true
+          (Json.member k f = Json.member k s))
+      [ "cycles"; "dyn_insns"; "speedup"; "digest"; "int_regs"; "float_regs" ]
+  | _ -> Alcotest.fail "responses not JSON"
+
+(* ---- Deprecated wrappers ---- *)
+
+let test_opts_wrappers () =
+  let p = Helpers.lower vecadd in
+  same_measurement "measure vs measure_with"
+    (Compile.measure Level.Lev3 Machine.issue_4 p)
+    (Compile.measure_with Opts.default Level.Lev3 Machine.issue_4 p);
+  let s = { Experiment.sname = "svc-wrap"; group = "doall"; ast = vecadd } in
+  same_measurement "base_measurement vs _with"
+    (Experiment.base_measurement s)
+    (Experiment.base_measurement_with Opts.default s);
+  Helpers.check_bool "Opts.base forces list scheduling" true
+    ((Opts.base (Opts.make ~sched:`Pipe ())).Opts.sched = `List)
+
+let suite =
+  [
+    ( "svc: json",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "errors" `Quick test_json_errors;
+        Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escape;
+      ] );
+    ( "svc: query",
+      [
+        Alcotest.test_case "digest determinism" `Quick test_query_digest_determinism;
+        Alcotest.test_case "digest sensitivity" `Quick test_query_digest_sensitivity;
+      ] );
+    ( "svc: store",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_store_roundtrip;
+        Alcotest.test_case "corrupt entry" `Quick test_store_corrupt_entry;
+        Alcotest.test_case "version mismatch" `Quick test_store_version_mismatch;
+        Alcotest.test_case "obs counters" `Quick test_store_obs_counters;
+        Alcotest.test_case "lru eviction" `Quick test_store_lru_eviction;
+      ] );
+    ( "svc: experiment cache",
+      [ Alcotest.test_case "cold vs warm run_all" `Quick test_cold_warm_run_all ] );
+    ( "svc: service",
+      [
+        Alcotest.test_case "batch with errors" `Quick test_serve_batch;
+        Alcotest.test_case "cache disposition" `Quick test_serve_cache_disposition;
+      ] );
+    ( "svc: opts",
+      [ Alcotest.test_case "deprecated wrappers" `Quick test_opts_wrappers ] );
+  ]

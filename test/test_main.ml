@@ -22,4 +22,5 @@ let () =
          T_edge.suite;
          T_exec.suite;
          T_obs.suite;
+         T_svc.suite;
        ])
