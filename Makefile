@@ -1,4 +1,4 @@
-.PHONY: all build test bench smoke pipe profile serve check clean
+.PHONY: all build test bench smoke pipe profile serve soak check clean
 
 all: build
 
@@ -28,6 +28,15 @@ profile: build
 serve: build
 	printf '{"loop": "dotprod", "level": "Lev4", "issue": 8}\nnot json\n{"loop": "nope"}\n' \
 	  | dune exec bin/impactc.exe -- serve
+
+# TCP soak: hammer `serve --listen` with concurrent pipelined clients
+# under fault injection, then SIGTERM and assert a clean drain (exit 0,
+# per-connection response order intact). SOAK_SECONDS=30 for the CI
+# duration (see DESIGN.md "Network service").
+soak: build
+	IMPACT_FAULTS=slow_read:0.05,drop_conn:0.02,slow_cell:0.1 \
+	  python3 scripts/soak.py --seconds $(or $(SOAK_SECONDS),8) --clients 6 -- \
+	  ./_build/default/bin/impactc.exe serve --listen 127.0.0.1:0 --queue-depth 32
 
 check: build test smoke
 

@@ -450,8 +450,85 @@ let show_file_cmd =
 
 (* -- serve -- *)
 
+let print_cache_stats store =
+  match store with
+  | None -> ()
+  | Some st ->
+    let s = Impact_svc.Store.stats st in
+    Printf.eprintf
+      "cache: %d hits (%d memory, %d disk), %d misses, %d stores, %d corrupt \
+       (dir %s)\n%!"
+      (Impact_svc.Store.hits s) s.Impact_svc.Store.mem_hits
+      s.Impact_svc.Store.disk_hits s.Impact_svc.Store.misses
+      s.Impact_svc.Store.stores s.Impact_svc.Store.corrupt
+      (Impact_svc.Store.dir st)
+
+(* HOST:PORT for --listen; a bare port listens on loopback. *)
+let parse_listen s =
+  let fail () =
+    Printf.eprintf "impactc serve: --listen expects HOST:PORT, got %S\n" s;
+    exit 2
+  in
+  match String.rindex_opt s ':' with
+  | None -> (
+    match int_of_string_opt s with Some p when p >= 0 -> ("127.0.0.1", p) | _ -> fail ())
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | Some p when p >= 0 && host <> "" -> (host, p)
+    | _ -> fail ())
+
+let serve_listen ~store ~jobs ~queue_depth ~deadline_ms ~max_line hostport =
+  let host, port = parse_listen hostport in
+  let faults =
+    match Impact_net.Faults.of_env () with
+    | Ok f -> f
+    | Error msg ->
+      Printf.eprintf "impactc serve: IMPACT_FAULTS: %s\n" msg;
+      exit 2
+  in
+  let cfg =
+    {
+      (Impact_net.Listener.default_config ?store ()) with
+      Impact_net.Listener.host;
+      port;
+      workers = jobs;
+      queue_depth;
+      deadline_ms;
+      max_line;
+      faults;
+    }
+  in
+  let t = Impact_net.Listener.start cfg in
+  Printf.eprintf
+    "impactc serve: listening on %s:%d (workers %d, queue %d%s%s%s)\n%!" host
+    (Impact_net.Listener.port t)
+    (match jobs with Some j -> j | None -> Impact_exec.Pool.resolve_workers ())
+    queue_depth
+    (match deadline_ms with
+    | Some ms -> Printf.sprintf ", deadline %d ms" ms
+    | None -> "")
+    (if Impact_net.Faults.active faults then
+       ", faults " ^ Impact_net.Faults.to_string faults
+     else "")
+    (match store with None -> ", cache off" | Some _ -> "");
+  let handler = Sys.Signal_handle (fun _ -> Impact_net.Listener.stop t) in
+  Sys.set_signal Sys.sigterm handler;
+  Sys.set_signal Sys.sigint handler;
+  Impact_net.Listener.wait t;
+  let s = Impact_net.Listener.stats t in
+  Printf.eprintf
+    "impactc serve: drained (%d conns, %d requests, %d responses, %d shed, %d \
+     deadline, %d too-long, %d dropped)\n%!"
+    s.Impact_net.Listener.accepted s.Impact_net.Listener.requests
+    s.Impact_net.Listener.responses s.Impact_net.Listener.shed
+    s.Impact_net.Listener.deadlined s.Impact_net.Listener.too_long
+    s.Impact_net.Listener.dropped_conns;
+  print_cache_stats store
+
 let serve_cmd =
-  let run file cache_dir no_cache jobs =
+  let run file listen cache_dir no_cache jobs queue_depth deadline_ms max_line =
     let store =
       if no_cache then None
       else Some (Impact_svc.Store.open_store cache_dir)
@@ -462,21 +539,16 @@ let serve_cmd =
     | Some st -> Impact_svc.Service.install_cache st
     | None -> ());
     Obs.set_collecting true;
-    let ic = match file with None -> stdin | Some f -> open_in f in
-    Fun.protect
-      ~finally:(fun () -> if file <> None then close_in_noerr ic)
-      (fun () -> Impact_svc.Service.run_channel ?workers:jobs ~store ic stdout);
-    match store with
-    | None -> ()
-    | Some st ->
-      let s = Impact_svc.Store.stats st in
-      Printf.eprintf
-        "cache: %d hits (%d memory, %d disk), %d misses, %d stores, %d corrupt \
-         (dir %s)\n%!"
-        (Impact_svc.Store.hits s) s.Impact_svc.Store.mem_hits
-        s.Impact_svc.Store.disk_hits s.Impact_svc.Store.misses
-        s.Impact_svc.Store.stores s.Impact_svc.Store.corrupt
-        (Impact_svc.Store.dir st)
+    match listen with
+    | Some hostport ->
+      serve_listen ~store ~jobs ~queue_depth ~deadline_ms ~max_line hostport
+    | None ->
+      let ic = match file with None -> stdin | Some f -> open_in f in
+      Fun.protect
+        ~finally:(fun () -> if file <> None then close_in_noerr ic)
+        (fun () ->
+          Impact_svc.Service.run_channel ?workers:jobs ~max_line ~store ic stdout);
+      print_cache_stats store
   in
   let file_arg =
     Arg.(
@@ -506,14 +578,62 @@ let serve_cmd =
       & info [ "j"; "jobs" ] ~docv:"N"
           ~doc:"Worker domains for the batch (default: IMPACT_JOBS or the core count).")
   in
+  let listen_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Serve the same one-JSON-per-line protocol over TCP instead of \
+             standard input: accept connections on $(docv) (port 0 picks an \
+             ephemeral port, printed to stderr), answer each connection's \
+             requests in order, shed load with $(b,overloaded) records when \
+             the admission queue is full, and drain gracefully on SIGTERM or \
+             SIGINT (stop accepting, finish in-flight work, flush, exit 0). \
+             $(b,IMPACT_FAULTS) injects deterministic protocol faults (see \
+             DESIGN.md \"Network service\").")
+  in
+  let queue_depth_arg =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Admission-queue bound for $(b,--listen): requests beyond $(docv) \
+             pending are answered with an $(b,overloaded) record instead of \
+             buffering.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request deadline for $(b,--listen): a request not picked up \
+             by a worker within $(docv) milliseconds of being read is answered \
+             with a $(b,deadline) record instead of being evaluated.")
+  in
+  let max_line_arg =
+    Arg.(
+      value
+      & opt int Impact_svc.Service.default_max_line
+      & info [ "max-line" ] ~docv:"BYTES"
+          ~doc:
+            "Request-line byte bound (default 1 MiB): longer lines are \
+             answered with a $(b,line too long) record and discarded without \
+             buffering.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Answer a batch of JSON queries (one object per line; see DESIGN.md \
-          \"Query API & result cache\"). Every line is answered in order with \
-          a JSON result or a structured error record; the exit code is 0 even \
-          when individual queries fail.")
-    Term.(const run $ file_arg $ cache_dir_arg $ no_cache_arg $ jobs_arg)
+         "Answer JSON queries (one object per line; see DESIGN.md \"Query API \
+          & result cache\"), from standard input or a file by default, or as \
+          a concurrent TCP service with $(b,--listen). Every request line is \
+          answered in order with a JSON result or a structured error record; \
+          the exit code is 0 even when individual queries fail.")
+    Term.(
+      const run $ file_arg $ listen_arg $ cache_dir_arg $ no_cache_arg $ jobs_arg
+      $ queue_depth_arg $ deadline_arg $ max_line_arg)
 
 let () =
   let doc = "IMPACT-style ILP transformation compiler (SC'92 reproduction)" in

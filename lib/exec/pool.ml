@@ -79,3 +79,99 @@ let map ?workers (f : 'a -> 'b) (xs : 'a array) : 'b array =
   end
 
 let map_list ?workers f xs = Array.to_list (map ?workers f (Array.of_list xs))
+
+(* ---- Persistent executor ----
+
+   Unlike [map], which spawns domains per batch, an executor keeps a
+   fixed set of worker domains alive behind a bounded job queue. The
+   bound is the admission-control surface: [submit] refuses instead of
+   buffering unboundedly, so callers (the TCP listener) can shed load
+   with an explicit error. Shutdown is a drain: already-accepted jobs
+   still run, then the workers exit and are joined. *)
+
+type executor = {
+  ex_mutex : Mutex.t;
+  ex_work : Condition.t;  (* queue gained work, or the executor closed *)
+  ex_queue : (unit -> unit) Queue.t;
+  ex_capacity : int;
+  ex_workers : int;
+  mutable ex_running : int;  (* jobs currently executing *)
+  mutable ex_closed : bool;
+  mutable ex_domains : unit Domain.t list;
+}
+
+let create_executor ?workers ~queue_depth () =
+  let w = match workers with Some w -> max 1 w | None -> resolve_workers () in
+  let ex =
+    {
+      ex_mutex = Mutex.create ();
+      ex_work = Condition.create ();
+      ex_queue = Queue.create ();
+      ex_capacity = max 1 queue_depth;
+      ex_workers = w;
+      ex_running = 0;
+      ex_closed = false;
+      ex_domains = [];
+    }
+  in
+  let worker () =
+    let rec next () =
+      Mutex.lock ex.ex_mutex;
+      let rec take () =
+        if not (Queue.is_empty ex.ex_queue) then Some (Queue.pop ex.ex_queue)
+        else if ex.ex_closed then None
+        else begin
+          Condition.wait ex.ex_work ex.ex_mutex;
+          take ()
+        end
+      in
+      let job = take () in
+      (match job with Some _ -> ex.ex_running <- ex.ex_running + 1 | None -> ());
+      Mutex.unlock ex.ex_mutex;
+      match job with
+      | None -> ()
+      | Some f ->
+        (try f () with _ -> ());
+        Mutex.lock ex.ex_mutex;
+        ex.ex_running <- ex.ex_running - 1;
+        Mutex.unlock ex.ex_mutex;
+        next ()
+    in
+    next ()
+  in
+  ex.ex_domains <- List.init w (fun _ -> Domain.spawn worker);
+  ex
+
+let submit ex f =
+  Mutex.lock ex.ex_mutex;
+  let ok = (not ex.ex_closed) && Queue.length ex.ex_queue < ex.ex_capacity in
+  if ok then begin
+    Queue.add f ex.ex_queue;
+    Condition.signal ex.ex_work
+  end;
+  Mutex.unlock ex.ex_mutex;
+  ok
+
+let queue_length ex =
+  Mutex.lock ex.ex_mutex;
+  let n = Queue.length ex.ex_queue in
+  Mutex.unlock ex.ex_mutex;
+  n
+
+let running ex =
+  Mutex.lock ex.ex_mutex;
+  let n = ex.ex_running in
+  Mutex.unlock ex.ex_mutex;
+  n
+
+let executor_workers ex = ex.ex_workers
+
+let executor_capacity ex = ex.ex_capacity
+
+let shutdown_executor ex =
+  Mutex.lock ex.ex_mutex;
+  ex.ex_closed <- true;
+  Condition.broadcast ex.ex_work;
+  Mutex.unlock ex.ex_mutex;
+  List.iter Domain.join ex.ex_domains;
+  ex.ex_domains <- []

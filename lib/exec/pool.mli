@@ -19,3 +19,39 @@ val resolve_workers : unit -> int
 val map : ?workers:int -> ('a -> 'b) -> 'a array -> 'b array
 
 val map_list : ?workers:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** {1 Persistent executor}
+
+    A long-lived pool of worker domains behind a {e bounded} job queue —
+    the admission-control stage of the network query service. [map]
+    spawns domains per batch; an executor keeps them alive and lets
+    independent producers (connection handlers) feed jobs continuously.
+    The queue bound turns overload into an explicit, testable signal:
+    {!submit} returns [false] instead of buffering without limit. *)
+
+type executor
+
+val create_executor : ?workers:int -> queue_depth:int -> unit -> executor
+(** Spawn [workers] domains (default {!resolve_workers}) behind a queue
+    bounded at [queue_depth] pending jobs (clamped to at least 1). *)
+
+val submit : executor -> (unit -> unit) -> bool
+(** Enqueue a job, or return [false] when the queue is at capacity or
+    the executor was shut down. Jobs run on an arbitrary worker domain
+    in FIFO pick-up order; exceptions escaping a job are swallowed (a
+    job is responsible for reporting its own failures). *)
+
+val queue_length : executor -> int
+(** Jobs accepted but not yet picked up by a worker. *)
+
+val running : executor -> int
+(** Jobs currently executing. *)
+
+val executor_workers : executor -> int
+
+val executor_capacity : executor -> int
+
+val shutdown_executor : executor -> unit
+(** Drain and join: refuse new submissions, run every already-accepted
+    job, then join the worker domains. Blocks until the queue is empty
+    and all workers have exited. *)

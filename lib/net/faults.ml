@@ -1,0 +1,79 @@
+type t = {
+  slow_read : float;
+  drop_conn : float;
+  slow_cell : float;
+  delay_ms : int;
+  seed : int;
+}
+
+let none = { slow_read = 0.0; drop_conn = 0.0; slow_cell = 0.0; delay_ms = 10; seed = 1 }
+
+let active t = t.slow_read > 0.0 || t.drop_conn > 0.0 || t.slow_cell > 0.0
+
+let parse ?(base = none) s =
+  let s = String.trim s in
+  if s = "" then Ok base
+  else
+    let fields = String.split_on_char ',' s in
+    List.fold_left
+      (fun acc field ->
+        match acc with
+        | Error _ -> acc
+        | Ok t -> (
+          match String.index_opt field ':' with
+          | None -> Error (Printf.sprintf "fault %S: expected key:prob" field)
+          | Some i -> (
+            let key = String.trim (String.sub field 0 i) in
+            let v = String.trim (String.sub field (i + 1) (String.length field - i - 1)) in
+            match float_of_string_opt v with
+            | None -> Error (Printf.sprintf "fault %S: bad probability %S" key v)
+            | Some p when not (p >= 0.0 && p <= 1.0) ->
+              Error (Printf.sprintf "fault %S: probability %g outside [0..1]" key p)
+            | Some p -> (
+              match key with
+              | "slow_read" -> Ok { t with slow_read = p }
+              | "drop_conn" -> Ok { t with drop_conn = p }
+              | "slow_cell" -> Ok { t with slow_cell = p }
+              | _ ->
+                Error
+                  (Printf.sprintf
+                     "unknown fault %S (expected slow_read, drop_conn or slow_cell)"
+                     key)))))
+      (Ok base) fields
+
+let of_env () =
+  let spec = Option.value ~default:"" (Sys.getenv_opt "IMPACT_FAULTS") in
+  match parse spec with
+  | Error _ as e -> e
+  | Ok t ->
+    let int_env name default =
+      match Sys.getenv_opt name with
+      | None -> Ok default
+      | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n -> Ok n
+        | None -> Error (Printf.sprintf "%s: bad integer %S" name s))
+    in
+    Result.bind (int_env "IMPACT_FAULTS_SEED" t.seed) (fun seed ->
+      Result.map
+        (fun delay_ms -> { t with seed; delay_ms = max 0 delay_ms })
+        (int_env "IMPACT_FAULTS_DELAY_MS" t.delay_ms))
+
+let to_string t =
+  Printf.sprintf "slow_read:%g,drop_conn:%g,slow_cell:%g" t.slow_read t.drop_conn
+    t.slow_cell
+
+type stream = { rng : Random.State.t; cfg : t }
+
+let stream cfg ~conn ~channel =
+  { rng = Random.State.make [| cfg.seed; conn; channel |]; cfg }
+
+let draw s p = p > 0.0 && Random.State.float s.rng 1.0 < p
+
+let slow_read s = draw s s.cfg.slow_read
+
+let drop_conn s = draw s s.cfg.drop_conn
+
+let slow_cell s = draw s s.cfg.slow_cell
+
+let delay s = Unix.sleepf (float_of_int s.cfg.delay_ms /. 1000.0)

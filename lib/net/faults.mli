@@ -1,0 +1,66 @@
+(** Deterministic fault injection for the TCP query service.
+
+    The paper validates its simulator cell-by-cell against a reference;
+    the network front end gets the same discipline only if its failure
+    behaviour is reproducible. This module injects the three fault
+    classes the service must absorb — slow clients, dying connections,
+    slow evaluations — at the protocol boundary, driven by a {e seeded}
+    PRNG so every run with the same configuration and connection order
+    draws the same faults.
+
+    Configuration comes from the environment
+    ([IMPACT_FAULTS=slow_read:p,drop_conn:p,slow_cell:p] with
+    probabilities in [0..1], plus [IMPACT_FAULTS_SEED] and
+    [IMPACT_FAULTS_DELAY_MS]) or is built directly for tests. Each
+    connection derives independent read-side and write-side draw
+    {!stream}s from [(seed, connection id, channel)], so the two
+    connection threads never race on one PRNG and the draw sequence
+    depends only on the per-connection request/response sequence. *)
+
+type t = {
+  slow_read : float;  (** P(delay before handling a request line) *)
+  drop_conn : float;
+      (** P(truncate a response mid-line and sever the connection) *)
+  slow_cell : float;  (** P(delay an evaluation before it starts) *)
+  delay_ms : int;  (** magnitude of every injected delay *)
+  seed : int;  (** PRNG seed shared by all connections *)
+}
+
+val none : t
+(** All probabilities 0 (no faults); [delay_ms = 10], [seed = 1]. *)
+
+val active : t -> bool
+(** Any probability strictly positive. *)
+
+val parse : ?base:t -> string -> (t, string) result
+(** Parse an [IMPACT_FAULTS] spec ([key:prob] pairs separated by
+    commas) on top of [base] (default {!none}). Unknown keys and
+    probabilities outside [0..1] are errors. The empty string is
+    [base]. *)
+
+val of_env : unit -> (t, string) result
+(** {!parse} [IMPACT_FAULTS] (absent = {!none}), then apply
+    [IMPACT_FAULTS_SEED] and [IMPACT_FAULTS_DELAY_MS] overrides. *)
+
+val to_string : t -> string
+(** Canonical [slow_read:p,drop_conn:p,slow_cell:p] rendering (for the
+    listener's startup banner). *)
+
+type stream
+(** One deterministic draw sequence: a PRNG seeded by
+    [(seed, conn, channel)]. *)
+
+val stream : t -> conn:int -> channel:int -> stream
+(** The listener uses [channel 0] for the reader thread's draws
+    (slow_read, slow_cell) and [channel 1] for the writer thread's
+    (drop_conn). *)
+
+val slow_read : stream -> bool
+
+val drop_conn : stream -> bool
+
+val slow_cell : stream -> bool
+
+val delay : stream -> unit
+(** Sleep [delay_ms] (no PRNG use — delays have fixed magnitude so a
+    draw sequence is independent of how long its faults take). *)

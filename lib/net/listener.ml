@@ -1,0 +1,452 @@
+module Obs = Impact_obs.Obs
+module Json = Impact_svc.Json
+module Store = Impact_svc.Store
+module Service = Impact_svc.Service
+module Pool = Impact_exec.Pool
+
+type config = {
+  host : string;
+  port : int;
+  workers : int option;
+  queue_depth : int;
+  deadline_ms : int option;
+  max_line : int;
+  faults : Faults.t;
+  store : Store.t option;
+}
+
+let default_config ?store () =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    workers = None;
+    queue_depth = 64;
+    deadline_ms = None;
+    max_line = Service.default_max_line;
+    faults = Faults.none;
+    store;
+  }
+
+type stats = {
+  accepted : int;
+  requests : int;
+  responses : int;
+  shed : int;
+  deadlined : int;
+  too_long : int;
+  dropped_conns : int;
+}
+
+type t = {
+  cfg : config;
+  lfd : Unix.file_descr;
+  lport : int;
+  exec : Pool.executor;
+  started_at : float;
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  draining : bool Atomic.t;
+  stop_sent : bool Atomic.t;
+  finished : bool Atomic.t;
+  next_conn : int Atomic.t;
+  m : Mutex.t;
+  conn_done : Condition.t;
+  conns : (int, Unix.file_descr) Hashtbl.t;  (* open connections, for drain *)
+  mutable active : int;
+  mutable accept_thread : Thread.t option;
+  c_accepted : int Atomic.t;
+  c_requests : int Atomic.t;
+  c_responses : int Atomic.t;
+  c_shed : int Atomic.t;
+  c_deadlined : int Atomic.t;
+  c_too_long : int Atomic.t;
+  c_dropped : int Atomic.t;
+}
+
+let port t = t.lport
+
+let stats t =
+  {
+    accepted = Atomic.get t.c_accepted;
+    requests = Atomic.get t.c_requests;
+    responses = Atomic.get t.c_responses;
+    shed = Atomic.get t.c_shed;
+    deadlined = Atomic.get t.c_deadlined;
+    too_long = Atomic.get t.c_too_long;
+    dropped_conns = Atomic.get t.c_dropped;
+  }
+
+let bump c obs_name =
+  Atomic.incr c;
+  Obs.count obs_name
+
+(* ---- Response records owned by the network layer ---- *)
+
+let error_json ~line ~error ~detail =
+  Json.to_string
+    (Json.Obj
+       [
+         ("ok", Json.Bool false);
+         ("line", Json.Int line);
+         ("error", Json.Str error);
+         ("detail", Json.Str detail);
+       ])
+
+let overloaded_record ~line ~capacity =
+  error_json ~line ~error:"overloaded"
+    ~detail:
+      (Printf.sprintf "admission queue full (capacity %d); retry later" capacity)
+
+let deadline_record ~line ~deadline_ms =
+  error_json ~line ~error:"deadline"
+    ~detail:
+      (Printf.sprintf "deadline of %d ms exceeded before evaluation" deadline_ms)
+
+let health_record t ~line =
+  let cache =
+    match t.cfg.store with
+    | None -> Json.Null
+    | Some st ->
+      let s = Store.stats st in
+      Json.Obj
+        [
+          ("hits", Json.Int (Store.hits s));
+          ("mem_hits", Json.Int s.Store.mem_hits);
+          ("disk_hits", Json.Int s.Store.disk_hits);
+          ("misses", Json.Int s.Store.misses);
+          ("stores", Json.Int s.Store.stores);
+          ("corrupt", Json.Int s.Store.corrupt);
+        ]
+  in
+  let active = Mutex.protect t.m (fun () -> t.active) in
+  Json.to_string
+    (Json.Obj
+       [
+         ("ok", Json.Bool true);
+         ("line", Json.Int line);
+         ("op", Json.Str "health");
+         ("uptime_s", Json.Float (Obs.now () -. t.started_at));
+         ("queue_depth", Json.Int (Pool.queue_length t.exec));
+         ("queue_capacity", Json.Int t.cfg.queue_depth);
+         ("running", Json.Int (Pool.running t.exec));
+         ("workers", Json.Int (Pool.executor_workers t.exec));
+         ("conns", Json.Int active);
+         ("accepted", Json.Int (Atomic.get t.c_accepted));
+         ("requests", Json.Int (Atomic.get t.c_requests));
+         ("responses", Json.Int (Atomic.get t.c_responses));
+         ("shed", Json.Int (Atomic.get t.c_shed));
+         ("deadline", Json.Int (Atomic.get t.c_deadlined));
+         ("draining", Json.Bool (Atomic.get t.draining));
+         ("cache", cache);
+       ])
+
+let is_health raw =
+  match Json.parse raw with
+  | Ok j -> Json.member "op" j = Some (Json.Str "health")
+  | Error _ -> false
+
+(* ---- Per-connection machinery ----
+
+   One reader thread parses lines and enqueues work; one writer thread
+   writes completed responses strictly in request order. Cells join
+   them: the reader pushes a cell per answered line, workers (or the
+   reader itself, for inline answers) fill it, the writer blocks on the
+   queue head — so pipelined evaluation may complete out of order while
+   the wire order never does. *)
+
+type cell = { mutable resp : string option }
+
+let handle_conn t conn_id fd =
+  let cfg = t.cfg in
+  let rd_faults = Faults.stream cfg.faults ~conn:conn_id ~channel:0 in
+  let wr_faults = Faults.stream cfg.faults ~conn:conn_id ~channel:1 in
+  let m = Mutex.create () in
+  let ready = Condition.create () in
+  let out : cell Queue.t = Queue.create () in
+  let done_reading = ref false in
+  let fill cell resp =
+    Mutex.lock m;
+    cell.resp <- Some resp;
+    Condition.broadcast ready;
+    Mutex.unlock m
+  in
+  let push () =
+    let c = { resp = None } in
+    Mutex.lock m;
+    Queue.add c out;
+    Mutex.unlock m;
+    c
+  in
+  (* Write side: [alive] is owned by the writer thread alone. *)
+  let alive = ref true in
+  let write_all s =
+    let b = Bytes.of_string s in
+    let n = Bytes.length b in
+    let rec go off =
+      if off < n then
+        match Unix.write fd b off (n - off) with
+        | k -> go (off + k)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+        | exception Unix.Unix_error (_, _, _) -> alive := false
+    in
+    go 0
+  in
+  let writer () =
+    let rec next () =
+      Mutex.lock m;
+      let rec take () =
+        if not (Queue.is_empty out) then begin
+          match (Queue.peek out).resp with
+          | Some r ->
+            ignore (Queue.pop out);
+            Some r
+          | None ->
+            Condition.wait ready m;
+            take ()
+        end
+        else if !done_reading then None
+        else begin
+          Condition.wait ready m;
+          take ()
+        end
+      in
+      let job = take () in
+      Mutex.unlock m;
+      match job with
+      | None -> ()
+      | Some resp ->
+        if !alive then
+          if Faults.drop_conn wr_faults then begin
+            (* Mid-line disconnect: half the response, then sever both
+               directions so the reader unblocks too. *)
+            bump t.c_dropped "net.fault.drop_conn";
+            write_all (String.sub resp 0 ((String.length resp + 1) / 2));
+            (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
+            alive := false
+          end
+          else begin
+            write_all (resp ^ "\n");
+            if !alive then bump t.c_responses "net.response"
+          end;
+        next ()
+    in
+    next ()
+  in
+  let wt = Thread.create writer () in
+  (* Read side. *)
+  let lineno = ref 0 in
+  let handle_request raw =
+    let line = !lineno in
+    bump t.c_requests "net.request";
+    if Faults.slow_read rd_faults then begin
+      Obs.count "net.fault.slow_read";
+      Faults.delay rd_faults
+    end;
+    if is_health raw then begin
+      Obs.count "net.health";
+      let c = push () in
+      fill c (health_record t ~line)
+    end
+    else begin
+      let slow = Faults.slow_cell rd_faults in
+      if slow then Obs.count "net.fault.slow_cell";
+      let c = push () in
+      let arrival = Obs.now () in
+      let expired () =
+        match cfg.deadline_ms with
+        | None -> false
+        | Some ms -> (Obs.now () -. arrival) *. 1000.0 > float_of_int ms
+      in
+      let answer () =
+        if expired () then begin
+          bump t.c_deadlined "net.deadline";
+          deadline_record ~line ~deadline_ms:(Option.get cfg.deadline_ms)
+        end
+        else begin
+          if slow then Faults.delay rd_faults;
+          if expired () then begin
+            bump t.c_deadlined "net.deadline";
+            deadline_record ~line ~deadline_ms:(Option.get cfg.deadline_ms)
+          end
+          else Service.answer_line ~store:cfg.store ~line raw
+        end
+      in
+      let job () =
+        fill c
+          (try answer ()
+           with e ->
+             error_json ~line ~error:"internal error" ~detail:(Printexc.to_string e))
+      in
+      if not (Pool.submit t.exec job) then begin
+        bump t.c_shed "net.shed";
+        fill c (overloaded_record ~line ~capacity:cfg.queue_depth)
+      end
+    end
+  in
+  let handle_line item =
+    incr lineno;
+    match item with
+    | `Over ->
+      bump t.c_too_long "net.too_long";
+      let c = push () in
+      fill c (Service.too_long_record ~line:!lineno ~max_line:cfg.max_line)
+    | `Raw raw -> if String.trim raw <> "" then handle_request raw
+  in
+  let buf = Bytes.create 4096 in
+  let pend = Buffer.create 256 in
+  let over = ref false in
+  let rec read_loop () =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_loop ()
+    | exception Unix.Unix_error (_, _, _) -> ()
+    | 0 -> ()
+    | n ->
+      for i = 0 to n - 1 do
+        match Bytes.get buf i with
+        | '\n' ->
+          let item = if !over then `Over else `Raw (Buffer.contents pend) in
+          Buffer.clear pend;
+          over := false;
+          handle_line item
+        | c ->
+          if not !over then
+            if Buffer.length pend >= cfg.max_line then begin
+              Buffer.clear pend;
+              over := true
+            end
+            else Buffer.add_char pend c
+      done;
+      read_loop ()
+  in
+  read_loop ();
+  if Buffer.length pend > 0 || !over then
+    handle_line (if !over then `Over else `Raw (Buffer.contents pend));
+  Mutex.lock m;
+  done_reading := true;
+  Condition.broadcast ready;
+  Mutex.unlock m;
+  Thread.join wt;
+  (try Unix.close fd with _ -> ());
+  Mutex.lock t.m;
+  Hashtbl.remove t.conns conn_id;
+  t.active <- t.active - 1;
+  Condition.broadcast t.conn_done;
+  Mutex.unlock t.m;
+  Obs.count "net.conn.close"
+
+(* ---- Accept loop and drain ---- *)
+
+let accept_loop t =
+  let rec loop () =
+    if not (Atomic.get t.draining) then
+      match Unix.select [ t.lfd; t.stop_r ] [] [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | rs, _, _ ->
+        if List.mem t.stop_r rs then ()
+        else begin
+          (match Unix.accept ~cloexec:true t.lfd with
+          | exception
+              Unix.Unix_error
+                ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _)
+            ->
+            ()
+          | fd, _ ->
+            bump t.c_accepted "net.accept";
+            let id = Atomic.fetch_and_add t.next_conn 1 in
+            Mutex.lock t.m;
+            Hashtbl.replace t.conns id fd;
+            t.active <- t.active + 1;
+            Mutex.unlock t.m;
+            ignore (Thread.create (fun () -> handle_conn t id fd) ()));
+          loop ()
+        end
+  in
+  loop ();
+  (* Drain: no new connections, no new requests; everything already
+     read is evaluated, written and flushed before we return. *)
+  Obs.count "net.drain";
+  (try Unix.close t.lfd with _ -> ());
+  Mutex.lock t.m;
+  Hashtbl.iter
+    (fun _ fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with _ -> ())
+    t.conns;
+  while t.active > 0 do
+    Condition.wait t.conn_done t.m
+  done;
+  Mutex.unlock t.m;
+  Pool.shutdown_executor t.exec;
+  (try Unix.close t.stop_r with _ -> ());
+  (try Unix.close t.stop_w with _ -> ());
+  Atomic.set t.finished true
+
+let resolve_host host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 -> addrs.(0)
+    | _ | (exception Not_found) -> failwith (Printf.sprintf "cannot resolve host %S" host))
+
+let start cfg =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let lfd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (match
+     Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+     Unix.bind lfd (Unix.ADDR_INET (resolve_host cfg.host, cfg.port));
+     Unix.listen lfd 128;
+     Unix.set_nonblock lfd
+   with
+  | () -> ()
+  | exception e ->
+    (try Unix.close lfd with _ -> ());
+    raise e);
+  let lport =
+    match Unix.getsockname lfd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> cfg.port
+  in
+  let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+  let t =
+    {
+      cfg;
+      lfd;
+      lport;
+      exec = Pool.create_executor ?workers:cfg.workers ~queue_depth:cfg.queue_depth ();
+      started_at = Obs.now ();
+      stop_r;
+      stop_w;
+      draining = Atomic.make false;
+      stop_sent = Atomic.make false;
+      finished = Atomic.make false;
+      next_conn = Atomic.make 0;
+      m = Mutex.create ();
+      conn_done = Condition.create ();
+      conns = Hashtbl.create 16;
+      active = 0;
+      accept_thread = None;
+      c_accepted = Atomic.make 0;
+      c_requests = Atomic.make 0;
+      c_responses = Atomic.make 0;
+      c_shed = Atomic.make 0;
+      c_deadlined = Atomic.make 0;
+      c_too_long = Atomic.make 0;
+      c_dropped = Atomic.make 0;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let stop t =
+  if not (Atomic.exchange t.stop_sent true) then begin
+    Atomic.set t.draining true;
+    try ignore (Unix.write t.stop_w (Bytes.make 1 '!') 0 1) with _ -> ()
+  end
+
+let wait t =
+  (* Sleep-poll instead of a bare join: a thread parked in Thread.join
+     executes no OCaml code, so pending signal handlers (SIGTERM ->
+     [stop]) would never run while the server idles. Between delays the
+     caller passes safepoints, handlers fire, and the drain proceeds. *)
+  while not (Atomic.get t.finished) do
+    Thread.delay 0.05
+  done;
+  match t.accept_thread with Some th -> Thread.join th | None -> ()

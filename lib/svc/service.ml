@@ -214,27 +214,78 @@ let answer_line ~store ~line raw =
 
 let is_blank s = String.trim s = ""
 
-let serve_lines ?workers ~store lines =
+(* ---- Input lines ----
+
+   A request line is either its raw text or an [Oversized] marker when
+   it blew through the reader's byte bound. The bound exists because a
+   single unterminated multi-gigabyte line would otherwise buffer
+   unboundedly before the parser even saw it; an oversized line is
+   answered with a structured record, like every other client error,
+   and carries the bound it exceeded so the record can say so. *)
+
+type input = Line of string | Oversized of int
+
+let default_max_line = 1 lsl 20
+
+let too_long_record ~line ~max_line =
+  Json.to_string
+    (error_record ~line ~error:"line too long"
+       ~detail:
+         (Printf.sprintf
+            "request line exceeds %d bytes; split the request or raise the line bound"
+            max_line))
+
+let serve_inputs ?workers ~store inputs =
   let numbered =
-    List.mapi (fun k line -> (k + 1, line)) lines
-    |> List.filter (fun (_, line) -> not (is_blank line))
+    List.mapi (fun k inp -> (k + 1, inp)) inputs
+    |> List.filter (fun (_, inp) ->
+         match inp with Line s -> not (is_blank s) | Oversized _ -> true)
   in
   Impact_exec.Pool.map_list ?workers
-    (fun (line, raw) -> answer_line ~store ~line raw)
+    (fun (line, inp) ->
+      match inp with
+      | Line raw -> answer_line ~store ~line raw
+      | Oversized max_line -> too_long_record ~line ~max_line)
     numbered
 
-let read_lines ic =
-  let rec go acc =
-    match input_line ic with
-    | line -> go (line :: acc)
-    | exception End_of_file -> List.rev acc
-  in
-  go []
+let serve_lines ?workers ~store lines =
+  serve_inputs ?workers ~store (List.map (fun l -> Line l) lines)
 
-let run_channel ?workers ~store ic oc =
+let read_lines ?(max_line = default_max_line) ic =
+  let buf = Buffer.create 256 in
+  let acc = ref [] in
+  (* [over] set: the current line already exceeded the bound; its bytes
+     are discarded until the newline, so memory stays O(max_line). *)
+  let over = ref false in
+  let flush_line () =
+    acc := (if !over then Oversized max_line else Line (Buffer.contents buf)) :: !acc;
+    Buffer.clear buf;
+    over := false
+  in
+  let rec go () =
+    match input_char ic with
+    | '\n' ->
+      flush_line ();
+      go ()
+    | c ->
+      if not !over then begin
+        if Buffer.length buf >= max_line then begin
+          Buffer.clear buf;
+          over := true
+        end
+        else Buffer.add_char buf c
+      end;
+      go ()
+    | exception End_of_file ->
+      if Buffer.length buf > 0 || !over then flush_line ()
+  in
+  go ();
+  List.rev !acc
+
+let run_channel ?workers ?max_line ~store ic oc =
   List.iter
     (fun response ->
       output_string oc response;
       output_char oc '\n')
-    (serve_lines ?workers ~store (read_lines ic));
+    (serve_inputs ?workers ~store (read_lines ?max_line ic));
   flush oc

@@ -30,11 +30,43 @@ val answer_line : store:Store.t option -> line:int -> string -> string
 (** Answer one request line ([line] is its 1-based input position, echoed
     in the response). Always returns a single-line JSON record. *)
 
+type input =
+  | Line of string  (** a complete request line, verbatim *)
+  | Oversized of int
+      (** a line that exceeded the reader's byte bound (the payload is
+          the bound it blew through; its bytes were discarded) *)
+
+val default_max_line : int
+(** Default request-line byte bound (1 MiB). A line strictly longer is
+    rejected with a structured ["line too long"] record instead of
+    buffering without limit. *)
+
+val too_long_record : line:int -> max_line:int -> string
+(** The single-line JSON error record for an oversized request line;
+    shared with the TCP listener so both paths answer byte-identically. *)
+
+val serve_inputs :
+  ?workers:int -> store:Store.t option -> input list -> string list
+(** Answer a batch on the domain pool; responses are in request order.
+    Blank [Line]s are skipped (but still counted in line numbering);
+    [Oversized] inputs are answered with {!too_long_record}. *)
+
 val serve_lines : ?workers:int -> store:Store.t option -> string list -> string list
-(** Answer a batch on the domain pool; responses are in request order
-    (blank lines dropped). *)
+(** [serve_inputs] over plain [Line]s — the in-process oracle the
+    network path is differentially tested against. *)
+
+val read_lines : ?max_line:int -> in_channel -> input list
+(** Split a channel into newline-terminated inputs, bounding each line
+    at [max_line] bytes (default {!default_max_line}); longer lines read
+    as [Oversized] with their excess bytes discarded, so memory use is
+    O(max_line) regardless of input. *)
 
 val run_channel :
-  ?workers:int -> store:Store.t option -> in_channel -> out_channel -> unit
+  ?workers:int ->
+  ?max_line:int ->
+  store:Store.t option ->
+  in_channel ->
+  out_channel ->
+  unit
 (** Read all requests from a channel, answer the batch, write one
     response per line, flush. *)

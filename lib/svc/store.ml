@@ -40,8 +40,29 @@ let mkdir_p dir =
   in
   go dir
 
+let tmp_prefix = ".tmp."
+
+(* Crash recovery: a writer killed between open_out and rename leaves a
+   .tmp.* file behind. Unpublished temp entries are never read (lookups
+   go by digest path), so they only leak disk; sweep them on open. A
+   temp file belonging to a concurrent live writer may be swept too, in
+   which case that writer's rename fails and its [add] degrades to a
+   no-op — the documented worst case for any store I/O failure. *)
+let sweep_tmp dir =
+  match Sys.readdir dir with
+  | exception _ -> ()
+  | entries ->
+    Array.iter
+      (fun e ->
+        if
+          String.length e > String.length tmp_prefix
+          && String.sub e 0 (String.length tmp_prefix) = tmp_prefix
+        then try Sys.remove (Filename.concat dir e) with _ -> ())
+      entries
+
 let open_store ?(lru_capacity = 4096) dir =
   (try mkdir_p dir with _ -> ());
+  sweep_tmp dir;
   {
     st_dir = dir;
     st_capacity = max 1 lru_capacity;
@@ -187,7 +208,7 @@ let add t q m =
   let seq = locked t (fun () -> t.st_tmp_seq <- t.st_tmp_seq + 1; t.st_tmp_seq) in
   let tmp =
     Filename.concat t.st_dir
-      (Printf.sprintf ".tmp.%d.%d.%d" (Unix.getpid ())
+      (Printf.sprintf "%s%d.%d.%d" tmp_prefix (Unix.getpid ())
          (Domain.self () :> int)
          seq)
   in

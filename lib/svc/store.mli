@@ -43,7 +43,10 @@ val resolve_dir : unit -> string
 val open_store : ?lru_capacity:int -> string -> t
 (** Open (creating the directory if needed) a store rooted at the given
     directory. [lru_capacity] bounds the in-process front (default
-    4096 entries). *)
+    4096 entries). Opening sweeps orphaned writer temp files left by a
+    process killed mid-publication; entries themselves are never swept
+    (a torn or truncated entry reads as a miss and is republished on the
+    next store). *)
 
 val dir : t -> string
 

@@ -259,6 +259,75 @@ let test_sim_errors_agree () =
   Helpers.check_bool "both reject" true (e_fast <> None && e_ref <> None);
   Helpers.check_string "same error" (Option.get e_ref) (Option.get e_fast)
 
+(* ---- Persistent executor ---- *)
+
+(* Submissions beyond [queue_depth] are refused, not buffered: that
+   refusal is the admission-control signal lib/net turns into
+   structured "overloaded" records. *)
+let test_executor_bounded_submit () =
+  let ex = Pool.create_executor ~workers:1 ~queue_depth:2 () in
+  let gate_m = Mutex.create () in
+  let gate_c = Condition.create () in
+  let open_gate = ref false in
+  let done_count = Atomic.make 0 in
+  let blocked_job () =
+    Mutex.lock gate_m;
+    while not !open_gate do
+      Condition.wait gate_c gate_m
+    done;
+    Mutex.unlock gate_m;
+    Atomic.incr done_count
+  in
+  (* First job occupies the worker; wait until it is actually running so
+     the queue fills deterministically. *)
+  Helpers.check_bool "first submit accepted" true (Pool.submit ex blocked_job);
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while Pool.running ex < 1 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.005
+  done;
+  Helpers.check_int "worker busy" 1 (Pool.running ex);
+  Helpers.check_bool "fills slot 1" true (Pool.submit ex blocked_job);
+  Helpers.check_bool "fills slot 2" true (Pool.submit ex blocked_job);
+  Helpers.check_int "queue at capacity" 2 (Pool.queue_length ex);
+  Helpers.check_bool "over capacity refused" false (Pool.submit ex blocked_job);
+  Helpers.check_bool "still refused" false (Pool.submit ex blocked_job);
+  Mutex.lock gate_m;
+  open_gate := true;
+  Condition.broadcast gate_c;
+  Mutex.unlock gate_m;
+  Pool.shutdown_executor ex;
+  Helpers.check_int "accepted jobs all ran" 3 (Atomic.get done_count);
+  Helpers.check_bool "submit after shutdown refused" false
+    (Pool.submit ex (fun () -> ()))
+
+(* Shutdown drains: every accepted job runs before the domains join,
+   even if it was still queued when shutdown began. *)
+let test_executor_shutdown_drains () =
+  let ex = Pool.create_executor ~workers:2 ~queue_depth:64 () in
+  let ran = Atomic.make 0 in
+  let accepted = ref 0 in
+  for _ = 1 to 32 do
+    if Pool.submit ex (fun () ->
+           Thread.delay 0.002;
+           Atomic.incr ran)
+    then incr accepted
+  done;
+  Helpers.check_int "all submissions accepted" 32 !accepted;
+  Pool.shutdown_executor ex;
+  Helpers.check_int "every accepted job ran before join" 32 (Atomic.get ran);
+  Helpers.check_int "queue empty after drain" 0 (Pool.queue_length ex);
+  Helpers.check_int "no job running after drain" 0 (Pool.running ex)
+
+let test_executor_introspection () =
+  let ex = Pool.create_executor ~workers:3 ~queue_depth:7 () in
+  Helpers.check_int "worker count" 3 (Pool.executor_workers ex);
+  Helpers.check_int "capacity" 7 (Pool.executor_capacity ex);
+  Helpers.check_int "idle queue empty" 0 (Pool.queue_length ex);
+  Helpers.check_int "idle none running" 0 (Pool.running ex);
+  Pool.shutdown_executor ex;
+  (* Shutdown is idempotent. *)
+  Pool.shutdown_executor ex
+
 let suite =
   [
     ( "exec.pool",
@@ -270,6 +339,15 @@ let suite =
         Alcotest.test_case "exception propagation (first index wins)" `Quick
           test_pool_exception;
         Alcotest.test_case "worker count resolution" `Quick test_pool_env_and_default;
+      ] );
+    ( "exec.executor",
+      [
+        Alcotest.test_case "bounded queue refuses over-capacity submits" `Quick
+          test_executor_bounded_submit;
+        Alcotest.test_case "shutdown drains accepted jobs" `Quick
+          test_executor_shutdown_drains;
+        Alcotest.test_case "introspection and idempotent shutdown" `Quick
+          test_executor_introspection;
       ] );
     ( "exec.cache",
       [

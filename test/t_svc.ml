@@ -338,6 +338,110 @@ let test_opts_wrappers () =
   Helpers.check_bool "Opts.base forces list scheduling" true
     ((Opts.base (Opts.make ~sched:`Pipe ())).Opts.sched = `List)
 
+(* ---- Crash recovery ----
+
+   A writer can die at any point of [Store.add]'s temp-write +
+   atomic-rename publication. Whatever it leaves behind — an orphaned
+   temp file, a header cut mid-line, a payload cut mid-Marshal — the
+   next open must degrade to a miss, never raise, and the cache must
+   repopulate over the damage. *)
+
+let test_store_crash_orphaned_tmp () =
+  let dir = fresh_dir () in
+  let st = Store.open_store dir in
+  let q = Query.of_ast ~ast:vecadd ~opts:Opts.default Level.Lev2 Machine.issue_2 in
+  Store.add st q (measure_default Level.Lev2 Machine.issue_2 vecadd);
+  (* A writer that died between temp write and rename leaves this. *)
+  let orphan = Filename.concat dir ".tmp.99999.0.0" in
+  let oc = open_out_bin orphan in
+  output_string oc "half-written entry from a dead process";
+  close_out oc;
+  let st2 = Store.open_store dir in
+  Helpers.check_bool "orphan swept on open" false (Sys.file_exists orphan);
+  (match Store.lookup st2 q with
+  | Some _ -> ()
+  | None -> Alcotest.fail "published entry lost by the sweep");
+  Helpers.check_int "sweep is not a corruption event" 0
+    (Store.stats st2).Store.corrupt
+
+let test_store_crash_torn_entry () =
+  let dir = fresh_dir () in
+  let st = Store.open_store dir in
+  let q = Query.of_ast ~ast:vecadd ~opts:Opts.default Level.Lev3 Machine.issue_4 in
+  let m = measure_default Level.Lev3 Machine.issue_4 vecadd in
+  Store.add st q m;
+  let path = Store.entry_path st q in
+  let ic = open_in_bin path in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let truncate_to n =
+    let oc = open_out_bin path in
+    output_string oc (String.sub data 0 n);
+    close_out oc
+  in
+  let nl = String.index data '\n' in
+  (* Torn header: the crash happened before the newline was written. *)
+  truncate_to (nl / 2);
+  let st2 = Store.open_store dir in
+  Helpers.check_bool "torn header misses" true (Store.lookup st2 q = None);
+  Helpers.check_int "torn header counted corrupt" 1 (Store.stats st2).Store.corrupt;
+  (* Truncated payload: intact header, Marshal bytes cut short. *)
+  truncate_to (nl + 1 + ((String.length data - nl - 1) / 2));
+  let st3 = Store.open_store dir in
+  Helpers.check_bool "truncated payload misses" true (Store.lookup st3 q = None);
+  Helpers.check_int "truncation counted corrupt" 1 (Store.stats st3).Store.corrupt;
+  (* Empty file: crash immediately after open. *)
+  truncate_to 0;
+  let st4 = Store.open_store dir in
+  Helpers.check_bool "empty entry misses" true (Store.lookup st4 q = None);
+  (* The cache repopulates straight over the damage. *)
+  Store.add st4 q m;
+  (match Store.lookup st4 q with
+  | Some m' -> same_measurement "repopulated entry" m m'
+  | None -> Alcotest.fail "repopulation missed");
+  let st5 = Store.open_store dir in
+  (match Store.lookup st5 q with
+  | Some m' -> same_measurement "repopulated entry from disk" m m'
+  | None -> Alcotest.fail "repopulated entry not on disk");
+  Helpers.check_int "repopulated read is clean" 0 (Store.stats st5).Store.corrupt
+
+(* ---- Request-line bound ---- *)
+
+let test_read_lines_bound () =
+  let file = Filename.temp_file "impact-svc" ".lines" in
+  let oc = open_out_bin file in
+  output_string oc "short line 1\n";
+  output_string oc (String.make 100 'y' ^ "\n");
+  output_string oc "short line 3\n";
+  output_string oc (String.make 40 'z');
+  (* no trailing newline: EOF must still flush the partial line *)
+  close_out oc;
+  let ic = open_in_bin file in
+  let inputs = Service.read_lines ~max_line:64 ic in
+  close_in ic;
+  Sys.remove file;
+  (match inputs with
+  | [ Service.Line a; Service.Oversized 64; Service.Line c; Service.Line d ] ->
+    Helpers.check_string "line 1 intact" "short line 1" a;
+    Helpers.check_string "line after oversized intact" "short line 3" c;
+    Helpers.check_string "EOF flushes partial line" (String.make 40 'z') d
+  | _ -> Alcotest.failf "unexpected shape: %d inputs" (List.length inputs));
+  (* The oversized marker answers with a structured record, in order,
+     and the batch keeps going. *)
+  let out = Service.serve_inputs ~workers:1 ~store:None inputs in
+  Helpers.check_int "one response per input" 4 (List.length out);
+  (match Json.parse (List.nth out 1) with
+  | Ok j ->
+    Helpers.check_bool "ok false" true (Json.member "ok" j = Some (Json.Bool false));
+    Helpers.check_bool "error tagged" true
+      (Json.member "error" j = Some (Json.Str "line too long"));
+    Helpers.check_bool "line number kept" true
+      (Json.member "line" j = Some (Json.Int 2))
+  | Error m -> Alcotest.failf "too-long record not JSON: %s" m);
+  Helpers.check_string "record matches the shared constructor"
+    (Service.too_long_record ~line:2 ~max_line:64)
+    (List.nth out 1)
+
 let suite =
   [
     ( "svc: json",
@@ -358,6 +462,10 @@ let suite =
         Alcotest.test_case "version mismatch" `Quick test_store_version_mismatch;
         Alcotest.test_case "obs counters" `Quick test_store_obs_counters;
         Alcotest.test_case "lru eviction" `Quick test_store_lru_eviction;
+        Alcotest.test_case "crash recovery: orphaned temp swept" `Quick
+          test_store_crash_orphaned_tmp;
+        Alcotest.test_case "crash recovery: torn entries miss, then repopulate"
+          `Quick test_store_crash_torn_entry;
       ] );
     ( "svc: experiment cache",
       [ Alcotest.test_case "cold vs warm run_all" `Quick test_cold_warm_run_all ] );
@@ -365,6 +473,8 @@ let suite =
       [
         Alcotest.test_case "batch with errors" `Quick test_serve_batch;
         Alcotest.test_case "cache disposition" `Quick test_serve_cache_disposition;
+        Alcotest.test_case "read_lines bounds request lines" `Quick
+          test_read_lines_bound;
       ] );
     ( "svc: opts",
       [ Alcotest.test_case "deprecated wrappers" `Quick test_opts_wrappers ] );

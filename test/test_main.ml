@@ -23,4 +23,5 @@ let () =
          T_exec.suite;
          T_obs.suite;
          T_svc.suite;
+         T_net.suite;
        ])
