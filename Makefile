@@ -1,4 +1,4 @@
-.PHONY: all build test bench smoke pipe profile serve soak check clean
+.PHONY: all build test bench bench-cold smoke pipe profile serve soak check clean
 
 all: build
 
@@ -42,6 +42,13 @@ check: build test smoke
 
 bench: build
 	dune exec bench/main.exe
+
+# Cold perf run: single worker, no result cache, so the per-stage busy
+# times in the refreshed BENCH_eval.json measure the compiler itself.
+# CI diffs these against the committed baseline with
+# scripts/check_bench_regression.py.
+bench-cold: build
+	dune exec bench/main.exe -- -j 1 --no-cache json
 
 clean:
 	dune clean

@@ -1,0 +1,93 @@
+(* Dense bitsets over a fixed universe [0, n), stored as an int array
+   (Sys.int_size bits per word). The compile hot paths (liveness,
+   interference, DCE) represent register sets this way: union into,
+   membership and iteration are word-wise, so a transfer-function round
+   costs O(n / word_size) instead of O(live * log live) with
+   [Reg.Set]. *)
+
+type t = int array
+
+let bpw = Sys.int_size
+
+let create n = Array.make ((n + bpw - 1) / bpw) 0
+
+let length_hint t = Array.length t * bpw
+
+let mem (t : t) i = t.(i / bpw) land (1 lsl (i mod bpw)) <> 0
+
+let add (t : t) i = t.(i / bpw) <- t.(i / bpw) lor (1 lsl (i mod bpw))
+
+let remove (t : t) i = t.(i / bpw) <- t.(i / bpw) land lnot (1 lsl (i mod bpw))
+
+let clear (t : t) = Array.fill t 0 (Array.length t) 0
+
+let copy_into ~(into : t) (src : t) = Array.blit src 0 into 0 (Array.length src)
+
+(* [into := into ∪ src]; reports whether [into] grew. *)
+let union_into ~(into : t) (src : t) : bool =
+  let changed = ref false in
+  for w = 0 to Array.length src - 1 do
+    let v = into.(w) lor src.(w) in
+    if v <> into.(w) then begin
+      into.(w) <- v;
+      changed := true
+    end
+  done;
+  !changed
+
+let equal (a : t) (b : t) =
+  let n = Array.length a in
+  let rec go w = w >= n || (a.(w) = b.(w) && go (w + 1)) in
+  Array.length a = Array.length b && go 0
+
+let is_empty (t : t) = Array.for_all (fun w -> w = 0) t
+
+(* Number of trailing zeros of a word with exactly one bit set. *)
+let ntz b =
+  let n = ref 0 and b = ref b in
+  if !b land 0xFFFFFFFF = 0 then begin
+    n := !n + 32;
+    b := !b lsr 32
+  end;
+  if !b land 0xFFFF = 0 then begin
+    n := !n + 16;
+    b := !b lsr 16
+  end;
+  if !b land 0xFF = 0 then begin
+    n := !n + 8;
+    b := !b lsr 8
+  end;
+  if !b land 0xF = 0 then begin
+    n := !n + 4;
+    b := !b lsr 4
+  end;
+  if !b land 0x3 = 0 then begin
+    n := !n + 2;
+    b := !b lsr 2
+  end;
+  if !b land 0x1 = 0 then incr n;
+  !n
+
+(* Iterate set bits in ascending order. With the dense register
+   numbering sorted by [Reg.Ord], ascending bit order coincides with
+   [Reg.Set] iteration order. *)
+let iter f (t : t) =
+  for w = 0 to Array.length t - 1 do
+    let v = ref t.(w) in
+    let base = w * bpw in
+    while !v <> 0 do
+      let b = !v land (- !v) in
+      f (base + ntz b);
+      v := !v land (!v - 1)
+    done
+  done
+
+let count (t : t) =
+  let c = ref 0 in
+  iter (fun _ -> incr c) t;
+  !c
+
+let elements (t : t) =
+  let acc = ref [] in
+  iter (fun i -> acc := i :: !acc) t;
+  List.rev !acc

@@ -1,0 +1,39 @@
+(** Dense mutable bitsets over a fixed universe [0, n). The compile hot
+    paths (liveness, interference, DCE) use these instead of [Reg.Set]
+    so set operations are word-wise. *)
+
+type t
+
+val create : int -> t
+(** All-zero set able to hold indices in [0, n). *)
+
+val length_hint : t -> int
+(** Capacity in bits of the backing array (a multiple of the word
+    size). *)
+
+val mem : t -> int -> bool
+
+val add : t -> int -> unit
+
+val remove : t -> int -> unit
+
+val clear : t -> unit
+
+val copy_into : into:t -> t -> unit
+(** [copy_into ~into src] overwrites [into] with [src]; both must have
+    been created with the same universe size. *)
+
+val union_into : into:t -> t -> bool
+(** [union_into ~into src] sets [into := into ∪ src] and reports
+    whether [into] grew. *)
+
+val equal : t -> t -> bool
+
+val is_empty : t -> bool
+
+val iter : (int -> unit) -> t -> unit
+(** Set bits in ascending index order. *)
+
+val count : t -> int
+
+val elements : t -> int list

@@ -1,7 +1,16 @@
 (* Global liveness over the flattened instruction stream. Used by dead
    code elimination, by the superblock scheduler's speculation rule
    (an instruction may move above a branch only if its destination is
-   dead at the branch target), and by the register allocator. *)
+   dead at the branch target), and by the register allocator.
+
+   The analysis itself runs on dense integer register indices and
+   bitsets ([Dense] below): registers are numbered 0..nregs-1 in
+   [Reg.Ord] order, live sets are [Bits.t], and the backward fixpoint
+   mutates them in place (live sets only grow under the union transfer
+   function). The classic [Reg.Set]-based record is reconstructed from
+   the dense result for callers that want symbolic sets; the hot
+   consumers (DCE, the register allocator) read the dense form
+   directly. *)
 
 open Impact_ir
 
@@ -22,41 +31,114 @@ let successors (flat : Flatten.t) k =
     if k + 1 < n then [ k + 1; t ] else [ t ]
   | _ -> if k + 1 < n then [ k + 1 ] else []
 
-let analyze ?(exit_live = Reg.Set.empty) (flat : Flatten.t) : t =
-  let code = flat.Flatten.code in
-  let n = Array.length code in
-  let live_in = Array.make n Reg.Set.empty in
-  let live_out = Array.make n Reg.Set.empty in
-  let uses = Array.map (fun i -> Reg.Set.of_list (Insn.uses i)) code in
-  let defs = Array.map (fun i -> Reg.Set.of_list (Insn.defs i)) code in
-  let succs = Array.init n (successors flat) in
-  let falls_off =
-    Array.init n (fun k ->
-      k = n - 1 && (match code.(k).Insn.op with Insn.Jmp -> false | _ -> true))
-  in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    for k = n - 1 downto 0 do
-      let out =
-        List.fold_left
-          (fun acc s ->
-            (* A successor past the end is program exit (e.g. a branch to a
-               trailing label). *)
-            if s >= n then Reg.Set.union acc exit_live else Reg.Set.union acc live_in.(s))
-          Reg.Set.empty succs.(k)
-      in
-      let out = if falls_off.(k) then Reg.Set.union out exit_live else out in
-      let inn = Reg.Set.union uses.(k) (Reg.Set.diff out defs.(k)) in
-      if not (Reg.Set.equal out live_out.(k)) || not (Reg.Set.equal inn live_in.(k))
-      then begin
-        live_out.(k) <- out;
-        live_in.(k) <- inn;
-        changed := true
+module Dense = struct
+  type d = {
+    flat : Flatten.t;
+    regs : Reg.t array;  (* dense index -> register, ascending Reg.Ord *)
+    index_tbl : (int, int) Hashtbl.t;  (* Reg.hash -> dense index *)
+    live_in : Bits.t array;
+    live_out : Bits.t array;
+    exit_live : Bits.t;
+  }
+
+  let nregs (d : d) = Array.length d.regs
+
+  let index_opt (d : d) (r : Reg.t) = Hashtbl.find_opt d.index_tbl (Reg.hash r)
+
+  let reg (d : d) i = d.regs.(i)
+
+  (* Dense numbering of every register mentioned by the code (defs and
+     uses) or live at exit, in ascending [Reg.Ord] order — so ascending
+     bit iteration visits registers in [Reg.Set] order. *)
+  let number (code : Insn.t array) (exit_live : Reg.t list) =
+    let tbl = Hashtbl.create 256 in
+    let acc = ref [] in
+    let note (r : Reg.t) =
+      let h = Reg.hash r in
+      if not (Hashtbl.mem tbl h) then begin
+        Hashtbl.replace tbl h (-1);
+        acc := r :: !acc
       end
-    done
-  done;
-  { flat; live_in; live_out; exit_live }
+    in
+    Array.iter
+      (fun (i : Insn.t) ->
+        List.iter note (Insn.defs i);
+        List.iter note (Insn.uses i))
+      code;
+    List.iter note exit_live;
+    let regs = Array.of_list !acc in
+    Array.sort Reg.compare regs;
+    Array.iteri (fun k r -> Hashtbl.replace tbl (Reg.hash r) k) regs;
+    (regs, tbl)
+
+  let analyze ?(exit_live = []) (flat : Flatten.t) : d =
+    let code = flat.Flatten.code in
+    let n = Array.length code in
+    let regs, index_tbl = number code exit_live in
+    let nr = Array.length regs in
+    let idx r = Hashtbl.find index_tbl (Reg.hash r) in
+    let live_in = Array.init n (fun _ -> Bits.create nr) in
+    let live_out = Array.init n (fun _ -> Bits.create nr) in
+    let exit_bits = Bits.create nr in
+    List.iter (fun r -> Bits.add exit_bits (idx r)) exit_live;
+    let defs = Array.map (fun i -> List.map idx (Insn.defs i)) code in
+    let uses = Array.map (fun i -> List.map idx (Insn.uses i)) code in
+    (* Uses are a constant lower bound of live-in; seed them once. *)
+    Array.iteri (fun k us -> List.iter (Bits.add live_in.(k)) us) uses;
+    let succs = Array.init n (successors flat) in
+    let falls_off =
+      Array.init n (fun k ->
+        k = n - 1 && (match code.(k).Insn.op with Insn.Jmp -> false | _ -> true))
+    in
+    let tmp = Bits.create nr in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for k = n - 1 downto 0 do
+        (* live_out(k) ∪= live_in over successors (program exit past the
+           end contributes exit_live). *)
+        let out = live_out.(k) in
+        let grew = ref false in
+        List.iter
+          (fun s ->
+            let src = if s >= n then exit_bits else live_in.(s) in
+            if Bits.union_into ~into:out src then grew := true)
+          succs.(k);
+        if falls_off.(k) then
+          if Bits.union_into ~into:out exit_bits then grew := true;
+        if !grew then begin
+          (* live_in(k) ∪= out \ defs(k) *)
+          Bits.copy_into ~into:tmp out;
+          List.iter (Bits.remove tmp) defs.(k);
+          if Bits.union_into ~into:live_in.(k) tmp then changed := true
+        end
+      done
+    done;
+    { flat; regs; index_tbl; live_in; live_out; exit_live = exit_bits }
+
+  let of_prog (p : Prog.t) : d =
+    analyze ~exit_live:(List.map snd p.Prog.outputs) (Flatten.of_prog p)
+end
+
+(* Reconstruct a [Reg.Set] from a dense bitset: ascending bit order is
+   ascending [Reg.Ord] order, so the sorted list converts linearly. *)
+let set_of_bits (regs : Reg.t array) (b : Bits.t) : Reg.Set.t =
+  let acc = ref [] in
+  Bits.iter (fun i -> acc := regs.(i) :: !acc) b;
+  (* [acc] is descending; [of_list] sorts, which is linear on sorted
+     input sizes like these. *)
+  Reg.Set.of_list !acc
+
+let of_dense (d : Dense.d) : t =
+  {
+    flat = d.Dense.flat;
+    live_in = Array.map (set_of_bits d.Dense.regs) d.Dense.live_in;
+    live_out = Array.map (set_of_bits d.Dense.regs) d.Dense.live_out;
+    exit_live = set_of_bits d.Dense.regs d.Dense.exit_live;
+  }
+
+let analyze ?(exit_live = Reg.Set.empty) (flat : Flatten.t) : t =
+  of_dense (Dense.analyze ~exit_live:(Reg.Set.elements exit_live) flat)
 
 (* Live set at a label: the live-in of the instruction the label points
    at, or the exit-live set when the label is at the end of the code. *)
@@ -73,6 +155,4 @@ let live_at_target (t : t) (i : Insn.t) =
   | Some l -> live_at_label t l
 
 (* Liveness of a program: the program outputs are live at exit. *)
-let of_prog (p : Prog.t) : t =
-  let exit_live = Reg.Set.of_list (List.map snd p.Prog.outputs) in
-  analyze ~exit_live (Flatten.of_prog p)
+let of_prog (p : Prog.t) : t = of_dense (Dense.of_prog p)

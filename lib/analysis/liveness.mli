@@ -1,6 +1,10 @@
 (** Global liveness over the flattened instruction stream. Used by dead
     code elimination, the scheduler's speculation rule, and the register
-    allocator. *)
+    allocator.
+
+    The fixpoint runs on dense integer register indices and bitsets
+    ({!Dense}); the [Reg.Set]-based record is reconstructed from that
+    result for symbolic consumers. *)
 
 open Impact_ir
 
@@ -12,6 +16,36 @@ type t = {
 }
 
 val successors : Flatten.t -> int -> int list
+
+(** Dense form: registers numbered 0..nregs-1 in ascending [Reg.Ord]
+    order (so ascending bit iteration matches [Reg.Set] order), live
+    sets as bitsets. This is what the compile hot paths consume. *)
+module Dense : sig
+  type d = {
+    flat : Flatten.t;
+    regs : Reg.t array;  (** dense index -> register *)
+    index_tbl : (int, int) Hashtbl.t;  (** [Reg.hash] -> dense index *)
+    live_in : Bits.t array;
+    live_out : Bits.t array;
+    exit_live : Bits.t;
+  }
+
+  val nregs : d -> int
+
+  val index_opt : d -> Reg.t -> int option
+  (** Dense index of a register, [None] when it neither occurs in the
+      code nor is live at exit. *)
+
+  val reg : d -> int -> Reg.t
+
+  val analyze : ?exit_live:Reg.t list -> Flatten.t -> d
+
+  val of_prog : Prog.t -> d
+  (** Dense liveness with the program outputs live at exit. *)
+end
+
+val of_dense : Dense.d -> t
+(** Expand a dense result to [Reg.Set] arrays. *)
 
 val analyze : ?exit_live:Reg.Set.t -> Flatten.t -> t
 

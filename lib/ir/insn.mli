@@ -73,6 +73,10 @@ val fbin_to_string : fbin -> string
 
 val cmp_to_string : cmp -> string
 
+val equal_content : t -> t -> bool
+(** Structural equality of op, destination, operands and target,
+    ignoring the instruction id. *)
+
 val to_string : t -> string
 
 val pp : Format.formatter -> t -> unit

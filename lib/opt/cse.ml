@@ -2,38 +2,55 @@
    store-to-load forwarding. A forward pass per block, resetting at labels
    and nested loops. Memory knowledge is syntactic: a store invalidates
    loads unless the base labels prove disjointness (distinct arrays never
-   overlap in this memory model). *)
+   overlap in this memory model).
+
+   Available expressions are value-numbered on a hashed canonical key
+   (the structural operation with commutative operands normalized),
+   not on printed strings, and every table entry is indexed by the
+   registers it mentions so redefinition kills touch only the affected
+   entries instead of scanning the whole table. *)
 
 open Impact_ir
-
-let operand_repr (o : Operand.t) = Operand.to_string o
 
 let mentions_reg (o : Operand.t) (d : Reg.t) =
   match o with Operand.Reg r -> Reg.equal r d | _ -> false
 
-(* Key of a pure computation, with commutative operand normalization. *)
-let key_of (i : Insn.t) : string option =
-  let srcs = Array.to_list i.Insn.srcs in
-  let reprs = List.map operand_repr srcs in
-  let commut = List.sort compare reprs in
+(* Canonical key of a pure computation. Commutative operations sort
+   their two operands under the polymorphic order; any total order
+   yields the same equivalence classes. Hashed and compared
+   structurally by the polymorphic [Hashtbl]. *)
+type vkey =
+  | KI of Insn.ibin * Operand.t * Operand.t
+  | KF of Insn.fbin * Operand.t * Operand.t
+  | KItoF of Operand.t
+  | KFtoI of Operand.t
+  | KLoad of Reg.cls * Operand.t * Operand.t * Operand.t
+
+let norm2 a b = if Stdlib.compare a b <= 0 then (a, b) else (b, a)
+
+let key_of (i : Insn.t) : vkey option =
+  let s k = i.Insn.srcs.(k) in
   match i.Insn.op with
   | Insn.IBin op ->
-    let rs =
+    let a, b =
       match op with
-      | Insn.Add | Insn.Mul | Insn.And | Insn.Or | Insn.Xor -> commut
-      | _ -> reprs
+      | Insn.Add | Insn.Mul | Insn.And | Insn.Or | Insn.Xor -> norm2 (s 0) (s 1)
+      | _ -> (s 0, s 1)
     in
-    Some (Printf.sprintf "i%s:%s" (Insn.ibin_to_string op) (String.concat "," rs))
+    Some (KI (op, a, b))
   | Insn.FBin op ->
-    let rs = match op with Insn.Fadd | Insn.Fmul -> commut | _ -> reprs in
-    Some (Printf.sprintf "f%s:%s" (Insn.fbin_to_string op) (String.concat "," rs))
-  | Insn.ItoF -> Some (Printf.sprintf "itof:%s" (List.hd reprs))
-  | Insn.FtoI -> Some (Printf.sprintf "ftoi:%s" (List.hd reprs))
-  | Insn.Load cls ->
-    Some (Printf.sprintf "ld%s:%s" (Reg.cls_to_string cls) (String.concat "," reprs))
+    let a, b =
+      match op with
+      | Insn.Fadd | Insn.Fmul -> norm2 (s 0) (s 1)
+      | _ -> (s 0, s 1)
+    in
+    Some (KF (op, a, b))
+  | Insn.ItoF -> Some (KItoF (s 0))
+  | Insn.FtoI -> Some (KFtoI (s 0))
+  | Insn.Load cls -> Some (KLoad (cls, s 0, s 1, s 2))
   | Insn.IMov | Insn.FMov | Insn.Store _ | Insn.Br _ | Insn.Jmp -> None
 
-let is_load_key k = String.length k >= 2 && String.sub k 0 2 = "ld"
+let is_load_key = function KLoad _ -> true | _ -> false
 
 let lab_of (o : Operand.t) = match o with Operand.Lab s -> Some s | _ -> None
 
@@ -45,38 +62,79 @@ let store_may_touch ~store_base ~other_base =
 
 type entry = { result : Reg.t; srcs : Operand.t array }
 
+type mkey = Operand.t * Operand.t * Operand.t
+
+(* Per-pass counter accumulators, flushed to Obs once per run so the
+   hot loop never takes the telemetry mutex. *)
+type stats = { mutable vn_hits : int; mutable pushes : int; mutable kills : int }
+
 let run (p : Prog.t) : Prog.t =
   Impact_obs.Obs.span ~cat:"opt" "opt.cse" @@ fun () ->
   let ctx = p.Prog.ctx in
+  let st = { vn_hits = 0; pushes = 0; kills = 0 } in
   let process (items : Block.t) : Block.t =
-    let avail : (string, entry) Hashtbl.t = Hashtbl.create 32 in
+    let avail : (vkey, entry) Hashtbl.t = Hashtbl.create 32 in
     (* (base, off, disp) -> last stored value *)
-    let memtbl : (Operand.t * Operand.t * Operand.t, Operand.t) Hashtbl.t =
-      Hashtbl.create 16
+    let memtbl : (mkey, Operand.t) Hashtbl.t = Hashtbl.create 16 in
+    (* Reverse dependency index: register hash -> keys whose entry may
+       mention it (result or source). Entries are validated on kill, so
+       stale keys are harmless. *)
+    let dep : (int, vkey list ref) Hashtbl.t = Hashtbl.create 32 in
+    let mdep : (int, mkey list ref) Hashtbl.t = Hashtbl.create 16 in
+    let push tbl h k =
+      st.pushes <- st.pushes + 1;
+      match Hashtbl.find_opt tbl h with
+      | Some l -> l := k :: !l
+      | None -> Hashtbl.replace tbl h (ref [ k ])
+    in
+    let dep_operand tbl k (o : Operand.t) =
+      match o with Operand.Reg r -> push tbl (Reg.hash r) k | _ -> ()
     in
     let reset () =
       Hashtbl.reset avail;
-      Hashtbl.reset memtbl
+      Hashtbl.reset memtbl;
+      Hashtbl.reset dep;
+      Hashtbl.reset mdep
     in
     let kill_reg (d : Reg.t) =
-      let stale =
-        Hashtbl.fold
-          (fun k e acc ->
-            if Reg.equal e.result d || Array.exists (fun o -> mentions_reg o d) e.srcs
-            then k :: acc
-            else acc)
-          avail []
-      in
-      List.iter (Hashtbl.remove avail) stale;
-      let stale_mem =
-        Hashtbl.fold
-          (fun (b, o, dp) v acc ->
-            if mentions_reg b d || mentions_reg o d || mentions_reg v d then
-              (b, o, dp) :: acc
-            else acc)
-          memtbl []
-      in
-      List.iter (Hashtbl.remove memtbl) stale_mem
+      (match Hashtbl.find_opt dep (Reg.hash d) with
+      | None -> ()
+      | Some l ->
+        List.iter
+          (fun k ->
+            match Hashtbl.find_opt avail k with
+            | Some e
+              when Reg.equal e.result d
+                   || Array.exists (fun o -> mentions_reg o d) e.srcs ->
+              st.kills <- st.kills + 1;
+              Hashtbl.remove avail k
+            | Some _ | None -> ())
+          !l;
+        Hashtbl.remove dep (Reg.hash d));
+      match Hashtbl.find_opt mdep (Reg.hash d) with
+      | None -> ()
+      | Some l ->
+        List.iter
+          (fun ((b, o, _dp) as mk) ->
+            match Hashtbl.find_opt memtbl mk with
+            | Some v
+              when mentions_reg b d || mentions_reg o d || mentions_reg v d ->
+              st.kills <- st.kills + 1;
+              Hashtbl.remove memtbl mk
+            | Some _ | None -> ())
+          !l;
+        Hashtbl.remove mdep (Reg.hash d)
+    in
+    let add_avail k (e : entry) =
+      Hashtbl.replace avail k e;
+      push dep (Reg.hash e.result) k;
+      Array.iter (dep_operand dep k) e.srcs
+    in
+    let add_mem ((b, o, _dp) as mk : mkey) (v : Operand.t) =
+      Hashtbl.replace memtbl mk v;
+      dep_operand mdep mk b;
+      dep_operand mdep mk o;
+      dep_operand mdep mk v
     in
     let apply_store (base : Operand.t) (off : Operand.t) (disp : Operand.t)
         (v : Operand.t) =
@@ -99,7 +157,7 @@ let run (p : Prog.t) : Prog.t =
           memtbl []
       in
       List.iter (Hashtbl.remove memtbl) stale_mem;
-      Hashtbl.replace memtbl (base, off, disp) v
+      add_mem (base, off, disp) v
     in
     List.map
       (fun item ->
@@ -132,13 +190,14 @@ let run (p : Prog.t) : Prog.t =
               kill_reg d;
               match hit with
               | Some e when not (Reg.equal e.result d) ->
+                st.vn_hits <- st.vn_hits + 1;
                 let mv =
                   if d.Reg.cls = Reg.Int then Build.imov ctx d (Operand.Reg e.result)
                   else Build.fmov ctx d (Operand.Reg e.result)
                 in
                 Block.Ins mv
               | Some _ | None ->
-                Hashtbl.replace avail k { result = d; srcs = i'.Insn.srcs };
+                add_avail k { result = d; srcs = i'.Insn.srcs };
                 Block.Ins i')
             | _, Some d ->
               kill_reg d;
@@ -146,4 +205,8 @@ let run (p : Prog.t) : Prog.t =
             | _, None -> Block.Ins i')))
       items
   in
-  Walk.rewrite_blocks process p
+  let p' = Walk.rewrite_blocks process p in
+  if st.vn_hits > 0 then Impact_obs.Obs.count ~n:st.vn_hits "cse.vn_hits";
+  if st.pushes > 0 then Impact_obs.Obs.count ~n:st.pushes "cse.worklist_pushes";
+  if st.kills > 0 then Impact_obs.Obs.count ~n:st.kills "cse.kills";
+  p'

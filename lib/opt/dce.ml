@@ -2,14 +2,23 @@
    (which removes self-sustaining dead cycles such as an induction
    variable that only feeds its own increment) followed by
    liveness-based rounds (which remove flow-sensitively dead
-   definitions). *)
+   definitions).
+
+   Both halves run on worklists and dense data: mark-and-sweep seeds a
+   queue with the side-effecting instructions and pulls definitions in
+   over a def index, and each liveness round consults the bitset-based
+   [Liveness.Dense] result — a removal round costs one dense liveness
+   fixpoint plus one sweep, with no [Reg.Set] or string comparisons
+   anywhere. *)
 
 open Impact_ir
 open Impact_analysis
 
 (* Mark-and-sweep: essential instructions are stores, branches and the
-   definitions (transitively) feeding them or the program outputs. *)
-let mark_sweep (p : Prog.t) : Prog.t =
+   definitions (transitively) feeding them or the program outputs.
+   Returns the pruned program and the number of worklist pushes (for
+   the dce.worklist_pushes telemetry counter). *)
+let mark_sweep_counted (p : Prog.t) : Prog.t * int =
   let defs_of_reg : (int, Insn.t list) Hashtbl.t = Hashtbl.create 64 in
   Block.iter_insns
     (fun i ->
@@ -21,9 +30,11 @@ let mark_sweep (p : Prog.t) : Prog.t =
     p.Prog.entry;
   let essential : (int, unit) Hashtbl.t = Hashtbl.create 64 in
   let work = Queue.create () in
+  let pushes = ref 0 in
   let need_insn (i : Insn.t) =
     if not (Hashtbl.mem essential i.Insn.id) then begin
       Hashtbl.replace essential i.Insn.id ();
+      incr pushes;
       Queue.add i work
     end
   in
@@ -41,28 +52,62 @@ let mark_sweep (p : Prog.t) : Prog.t =
     let i = Queue.pop work in
     List.iter need_reg (Insn.uses i)
   done;
-  Prog.with_entry p
-    (Block.concat_map_insns
-       (fun i -> if Hashtbl.mem essential i.Insn.id then [ i ] else [])
-       p.Prog.entry)
+  ( Prog.with_entry p
+      (Block.concat_map_insns
+         (fun i -> if Hashtbl.mem essential i.Insn.id then [ i ] else [])
+         p.Prog.entry),
+    !pushes )
 
-let round (p : Prog.t) : Prog.t =
-  let live = Liveness.of_prog p in
-  let flat = live.Liveness.flat in
-  let pos_of_id = Hashtbl.create 64 in
-  Array.iteri (fun k (i : Insn.t) -> Hashtbl.replace pos_of_id i.Insn.id k) flat.Flatten.code;
-  let keep (i : Insn.t) =
-    match i.Insn.op, i.Insn.dst with
-    | (Insn.Store _ | Insn.Br _ | Insn.Jmp), _ -> true
-    | _, None -> true
-    | _, Some d -> (
-      match Hashtbl.find_opt pos_of_id i.Insn.id with
-      | None -> true
-      | Some k -> Reg.Set.mem d live.Liveness.live_out.(k))
-  in
-  Prog.with_entry p
-    (Block.concat_map_insns (fun i -> if keep i then [ i ] else []) p.Prog.entry)
+let mark_sweep (p : Prog.t) : Prog.t = fst (mark_sweep_counted p)
+
+(* One liveness round: drop every pure definition whose destination is
+   dead just after it. [Block.concat_map_insns] visits instructions in
+   exactly [Flatten] emission order, so a running position counter
+   replaces the id->position table. Reports whether anything was
+   removed. *)
+let round_dense (p : Prog.t) : Prog.t * bool =
+  let live = Liveness.Dense.of_prog p in
+  let code = live.Liveness.Dense.flat.Flatten.code in
+  let n = Array.length code in
+  let keep = Array.make n true in
+  let removed = ref 0 in
+  Array.iteri
+    (fun k (i : Insn.t) ->
+      match i.Insn.op, i.Insn.dst with
+      | (Insn.Store _ | Insn.Br _ | Insn.Jmp), _ -> ()
+      | _, None -> ()
+      | _, Some d -> (
+        match Liveness.Dense.index_opt live d with
+        | None -> ()
+        | Some di ->
+          if not (Bits.mem live.Liveness.Dense.live_out.(k) di) then begin
+            keep.(k) <- false;
+            incr removed
+          end))
+    code;
+  if !removed = 0 then (p, false)
+  else begin
+    let pos = ref (-1) in
+    let entry =
+      Block.concat_map_insns
+        (fun i ->
+          incr pos;
+          if keep.(!pos) then [ i ] else [])
+        p.Prog.entry
+    in
+    (Prog.with_entry p entry, true)
+  end
 
 let run (p : Prog.t) : Prog.t =
   Impact_obs.Obs.span ~cat:"opt" "opt.dce" (fun () ->
-    Walk.fixpoint ~max_rounds:6 round (mark_sweep p))
+    let p, pushes = mark_sweep_counted p in
+    if pushes > 0 then Impact_obs.Obs.count ~n:pushes "dce.worklist_pushes";
+    (* Iterate the liveness rounds to a (bounded) fixpoint: removing a
+       dead definition can kill the uses keeping another one alive. *)
+    let rec go n p =
+      if n = 0 then p
+      else
+        let p', changed = round_dense p in
+        if changed then go (n - 1) p' else p'
+    in
+    go 6 p)

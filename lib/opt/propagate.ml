@@ -1,7 +1,9 @@
 (* Copy and constant propagation. A forward pass over each block,
    conservatively resetting its knowledge at labels (join points) and at
    nested-loop boundaries. Bindings are invalidated when either side of a
-   copy is redefined. *)
+   copy is redefined; a reverse index from copy-source registers to the
+   destinations bound to them makes that kill O(dependents) instead of a
+   scan of the whole environment. *)
 
 open Impact_ir
 
@@ -9,17 +11,31 @@ let run (p : Prog.t) : Prog.t =
   Impact_obs.Obs.span ~cat:"opt" "opt.propagate" @@ fun () ->
   let process (items : Block.t) : Block.t =
     let env : (int, Operand.t) Hashtbl.t = Hashtbl.create 32 in
+    (* source register id -> destination ids possibly bound to it;
+       entries are validated against [env] on kill, so stale ids are
+       harmless. *)
+    let rdep : (int, int list ref) Hashtbl.t = Hashtbl.create 32 in
     let kill (d : Reg.t) =
       Hashtbl.remove env d.Reg.id;
-      let stale =
-        Hashtbl.fold
-          (fun k v acc ->
-            match v with
-            | Operand.Reg r when Reg.equal r d -> k :: acc
-            | _ -> acc)
-          env []
-      in
-      List.iter (Hashtbl.remove env) stale
+      match Hashtbl.find_opt rdep d.Reg.id with
+      | None -> ()
+      | Some l ->
+        List.iter
+          (fun id ->
+            match Hashtbl.find_opt env id with
+            | Some (Operand.Reg r) when Reg.equal r d -> Hashtbl.remove env id
+            | Some _ | None -> ())
+          !l;
+        Hashtbl.remove rdep d.Reg.id
+    in
+    let bind (d : Reg.t) (o : Operand.t) =
+      Hashtbl.replace env d.Reg.id o;
+      match o with
+      | Operand.Reg s -> (
+        match Hashtbl.find_opt rdep s.Reg.id with
+        | Some l -> l := d.Reg.id :: !l
+        | None -> Hashtbl.replace rdep s.Reg.id (ref [ d.Reg.id ]))
+      | Operand.Int _ | Operand.Flt _ | Operand.Lab _ -> ()
     in
     let rewrite_operand (o : Operand.t) : Operand.t =
       match o with
@@ -32,11 +48,9 @@ let run (p : Prog.t) : Prog.t =
     List.map
       (fun item ->
         match item with
-        | Block.Lbl _ ->
+        | Block.Lbl _ | Block.Loop _ ->
           Hashtbl.reset env;
-          item
-        | Block.Loop _ ->
-          Hashtbl.reset env;
+          Hashtbl.reset rdep;
           item
         | Block.Ins i ->
           let srcs = Array.map rewrite_operand i.Insn.srcs in
@@ -47,10 +61,8 @@ let run (p : Prog.t) : Prog.t =
             match i.Insn.op with
             | Insn.IMov | Insn.FMov -> (
               match srcs.(0) with
-              | Operand.Reg s when not (Reg.equal s d) ->
-                Hashtbl.replace env d.Reg.id (Operand.Reg s)
-              | (Operand.Int _ | Operand.Flt _ | Operand.Lab _) as c ->
-                Hashtbl.replace env d.Reg.id c
+              | Operand.Reg s when not (Reg.equal s d) -> bind d (Operand.Reg s)
+              | (Operand.Int _ | Operand.Flt _ | Operand.Lab _) as c -> bind d c
               | Operand.Reg _ -> ())
             | _ -> ())
           | None -> ());

@@ -44,10 +44,7 @@ let rewrite_innermost_with_preheader
   Prog.with_entry p (go_block p.Prog.entry)
 
 let insns_equal_prog (a : Prog.t) (b : Prog.t) =
-  let sig_of p =
-    List.map (fun (i : Insn.t) -> Insn.to_string i) (Block.insns p.Prog.entry)
-  in
-  sig_of a = sig_of b
+  List.equal Insn.equal_content (Block.insns a.Prog.entry) (Block.insns b.Prog.entry)
 
 (* Iterate a pass to a fixpoint (bounded). *)
 let fixpoint ?(max_rounds = 8) (pass : Prog.t -> Prog.t) (p : Prog.t) : Prog.t =

@@ -6,7 +6,21 @@
    interference graph from liveness over the final schedule and color it
    with a Chaitin-style simplify/select pass (smallest-degree-last
    ordering); the color counts per class are the reported register
-   usage. *)
+   usage.
+
+   Two implementations share the same ordering semantics — simplify
+   removes the (degree, register-id)-lexicographically smallest node,
+   select assigns the lowest free color in reverse removal order — so
+   they produce identical colorings:
+
+   - the default fast path works on dense register indices from
+     [Liveness.Dense]: the graph is one backward sweep appending to
+     compact adjacency arrays (a bitset adjacency matrix dedups edges),
+     and simplify pops a lazy integer min-heap keyed on
+     degree * nregs + index instead of rescanning all nodes per
+     removal;
+   - [color_ref] is the original [Reg.Set]-per-node construction and
+     O(V^2) min-degree scan, kept as the differential-testing oracle. *)
 
 open Impact_ir
 open Impact_analysis
@@ -15,18 +29,21 @@ type usage = { int_used : int; float_used : int }
 
 let total u = u.int_used + u.float_used
 
+(* ---- Reference implementation (differential oracle) ---- *)
+
 (* Interference graph per register class. *)
 let interference (p : Prog.t) : (Reg.t, Reg.Set.t) Hashtbl.t =
   let live = Liveness.of_prog p in
   let flat = live.Liveness.flat in
   let graph : (Reg.t, Reg.Set.t) Hashtbl.t = Hashtbl.create 64 in
   let node r = if not (Hashtbl.mem graph r) then Hashtbl.replace graph r Reg.Set.empty in
+  let nbrs r = Option.value ~default:Reg.Set.empty (Hashtbl.find_opt graph r) in
   let add_edge a b =
     if not (Reg.equal a b) && a.Reg.cls = b.Reg.cls then begin
       node a;
       node b;
-      Hashtbl.replace graph a (Reg.Set.add b (Hashtbl.find graph a));
-      Hashtbl.replace graph b (Reg.Set.add a (Hashtbl.find graph b))
+      Hashtbl.replace graph a (Reg.Set.add b (nbrs a));
+      Hashtbl.replace graph b (Reg.Set.add a (nbrs b))
     end
   in
   Array.iteri
@@ -52,8 +69,11 @@ let interference (p : Prog.t) : (Reg.t, Reg.Set.t) Hashtbl.t =
     flat.Flatten.code;
   graph
 
-(* Greedy coloring in smallest-degree-last order; returns the assignment
-   for the given class. *)
+(* Greedy coloring in smallest-degree-last order; ties go to the node
+   seen first in the table's fold order, and the fast path replays the
+   same insertion sequence to reproduce that order exactly. Returns the
+   assignment for the given class. A register that was never entered in
+   the graph contributes no neighbors and no node. *)
 let class_coloring (graph : (Reg.t, Reg.Set.t) Hashtbl.t) (cls : Reg.cls) :
     (Reg.t * int) list =
   let nodes =
@@ -61,25 +81,26 @@ let class_coloring (graph : (Reg.t, Reg.Set.t) Hashtbl.t) (cls : Reg.cls) :
   in
   if nodes = [] then []
   else begin
+    let nbrs r = Option.value ~default:Reg.Set.empty (Hashtbl.find_opt graph r) in
     let degree = Hashtbl.create 64 in
+    let deg_of r = Option.value ~default:0 (Hashtbl.find_opt degree r) in
     List.iter
       (fun r ->
-        let nbrs = Reg.Set.filter (fun x -> x.Reg.cls = cls) (Hashtbl.find graph r) in
-        Hashtbl.replace degree r (Reg.Set.cardinal nbrs))
+        let n = Reg.Set.filter (fun x -> x.Reg.cls = cls) (nbrs r) in
+        Hashtbl.replace degree r (Reg.Set.cardinal n))
       nodes;
     let removed = Hashtbl.create 64 in
     let stack = ref [] in
     let remaining = ref (List.length nodes) in
     while !remaining > 0 do
-      (* Smallest remaining degree. *)
+      (* Smallest remaining degree; the first listed wins ties. *)
       let best = ref None in
       List.iter
         (fun r ->
           if not (Hashtbl.mem removed r) then
             match !best with
             | None -> best := Some r
-            | Some b ->
-              if Hashtbl.find degree r < Hashtbl.find degree b then best := Some r)
+            | Some b -> if deg_of r < deg_of b then best := Some r)
         nodes;
       match !best with
       | None -> remaining := 0
@@ -90,8 +111,8 @@ let class_coloring (graph : (Reg.t, Reg.Set.t) Hashtbl.t) (cls : Reg.cls) :
         Reg.Set.iter
           (fun x ->
             if x.Reg.cls = cls && not (Hashtbl.mem removed x) then
-              Hashtbl.replace degree x (Hashtbl.find degree x - 1))
-          (Hashtbl.find graph r)
+              Hashtbl.replace degree x (deg_of x - 1))
+          (nbrs r)
     done;
     (* Select: color in reverse removal order with the lowest free color. *)
     let color = Hashtbl.create 64 in
@@ -101,8 +122,7 @@ let class_coloring (graph : (Reg.t, Reg.Set.t) Hashtbl.t) (cls : Reg.cls) :
           Reg.Set.fold
             (fun x acc ->
               match Hashtbl.find_opt color x with Some c -> c :: acc | None -> acc)
-            (Hashtbl.find graph r)
-            []
+            (nbrs r) []
         in
         let rec first c = if List.mem c used then first (c + 1) else c in
         Hashtbl.replace color r (first 0))
@@ -113,15 +133,265 @@ let class_coloring (graph : (Reg.t, Reg.Set.t) Hashtbl.t) (cls : Reg.cls) :
 let color_class graph cls =
   List.fold_left (fun acc (_, c) -> max acc (c + 1)) 0 (class_coloring graph cls)
 
-let measure (p : Prog.t) : usage =
+(* Reference end-to-end measurement: [Reg.Set] interference + O(V^2)
+   simplify. Exercised by the differential tests in t_regalloc. *)
+let color_ref (p : Prog.t) : usage =
   let graph = interference p in
   {
     int_used = color_class graph Reg.Int;
     float_used = color_class graph Reg.Float;
   }
 
+(* ---- Fast path: dense indices, adjacency arrays, heap simplify ---- *)
+
+(* Lazy binary min-heap over plain ints. *)
+module Iheap = struct
+  type t = { mutable a : int array; mutable n : int }
+
+  let create cap = { a = Array.make (max cap 16) 0; n = 0 }
+
+  let push h x =
+    if h.n = Array.length h.a then begin
+      let a' = Array.make (2 * h.n) 0 in
+      Array.blit h.a 0 a' 0 h.n;
+      h.a <- a'
+    end;
+    let i = ref h.n in
+    h.n <- h.n + 1;
+    h.a.(!i) <- x;
+    while !i > 0 && h.a.((!i - 1) / 2) > h.a.(!i) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    let top = h.a.(0) in
+    h.n <- h.n - 1;
+    h.a.(0) <- h.a.(h.n);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let s = ref !i in
+      if l < h.n && h.a.(l) < h.a.(!s) then s := l;
+      if r < h.n && h.a.(r) < h.a.(!s) then s := r;
+      if !s = !i then continue := false
+      else begin
+        let tmp = h.a.(!s) in
+        h.a.(!s) <- h.a.(!i);
+        h.a.(!i) <- tmp;
+        i := !s
+      end
+    done;
+    top
+end
+
+(* Compact interference graph over dense register indices. *)
+type dgraph = {
+  nr : int;
+  present : bool array;  (* occurs in code or has an edge (old [node] set) *)
+  cls_of : Reg.cls array;
+  adj : int array array;  (* per-node neighbor lists *)
+  deg : int array;
+  dregs : Reg.t array;  (* dense index -> register *)
+  node_order : int list;
+      (* dense indices in the reference implementation's node order: a
+         unit-valued hash table is populated with the same key-insertion
+         sequence as [interference]'s graph, so its fold order — which
+         depends only on the key set, hashes and insertion history —
+         matches the reference fold exactly *)
+  edges : int;
+}
+
+let build_dense (p : Prog.t) : dgraph =
+  let live = Liveness.Dense.of_prog p in
+  let nr = Liveness.Dense.nregs live in
+  let code = live.Liveness.Dense.flat.Flatten.code in
+  let idx r =
+    match Liveness.Dense.index_opt live r with
+    | Some i -> i
+    | None -> invalid_arg "Regalloc.build_dense: register outside universe"
+  in
+  let present = Array.make nr false in
+  let dregs = Array.init nr (Liveness.Dense.reg live) in
+  let cls_of = Array.map (fun (r : Reg.t) -> r.Reg.cls) dregs in
+  let order_tbl : (Reg.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let node_seen i =
+    present.(i) <- true;
+    let r = dregs.(i) in
+    if not (Hashtbl.mem order_tbl r) then Hashtbl.replace order_tbl r ()
+  in
+  (* Bitset adjacency matrix dedups edge insertions. *)
+  let mat = Bits.create (nr * nr) in
+  let deg = Array.make nr 0 in
+  let ebuf = ref (Array.make 256 0) in
+  let ecount = ref 0 in
+  let push_edge a b =
+    if !ecount + 2 > Array.length !ebuf then begin
+      let a' = Array.make (2 * Array.length !ebuf) 0 in
+      Array.blit !ebuf 0 a' 0 !ecount;
+      ebuf := a'
+    end;
+    !ebuf.(!ecount) <- a;
+    !ebuf.(!ecount + 1) <- b;
+    ecount := !ecount + 2
+  in
+  let add_edge a b =
+    if a <> b && cls_of.(a) = cls_of.(b) then begin
+      node_seen a;
+      node_seen b;
+      let key = (a * nr) + b in
+      if not (Bits.mem mat key) then begin
+        Bits.add mat key;
+        Bits.add mat ((b * nr) + a);
+        push_edge a b;
+        deg.(a) <- deg.(a) + 1;
+        deg.(b) <- deg.(b) + 1
+      end
+    end
+  in
+  Array.iteri
+    (fun k (i : Insn.t) ->
+      (match i.Insn.dst with
+      | Some d ->
+        let di = idx d in
+        node_seen di;
+        (* A definition interferes with everything live across it; a
+           move's source is exempt (coalescable). *)
+        let exempt =
+          match i.Insn.op, i.Insn.srcs with
+          | (Insn.IMov | Insn.FMov), [| Operand.Reg s |] -> idx s
+          | _ -> -1
+        in
+        Bits.iter
+          (fun r -> if r <> exempt then add_edge di r)
+          live.Liveness.Dense.live_out.(k)
+      | None -> ());
+      List.iter (fun u -> node_seen (idx u)) (Insn.uses i))
+    code;
+  let adj = Array.init nr (fun i -> Array.make deg.(i) 0) in
+  let fill = Array.make nr 0 in
+  let eb = !ebuf in
+  let m = !ecount in
+  let e = ref 0 in
+  while !e < m do
+    let a = eb.(!e) and b = eb.(!e + 1) in
+    adj.(a).(fill.(a)) <- b;
+    fill.(a) <- fill.(a) + 1;
+    adj.(b).(fill.(b)) <- a;
+    fill.(b) <- fill.(b) + 1;
+    e := !e + 2
+  done;
+  let node_order =
+    Hashtbl.fold
+      (fun (r : Reg.t) () acc ->
+        match Liveness.Dense.index_opt live r with Some i -> i :: acc | None -> acc)
+      order_tbl []
+  in
+  { nr; present; cls_of; adj; deg; dregs; node_order; edges = m / 2 }
+
+(* Color one class: simplify by popping the (degree, node-order
+   position)-smallest node off a lazy heap (stale keys are skipped),
+   then select lowest free colors in reverse removal order. Identical
+   ordering semantics to [class_coloring], whose min-degree scan keeps
+   the first listed node among equal degrees. Returns (colors per dense
+   index, color count, heap pops). *)
+let color_class_dense (g : dgraph) (cls : Reg.cls) : int array * int * int =
+  let color = Array.make g.nr (-1) in
+  let cur = Array.copy g.deg in
+  let removed = Array.make g.nr false in
+  (* Position of each class node in the reference node order; heap keys
+     are degree * m + position, so ties break exactly as the reference
+     scan does. *)
+  let pos = Array.make g.nr (-1) in
+  let m = ref 0 in
+  List.iter
+    (fun i ->
+      if g.cls_of.(i) = cls then begin
+        pos.(i) <- !m;
+        incr m
+      end)
+    g.node_order;
+  let mm = !m in
+  let heap = Iheap.create 64 in
+  for i = 0 to g.nr - 1 do
+    if pos.(i) >= 0 then Iheap.push heap ((cur.(i) * mm) + pos.(i))
+  done;
+  let by_pos = Array.make mm 0 in
+  for i = 0 to g.nr - 1 do
+    if pos.(i) >= 0 then by_pos.(pos.(i)) <- i
+  done;
+  let order = Array.make mm 0 in
+  let taken = ref 0 in
+  let pops = ref 0 in
+  while !taken < mm do
+    let key = Iheap.pop heap in
+    incr pops;
+    let i = by_pos.(key mod mm) in
+    let d = key / mm in
+    if (not removed.(i)) && d = cur.(i) then begin
+      removed.(i) <- true;
+      order.(!taken) <- i;
+      incr taken;
+      Array.iter
+        (fun x ->
+          if not removed.(x) then begin
+            cur.(x) <- cur.(x) - 1;
+            Iheap.push heap ((cur.(x) * mm) + pos.(x))
+          end)
+        g.adj.(i)
+    end
+  done;
+  (* Select, last-removed first. The scratch array marks neighbor
+     colors with a stamp so it never needs clearing. *)
+  let mark = Array.make (!m + 1) (-1) in
+  let count = ref 0 in
+  for t = !m - 1 downto 0 do
+    let i = order.(t) in
+    Array.iter
+      (fun x ->
+        let c = color.(x) in
+        if c >= 0 && c <= !m then mark.(c) <- t)
+      g.adj.(i);
+    let c = ref 0 in
+    while mark.(!c) = t do
+      incr c
+    done;
+    color.(i) <- !c;
+    if !c + 1 > !count then count := !c + 1
+  done;
+  (color, !count, !pops)
+
+(* Full fast assignment for validation in tests. *)
+let coloring_fast (p : Prog.t) : (Reg.t * int) list =
+  let g = build_dense p in
+  let ci, _, _ = color_class_dense g Reg.Int in
+  let cf, _, _ = color_class_dense g Reg.Float in
+  let acc = ref [] in
+  for i = g.nr - 1 downto 0 do
+    if g.present.(i) then
+      let c = match g.cls_of.(i) with Reg.Int -> ci.(i) | Reg.Float -> cf.(i) in
+      acc := (g.dregs.(i), c) :: !acc
+  done;
+  !acc
+
+let measure (p : Prog.t) : usage =
+  let g = build_dense p in
+  let _, ints, pops_i = color_class_dense g Reg.Int in
+  let _, floats, pops_f = color_class_dense g Reg.Float in
+  if Impact_obs.Obs.collecting () then begin
+    let nodes = Array.fold_left (fun a b -> if b then a + 1 else a) 0 g.present in
+    Impact_obs.Obs.count ~n:nodes "regalloc.nodes";
+    Impact_obs.Obs.count ~n:g.edges "regalloc.edges";
+    Impact_obs.Obs.count ~n:(pops_i + pops_f) "regalloc.simplify_steps"
+  end;
+  { int_used = ints; float_used = floats }
+
 (* Full coloring of a program, for validation: interfering registers of
-   the same class never share a color. *)
+   the same class never share a color. Uses the reference graph. *)
 let coloring (p : Prog.t) : (Reg.t * int) list * (Reg.t, Reg.Set.t) Hashtbl.t =
   let graph = interference p in
   (class_coloring graph Reg.Int @ class_coloring graph Reg.Float, graph)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Perf-regression guard for the cold bench run.
+
+Compares a freshly generated BENCH_eval.json against the committed
+baseline: total_wall_s and every stages.*_busy_s present in both files
+must not regress by more than the tolerance (generous by default, since
+CI hosts are noisy and differ from the machine that produced the
+committed numbers). Stages below a small time floor are ignored — a few
+hundredths of a second of jitter is not a regression signal.
+
+Usage:
+  check_bench_regression.py --baseline OLD.json --fresh NEW.json \
+      [--tolerance 0.25] [--min-seconds 0.05]
+
+Exit status 1 if any compared metric regresses past tolerance.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--fresh", required=True)
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed relative slowdown (0.25 = +25%%)")
+    ap.add_argument("--min-seconds", type=float, default=0.05,
+                    help="ignore metrics whose baseline is below this")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+
+    metrics = [("total_wall_s", base.get("total_wall_s"), fresh.get("total_wall_s"))]
+    for name, old in sorted(base.get("stages", {}).items()):
+        if not name.endswith("_busy_s"):
+            continue
+        metrics.append((f"stages.{name}", old, fresh.get("stages", {}).get(name)))
+
+    failures = []
+    for name, old, new in metrics:
+        if old is None or new is None:
+            print(f"  skip {name}: missing in one file")
+            continue
+        if old < args.min_seconds:
+            print(f"  skip {name}: baseline {old:.3f}s below floor")
+            continue
+        ratio = new / old
+        flag = "REGRESSION" if ratio > 1.0 + args.tolerance else "ok"
+        print(f"  {name}: {old:.3f}s -> {new:.3f}s ({ratio:.2f}x) {flag}")
+        if ratio > 1.0 + args.tolerance:
+            failures.append(name)
+
+    if failures:
+        print(f"perf regression (> +{args.tolerance:.0%}): {', '.join(failures)}")
+        return 1
+    print("perf guard ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

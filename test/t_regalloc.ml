@@ -93,6 +93,79 @@ let tests =
       check_bool "more registers at Lev4" true
         (Regalloc.total lev4.Impact_core.Compile.usage
         > Regalloc.total conv.Impact_core.Compile.usage));
+    test "use of a never-defined register is tolerated" (fun () ->
+      (* Regression: a register that is read but never written used to
+         be able to trip unguarded [Hashtbl.find]s in the allocator. *)
+      let b = irb () in
+      let ctx = b.ctx in
+      let ghost = reg b Reg.Int in
+      let x = reg b Reg.Int in
+      output b "x" x;
+      let p =
+        prog_of b
+          [ Block.Ins (Build.ib ctx Insn.Add x (Operand.Reg ghost) (Operand.Int 1)) ]
+      in
+      let fast = Regalloc.measure p in
+      let slow = Regalloc.color_ref p in
+      check_int "fast int" fast.Regalloc.int_used slow.Regalloc.int_used;
+      check_int "fast float" fast.Regalloc.float_used slow.Regalloc.float_used;
+      (* The ghost dies at its only use, so it can share the single
+         color with the destination. *)
+      check_int "one int color" 1 fast.Regalloc.int_used);
+    test "fast path agrees with color_ref on the kernel corpus" (fun () ->
+      List.iter
+        (fun (k : Impact_workloads.Suite.t) ->
+          let p =
+            Impact_core.Compile.compile Impact_core.Level.Lev4 Machine.issue_8
+              (lower k.ast)
+          in
+          let fast = Regalloc.measure p in
+          let slow = Regalloc.color_ref p in
+          if fast <> slow then
+            Alcotest.failf "%s: fast (%d,%d) <> ref (%d,%d)" k.name
+              fast.Regalloc.int_used fast.Regalloc.float_used
+              slow.Regalloc.int_used slow.Regalloc.float_used;
+          (* The two implementations share ordering semantics, so even
+             the per-register assignment must match. *)
+          let by_reg l =
+            List.sort (fun ((a : Reg.t), _) (b, _) -> compare (a.Reg.cls, a.Reg.id) (b.Reg.cls, b.Reg.id)) l
+          in
+          let ref_assign, _ = Regalloc.coloring p in
+          if by_reg (Regalloc.coloring_fast p) <> by_reg ref_assign then
+            Alcotest.failf "%s: assignments differ" k.name)
+        Impact_workloads.Suite.all);
   ]
 
-let suite = [ ("regalloc", tests) ]
+(* Randomized differential and validity properties. *)
+
+let prop_fast_matches_ref =
+  QCheck.Test.make ~name:"regalloc fast path matches color_ref on random programs"
+    ~count:120
+    (QCheck.make T_props.gen_straightline)
+    (fun spec ->
+      let p = T_props.build_straightline spec in
+      Regalloc.measure p = Regalloc.color_ref p)
+
+let prop_coloring_proper =
+  QCheck.Test.make ~name:"fast coloring never shares a color across an edge"
+    ~count:120
+    (QCheck.make T_props.gen_straightline)
+    (fun spec ->
+      let p = T_props.build_straightline spec in
+      let assignment = Regalloc.coloring_fast p in
+      let color_of r = List.assoc r assignment in
+      let graph = Regalloc.interference p in
+      let ok = ref true in
+      Hashtbl.iter
+        (fun (r : Reg.t) nbrs ->
+          Reg.Set.iter
+            (fun (x : Reg.t) ->
+              if r.Reg.cls = x.Reg.cls && color_of r = color_of x then ok := false)
+            nbrs)
+        graph;
+      !ok)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest [ prop_fast_matches_ref; prop_coloring_proper ]
+
+let suite = [ ("regalloc", tests @ qtests) ]
