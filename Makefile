@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-cold smoke pipe profile serve soak check clean
+.PHONY: all build test bench bench-cold smoke pipe ooo profile serve soak check clean
 
 all: build
 
@@ -17,6 +17,13 @@ smoke: build
 # list-scheduled kernel cycles across the suite (see EXPERIMENTS.md).
 pipe: build
 	IMPACT_JOBS=2 dune exec bench/main.exe -- pipe
+
+# Out-of-order machine-model evaluation: both cores across the full
+# level x issue matrix at ROB 8/32/128, the Lev1-vs-Lev2 collapse
+# table, and a refreshed BENCH_ooo.json (see DESIGN.md "Out-of-order
+# backend").
+ooo: build
+	IMPACT_JOBS=2 dune exec bench/main.exe -- ooo
 
 # Stall attribution + pass telemetry for one kernel (KERNEL=name to
 # change; see DESIGN.md "Observability").

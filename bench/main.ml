@@ -54,7 +54,7 @@ let subjects : Experiment.subject list =
       })
     Impact_workloads.Suite.all
 
-let machines = [ Machine.issue_2; Machine.issue_4; Machine.issue_8 ]
+let machines = Report.matrix_machines ()
 
 (* Wall-clock of forcing the full evaluation matrix (for `json`). *)
 let cells_wall = ref 0.0
@@ -567,6 +567,7 @@ let write_json path =
             ("misses", string_of_int s.Impact_svc.Store.misses);
             ("stores", string_of_int s.Impact_svc.Store.stores);
             ("corrupt", string_of_int s.Impact_svc.Store.corrupt);
+            ("stale", string_of_int s.Impact_svc.Store.stale);
           ]
     in
     let opt_int = function Some n -> string_of_int n | None -> "null" in
@@ -615,6 +616,172 @@ let write_json path =
   output_char oc '\n';
   close_out oc;
   Printf.eprintf "wrote %s (%d cells, %.2fs)\n%!" path (List.length cs) total_wall
+
+(* ---- `ooo` / `ooo-smoke`: the out-of-order machine-model matrix ----
+
+   Runs the full level x issue matrix on both cores — the paper's
+   in-order interlocked pipeline and the OOO core at reorder-buffer
+   sizes 8/32/128 (physical registers matching the ROB) — prints the
+   per-core speedup matrix and the Lev1-vs-Lev2 collapse table, and
+   writes BENCH_ooo.json. The Lev1->Lev2 step (register renaming +
+   accumulator/induction expansion) is precisely what hardware renaming
+   subsumes: a large-ROB OOO core pulls the two levels together while
+   the in-order core keeps them apart. Speedups stay normalized to the
+   issue-1 Conv *in-order* base, so the cores are directly comparable. *)
+
+let ooo_robs = [ 8; 32; 128 ]
+
+type ooo_config = {
+  oc_name : string;
+  oc_core : Machine.core;
+  oc_machines : Machine.t list;
+  oc_cells : Experiment.cell list;
+}
+
+let ooo_eval (ss : Experiment.subject list) : ooo_config list =
+  let eval name core =
+    let ms = Report.matrix_machines ~core () in
+    {
+      oc_name = name;
+      oc_core = core;
+      oc_machines = ms;
+      oc_cells =
+        Experiment.run_all_with
+          ~progress:(fun n ->
+            prerr_string (Printf.sprintf "  [ooo %s] %s\n" name n);
+            flush stderr)
+          bench_opts ms Level.all ss;
+    }
+  in
+  eval "inorder" Machine.Inorder
+  :: List.map
+       (fun rob ->
+         eval
+           (Printf.sprintf "ooo-rob%d" rob)
+           (Machine.Ooo { rob; phys_regs = rob }))
+       ooo_robs
+
+let ooo_avg (c : ooo_config) level machine =
+  Experiment.avg_speedup (Experiment.filter_cells ~level ~machine c.oc_cells)
+
+let ooo_issue8 (c : ooo_config) =
+  List.find (fun (m : Machine.t) -> m.Machine.issue = 8) c.oc_machines
+
+let print_ooo_matrix (configs : ooo_config list) =
+  Printf.printf
+    "Average speedup vs issue-1 Conv in-order, per core x level x issue\n";
+  Printf.printf "%s\n" (String.make 60 '-');
+  List.iter
+    (fun c ->
+      Printf.printf "%-12s" c.oc_name;
+      List.iter
+        (fun (m : Machine.t) -> Printf.printf " %8s" (Printf.sprintf "issue-%d" m.Machine.issue))
+        c.oc_machines;
+      print_newline ();
+      List.iter
+        (fun level ->
+          Printf.printf "  %-10s" (Level.to_string level);
+          List.iter
+            (fun m -> Printf.printf " %8.2f" (ooo_avg c level m))
+            c.oc_machines;
+          print_newline ())
+        Level.all)
+    configs
+
+let print_ooo_collapse (configs : ooo_config list) =
+  Printf.printf
+    "Lev1-vs-Lev2 collapse at issue-8: hardware renaming subsumes the\n\
+     renaming/expansion level as the reorder buffer grows\n";
+  Printf.printf "%s\n" (String.make 60 '-');
+  Printf.printf "%-12s %10s %10s %12s\n" "core" "Lev1" "Lev2" "Lev2/Lev1";
+  List.iter
+    (fun c ->
+      let m = ooo_issue8 c in
+      let l1 = ooo_avg c Level.Lev1 m in
+      let l2 = ooo_avg c Level.Lev2 m in
+      Printf.printf "%-12s %10.2f %10.2f %12.2f\n" c.oc_name l1 l2 (l2 /. l1))
+    configs
+
+let write_ooo_json path ~mode ~nsubjects (configs : ooo_config list) =
+  let json_str s = "\"" ^ json_escape s ^ "\"" in
+  let json_arr xs = "[" ^ String.concat ", " xs ^ "]" in
+  let config_json c =
+    let core_fields =
+      match c.oc_core with
+      | Machine.Inorder ->
+        [ ("core", json_str "inorder"); ("rob", "null"); ("phys_regs", "null") ]
+      | Machine.Ooo { rob; phys_regs } ->
+        [
+          ("core", json_str "ooo");
+          ("rob", string_of_int rob);
+          ("phys_regs", string_of_int phys_regs);
+        ]
+    in
+    let speedups =
+      List.map
+        (fun level ->
+          ( Level.to_string level,
+            json_obj
+              (List.map
+                 (fun (m : Machine.t) ->
+                   (string_of_int m.Machine.issue, json_num (ooo_avg c level m)))
+                 c.oc_machines) ))
+        Level.all
+    in
+    json_obj
+      ((("name", json_str c.oc_name) :: core_fields)
+      @ [
+          ("cells", string_of_int (List.length c.oc_cells));
+          ("avg_speedup", json_obj speedups);
+        ])
+  in
+  let collapse_json c =
+    let m = ooo_issue8 c in
+    let l1 = ooo_avg c Level.Lev1 m in
+    let l2 = ooo_avg c Level.Lev2 m in
+    json_obj
+      [
+        ("name", json_str c.oc_name);
+        ("lev1_issue8", json_num l1);
+        ("lev2_issue8", json_num l2);
+        ("lev2_over_lev1", json_num (l2 /. l1));
+      ]
+  in
+  let doc =
+    json_obj
+      [
+        ("schema", "\"impact-bench-ooo/1\"");
+        ("schema_version", "1");
+        ("mode", json_str mode);
+        ("generated_at_unix", json_num (Unix.gettimeofday ()));
+        ("workers", string_of_int (Impact_exec.Pool.resolve_workers ()));
+        ("subjects", string_of_int nsubjects);
+        ("robs", json_arr (List.map string_of_int ooo_robs));
+        ("configs", json_arr (List.map config_json configs));
+        ("collapse", json_arr (List.map collapse_json configs));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "wrote %s (%d configs, %d subjects)\n%!" path
+    (List.length configs) nsubjects
+
+let run_ooo mode =
+  let ss, mode_name =
+    match mode with
+    | `Full -> (subjects, "full")
+    | `Smoke ->
+      ( List.filter (fun s -> List.mem s.Experiment.sname smoke_names) subjects,
+        "smoke" )
+  in
+  let configs = ooo_eval ss in
+  print_ooo_matrix configs;
+  print_newline ();
+  print_ooo_collapse configs;
+  write_ooo_json "BENCH_ooo.json" ~mode:mode_name ~nsubjects:(List.length ss)
+    configs
 
 (* ---- Bechamel micro-benchmarks: one Test.make per table/figure,
    measuring the compiler work behind one representative row. ---- *)
@@ -688,7 +855,8 @@ let run_bechamel () =
 let usage () =
   prerr_string
     "usage: main.exe [-j N] [--trace-out FILE] [table1 table2 fig8..fig15 \
-     summary ablation csv issue-sweep overhead pipe pipe-smoke bechamel json]\n"
+     summary ablation csv issue-sweep overhead pipe pipe-smoke ooo ooo-smoke \
+     bechamel json]\n"
 
 (* Chrome trace destination from --trace-out, when given. *)
 let trace_out = ref None
@@ -745,10 +913,12 @@ let print_cache_stats () =
   | Some st ->
     let s = Impact_svc.Store.stats st in
     Printf.eprintf
-      "cache: %d hits (%d memory, %d disk), %d misses, %d stores, %d corrupt (dir %s)\n%!"
+      "cache: %d hits (%d memory, %d disk), %d misses, %d stores, %d corrupt, \
+       %d stale (dir %s)\n%!"
       (Impact_svc.Store.hits s) s.Impact_svc.Store.mem_hits
       s.Impact_svc.Store.disk_hits s.Impact_svc.Store.misses
-      s.Impact_svc.Store.stores s.Impact_svc.Store.corrupt !cache_dir
+      s.Impact_svc.Store.stores s.Impact_svc.Store.corrupt
+      s.Impact_svc.Store.stale !cache_dir
 
 let () =
   let args = parse_opts [] (List.tl (Array.to_list Sys.argv)) in
@@ -770,7 +940,7 @@ let () =
     [
       "table1"; "table2"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13";
       "fig14"; "fig15"; "summary"; "ablation"; "csv"; "issue-sweep"; "overhead";
-      "pipe"; "pipe-smoke"; "bechamel"; "json";
+      "pipe"; "pipe-smoke"; "ooo"; "ooo-smoke"; "bechamel"; "json";
     ]
   in
   (match List.find_opt (fun a -> not (List.mem a known)) args with
@@ -799,6 +969,8 @@ let () =
       | "overhead" -> print_overhead ()
       | "pipe" -> print_pipe ()
       | "pipe-smoke" -> print_pipe_smoke ()
+      | "ooo" -> run_ooo `Full
+      | "ooo-smoke" -> run_ooo `Smoke
       | "bechamel" -> run_bechamel ()
       | "json" -> write_json "BENCH_eval.json"
       | _ -> assert false);

@@ -48,6 +48,9 @@ let loop_arg =
 type common_opts = {
   co_level : Level.t;
   co_issue : int;
+  co_core : [ `Inorder | `Ooo ];
+  co_rob : int;
+  co_phys : int option;
   co_unroll : int option;
   co_sched : Opts.sched;
   co_trace_out : string option;
@@ -56,7 +59,10 @@ type common_opts = {
 let opts_of (co : common_opts) : Opts.t =
   Opts.make ?unroll:co.co_unroll ~sched:co.co_sched ()
 
-let machine_of (co : common_opts) = Machine.make ~issue:co.co_issue ()
+let machine_of (co : common_opts) =
+  match co.co_core with
+  | `Inorder -> Machine.make ~issue:co.co_issue ()
+  | `Ooo -> Machine.ooo ?phys_regs:co.co_phys ~issue:co.co_issue ~rob:co.co_rob ()
 
 let common_opts_term =
   let level_arg =
@@ -100,10 +106,42 @@ let common_opts_term =
             "Record every compiler/simulator span and write them to $(docv) as \
              Chrome trace_event JSON (loadable in Perfetto or chrome://tracing).")
   in
+  let core_arg =
+    Arg.(
+      value
+      & opt (enum [ ("inorder", `Inorder); ("ooo", `Ooo) ]) `Inorder
+      & info [ "core" ] ~docv:"CORE"
+          ~doc:
+            "Machine model: $(b,inorder) (default) is the paper's statically \
+             scheduled interlocked pipeline; $(b,ooo) is a dynamically \
+             scheduled core with a finite reorder buffer ($(b,--rob)), \
+             hardware renaming onto a finite physical register file \
+             ($(b,--phys-regs)) and out-of-order issue. Same Table 1 \
+             latencies and architectural results either way.")
+  in
+  let rob_arg =
+    Arg.(
+      value
+      & opt int 32
+      & info [ "rob" ] ~docv:"N"
+          ~doc:"Reorder-buffer entries for $(b,--core ooo) (default 32).")
+  in
+  let phys_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "phys-regs" ] ~docv:"N"
+          ~doc:
+            "Physical registers per class for $(b,--core ooo) (default: the \
+             reorder-buffer size).")
+  in
   Term.(
-    const (fun co_level co_issue co_unroll co_sched co_trace_out ->
-        { co_level; co_issue; co_unroll; co_sched; co_trace_out })
-    $ level_arg $ issue_arg $ unroll_arg $ sched_arg $ trace_out_arg)
+    const (fun co_level co_issue co_core co_rob co_phys co_unroll co_sched
+               co_trace_out ->
+        { co_level; co_issue; co_core; co_rob; co_phys; co_unroll; co_sched;
+          co_trace_out })
+    $ level_arg $ issue_arg $ core_arg $ rob_arg $ phys_arg $ unroll_arg
+    $ sched_arg $ trace_out_arg)
 
 (* Enable tracing for the command body when --trace-out is given, and
    write the trace file at the end (also on error). *)
@@ -225,7 +263,7 @@ let sweep_cmd =
               (Compile.speedup ~base ~this:m)
               (Impact_regalloc.Regalloc.total m.Compile.usage))
           Level.all)
-      [ Machine.issue_2; Machine.issue_4; Machine.issue_8 ]
+      (Report.matrix_machines ~core:(machine_of co).Machine.core ())
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Run one loop nest across all levels and machines")
@@ -286,6 +324,56 @@ let print_hot_insns ?(limit = 8) (prof : Impact_sim.Sim.profile) =
       if k < limit then Printf.printf "  %9d  %s\n" n (Insn.to_string i))
     rows
 
+(* OOO counterpart of the stall table: every dispatch slot of every
+   cycle either dispatched an instruction or has exactly one attributed
+   cause, so the rows sum to cycles x issue. *)
+let print_ooo_stall_table (prof : Impact_ooo.Ooo.profile) =
+  let open Impact_ooo.Ooo in
+  let total = prof.o_cycles * prof.o_issue in
+  let pct n = 100.0 *. float_of_int n /. float_of_int (max 1 total) in
+  Printf.printf
+    "dispatch-slot attribution (%d cycles x issue %d = %d dispatch slots)\n"
+    prof.o_cycles prof.o_issue total;
+  Printf.printf "  %-36s %10s %6s\n" "category" "slots" "share";
+  let row name n = Printf.printf "  %-36s %10d %5.1f%%\n" name n (pct n) in
+  row "dispatched" prof.o_dispatched_slots;
+  row "rob full (oldest executing)" prof.o_rob_full;
+  row "rs wait (oldest needs operands)" prof.o_rs_wait;
+  row "no free physical register" prof.o_no_phys;
+  row "fetch (branch-slot limit)" prof.o_fetch;
+  row "taken-branch redirect" prof.o_redirect;
+  row "drain (out of instructions)" prof.o_drain;
+  Printf.printf "  peak reorder-buffer occupancy %d\n" prof.o_max_rob;
+  let classified = classified_slots prof in
+  let empty = empty_slots prof in
+  Printf.printf "  classified %d of %d empty dispatch slots%s\n" classified
+    empty
+    (if classified = empty then " (exact)" else " (MISMATCH)")
+
+let print_ooo_ilp_histogram (prof : Impact_ooo.Ooo.profile) =
+  let open Impact_ooo.Ooo in
+  Printf.printf "dispatched-per-cycle histogram\n";
+  Array.iteri
+    (fun k cycles ->
+      if cycles > 0 then
+        Printf.printf "  %2d dispatched %9d cycles %5.1f%%  %s\n" k cycles
+          (100.0 *. float_of_int cycles /. float_of_int (max 1 prof.o_cycles))
+          (String.make
+             (max 1 (40 * cycles / max 1 prof.o_cycles))
+             '#'))
+    prof.o_ilp
+
+let print_ooo_hot_insns ?(limit = 8) (prof : Impact_ooo.Ooo.profile) =
+  let open Impact_ooo.Ooo in
+  let rows = Array.to_list prof.o_insn_dispatches in
+  let rows = List.filter (fun (_, n) -> n > 0) rows in
+  let rows = List.stable_sort (fun (_, a) (_, b) -> compare b a) rows in
+  Printf.printf "hottest static instructions (by dynamic dispatches)\n";
+  List.iteri
+    (fun k (i, n) ->
+      if k < limit then Printf.printf "  %9d  %s\n" n (Insn.to_string i))
+    rows
+
 (* Stall summary per level x issue rate for one kernel: the paper's
    Fig. 8-10 mechanism made visible (interlock share shrinking as the
    transformation level rises). *)
@@ -301,8 +389,7 @@ let print_level_matrix w (opts : Opts.t) =
           (Impact_fir.Lower.lower w.Impact_workloads.Suite.ast)
       in
       List.iter
-        (fun issue ->
-          let machine = Machine.make ~issue () in
+        (fun machine ->
           let scheduled = Compile.schedule_with opts machine tp in
           let r, prof = Impact_sim.Sim.run_profiled machine scheduled in
           let open Impact_sim.Sim in
@@ -317,7 +404,41 @@ let print_level_matrix w (opts : Opts.t) =
             (float_of_int r.dyn_insns /. float_of_int r.cycles)
             (pct prof.p_issued_slots) (pct interlock) (pct prof.p_branch_limit)
             (pct prof.p_redirect) (pct prof.p_drain))
-        [ 2; 4; 8 ])
+        (Report.matrix_machines ()))
+    Level.all
+
+(* The OOO counterpart: same level x issue sweep on the dynamically
+   scheduled core (keeping the profiled machine's rob/phys sizes). *)
+let print_ooo_level_matrix w (opts : Opts.t) ~(core : Machine.core) =
+  Printf.printf
+    "dispatch summary per level x issue rate (%% of dispatch slots)\n";
+  Printf.printf "  %-6s %-10s %9s %5s %6s %6s %7s %6s %6s %9s %6s\n" "level"
+    "machine" "cycles" "ipc" "disp%" "rob%" "rswait%" "phys%" "fetch%"
+    "redirect%" "drain%";
+  List.iter
+    (fun level ->
+      let tp =
+        Compile.transform_with opts level
+          (Impact_fir.Lower.lower w.Impact_workloads.Suite.ast)
+      in
+      List.iter
+        (fun machine ->
+          let scheduled = Compile.schedule_with opts machine tp in
+          let r, prof = Impact_ooo.Ooo.run_profiled machine scheduled in
+          let open Impact_ooo.Ooo in
+          let total = float_of_int (max 1 (prof.o_cycles * prof.o_issue)) in
+          let pct n = 100.0 *. float_of_int n /. total in
+          Printf.printf
+            "  %-6s %-10s %9d %5.2f %5.1f%% %5.1f%% %6.1f%% %5.1f%% %5.1f%% \
+             %8.1f%% %5.1f%%\n"
+            (Level.to_string level) machine.Machine.name
+            r.Impact_sim.Sim.cycles
+            (float_of_int r.Impact_sim.Sim.dyn_insns
+            /. float_of_int r.Impact_sim.Sim.cycles)
+            (pct prof.o_dispatched_slots) (pct prof.o_rob_full)
+            (pct prof.o_rs_wait) (pct prof.o_no_phys) (pct prof.o_fetch)
+            (pct prof.o_redirect) (pct prof.o_drain))
+        (Report.matrix_machines ~core ()))
     Level.all
 
 let profile_loop_arg =
@@ -343,7 +464,31 @@ let profile_cmd =
       | `List -> (Compile.schedule_with opts machine tp, [])
       | `Pipe -> Impact_pipe.Pipe.run_with_report machine tp
     in
-    let result, prof = Impact_sim.Sim.run_profiled machine scheduled in
+    let result, print_sim_sections =
+      match machine.Machine.core with
+      | Machine.Inorder ->
+        let result, prof = Impact_sim.Sim.run_profiled machine scheduled in
+        ( result,
+          fun () ->
+            print_stall_table prof;
+            print_newline ();
+            print_ilp_histogram prof;
+            print_newline ();
+            print_hot_insns prof;
+            print_newline ();
+            print_level_matrix w opts )
+      | Machine.Ooo _ as core ->
+        let result, prof = Impact_ooo.Ooo.run_profiled machine scheduled in
+        ( result,
+          fun () ->
+            print_ooo_stall_table prof;
+            print_newline ();
+            print_ooo_ilp_histogram prof;
+            print_newline ();
+            print_ooo_hot_insns prof;
+            print_newline ();
+            print_ooo_level_matrix w opts ~core )
+    in
     Printf.printf "profile %s at %s on %s%s\n" name (Level.to_string co.co_level)
       machine.Machine.name
       (match co.co_sched with `Pipe -> " (software pipelined)" | `List -> "");
@@ -371,13 +516,7 @@ let profile_cmd =
         (fun r -> Printf.printf "  %s\n" (Impact_pipe.Pipe.report_to_string r))
         rs;
       print_newline ());
-    print_stall_table prof;
-    print_newline ();
-    print_ilp_histogram prof;
-    print_newline ();
-    print_hot_insns prof;
-    print_newline ();
-    print_level_matrix w opts
+    print_sim_sections ()
   in
   Cmd.v
     (Cmd.info "profile"
@@ -456,11 +595,12 @@ let print_cache_stats store =
   | Some st ->
     let s = Impact_svc.Store.stats st in
     Printf.eprintf
-      "cache: %d hits (%d memory, %d disk), %d misses, %d stores, %d corrupt \
-       (dir %s)\n%!"
+      "cache: %d hits (%d memory, %d disk), %d misses, %d stores, %d corrupt, \
+       %d stale (dir %s)\n%!"
       (Impact_svc.Store.hits s) s.Impact_svc.Store.mem_hits
       s.Impact_svc.Store.disk_hits s.Impact_svc.Store.misses
       s.Impact_svc.Store.stores s.Impact_svc.Store.corrupt
+      s.Impact_svc.Store.stale
       (Impact_svc.Store.dir st)
 
 (* HOST:PORT for --listen; a bare port listens on loopback. *)

@@ -30,6 +30,14 @@ let averages_row ~title (f : Level.t -> float) : string =
   in
   fmt "%-28s %s\n" title (String.concat "  " cells)
 
+(* The level x issue evaluation matrix shares one machine list between
+   the CLI, the bench harness, and the profiler so the three can never
+   drift: the paper's Figure 4/5 sweep is issue 2/4/8 at each level. *)
+let matrix_issues = [ 2; 4; 8 ]
+
+let matrix_machines ?(core = Impact_ir.Machine.Inorder) () =
+  List.map (fun issue -> Impact_ir.Machine.make ~core ~issue ()) matrix_issues
+
 let table1 () : string =
   let buf = Buffer.create 256 in
   Buffer.add_string buf "Table 1: instruction latencies\n";

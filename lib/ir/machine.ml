@@ -1,9 +1,15 @@
-(* Machine description: a parameterized in-order superscalar/VLIW node
-   processor. Latencies are the paper's Table 1; the issue rate is the
-   maximum number of instructions fetched and issued per cycle, with no
-   restriction on the mix except a single branch slot. *)
+(* Machine description: a parameterized superscalar node processor.
+   Latencies are the paper's Table 1; the issue rate is the maximum
+   number of instructions fetched and issued per cycle, with no
+   restriction on the mix except a single branch slot. The [core] axis
+   selects the execution model: the paper's in-order interlocked
+   pipeline (the default), or an out-of-order core with a finite
+   reorder buffer and hardware renaming onto a finite physical register
+   file (lib/ooo). *)
 
-type t = { name : string; issue : int; branch_slots : int }
+type core = Inorder | Ooo of { rob : int; phys_regs : int }
+
+type t = { name : string; issue : int; branch_slots : int; core : core }
 
 (* Table 1 instruction latencies. Register moves are modeled as 1-cycle
    integer-unit operations (the paper does not list moves; renaming-style
@@ -22,8 +28,26 @@ let latency (op : Insn.op) =
   | Insn.Store _ -> 1
   | Insn.Br _ | Insn.Jmp -> 1
 
-let make ?(branch_slots = 1) ~issue () =
-  { name = Printf.sprintf "issue-%d" issue; issue; branch_slots }
+let core_to_string = function
+  | Inorder -> "inorder"
+  | Ooo { rob; phys_regs } -> Printf.sprintf "ooo/rob%d/p%d" rob phys_regs
+
+(* In-order machines keep the historical "issue-N" names (the bench
+   tables, cache digests and CLI output all show them); OOO names encode
+   every core parameter because Experiment matches machines by name. *)
+let make ?(branch_slots = 1) ?(core = Inorder) ~issue () =
+  let name =
+    match core with
+    | Inorder -> Printf.sprintf "issue-%d" issue
+    | Ooo { rob; phys_regs } ->
+      if rob < 1 then invalid_arg "Machine.make: rob must be >= 1";
+      if phys_regs < 1 then invalid_arg "Machine.make: phys_regs must be >= 1";
+      Printf.sprintf "o%dr%dp%d" issue rob phys_regs
+  in
+  { name; issue; branch_slots; core }
+
+let ooo ?phys_regs ~issue ~rob () =
+  make ~core:(Ooo { rob; phys_regs = Option.value phys_regs ~default:rob }) ~issue ()
 
 let issue_1 = make ~issue:1 ()
 
@@ -34,7 +58,8 @@ let issue_4 = make ~issue:4 ()
 let issue_8 = make ~issue:8 ()
 
 (* "Infinite resources" model used for the paper's worked examples. *)
-let unlimited = { name = "issue-inf"; issue = max_int / 2; branch_slots = 1 }
+let unlimited =
+  { name = "issue-inf"; issue = max_int / 2; branch_slots = 1; core = Inorder }
 
 let table1_rows =
   [

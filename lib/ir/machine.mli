@@ -1,16 +1,34 @@
 (** Parameterized superscalar/VLIW node processor model (paper
     Section 3.1 and Table 1). *)
 
+type core =
+  | Inorder  (** the paper's in-order interlocked pipeline (default) *)
+  | Ooo of { rob : int; phys_regs : int }
+      (** out-of-order core: finite reorder buffer of [rob] entries,
+          hardware renaming onto [phys_regs] physical registers per
+          class (see lib/ooo) *)
+
 type t = {
   name : string;
   issue : int;  (** max instructions issued per cycle *)
   branch_slots : int;  (** branches issued per cycle (Table 1: 1 slot) *)
+  core : core;  (** execution model; [Inorder] unless stated *)
 }
 
 val latency : Insn.op -> int
 (** Table 1 instruction latencies. *)
 
-val make : ?branch_slots:int -> issue:int -> unit -> t
+val core_to_string : core -> string
+(** ["inorder"], or ["ooo/rob<n>/p<m>"]. *)
+
+val make : ?branch_slots:int -> ?core:core -> issue:int -> unit -> t
+(** In-order machines are named ["issue-<n>"] (unchanged from before the
+    core axis existed); OOO machines are named ["o<issue>r<rob>p<phys>"]
+    so every machine name uniquely identifies its configuration. Raises
+    [Invalid_argument] for an OOO core with [rob] or [phys_regs] < 1. *)
+
+val ooo : ?phys_regs:int -> issue:int -> rob:int -> unit -> t
+(** [make] with an [Ooo] core; [phys_regs] defaults to [rob]. *)
 
 val issue_1 : t
 

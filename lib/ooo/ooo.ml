@@ -1,0 +1,586 @@
+(* Cycle-level out-of-order core model (ROADMAP item 2): the same node
+   processor as lib/sim — Table 1 latencies, [issue]-wide, one branch
+   slot, 100% cache hits — but with dynamic scheduling:
+
+   - fetch/rename/dispatch in program order, up to [issue] per cycle,
+     into a finite reorder buffer of [rob] entries;
+   - hardware register renaming onto a finite physical register file
+     ([phys_regs] per class, P6-style: a physical register holds an
+     in-flight result from rename until commit, so renaming stalls only
+     when all of them are occupied by uncommitted instructions);
+   - reservation-station issue: any dispatched instruction whose source
+     producers have completed may begin execution, oldest first, up to
+     [issue] per cycle (functional units are unlimited and fully
+     pipelined, as in the in-order model);
+   - memory operations issue in program order among themselves (no
+     disambiguation or forwarding is modeled);
+   - perfect branch prediction with a one-cycle taken-branch redirect,
+     exactly the in-order front end;
+   - in-order commit, up to [issue] per cycle, freeing the physical
+     register at commit.
+
+   The timing model is trace-driven: each instruction executes
+   functionally at dispatch, in program order, so the architectural
+   results (outputs, array contents, dynamic instruction count) are
+   bit-identical to [Sim.run] on the same program by construction — the
+   conformance tests in test/t_ooo pin this. Physical registers are
+   therefore a pure resource counter: values flow through the
+   architectural state, and the timing machinery only tracks *when* each
+   in-flight producer completes.
+
+   Stall attribution mirrors lib/sim's: every one of the
+   [cycles * issue] dispatch slots either dispatched an instruction or
+   is charged to exactly one cause, so the categories sum to
+   [cycles * issue - dyn_insns] by construction (the conservation
+   invariant, checked by the tier-1 tests). *)
+
+open Impact_ir
+module Sim = Impact_sim.Sim
+
+let errf fmt = Printf.ksprintf (fun s -> raise (Sim.Error s)) fmt
+
+(* ---- Dispatch-slot accounting ---- *)
+
+(* Dispatch stops within a cycle for whichever reason hits first; the
+   rest of that cycle's slots are charged to that reason:
+
+   - [o_rob_full]: the reorder buffer is full and its oldest entry has
+     issued but not completed — the window is latency/commit-bound;
+   - [o_rs_wait]: the reorder buffer is full and its oldest entry has
+     not even issued — the window is dataflow-bound, waiting in the
+     reservation stations;
+   - [o_no_phys]: no free physical register in the destination's class;
+   - [o_fetch]: the next instruction is a branch but the cycle's branch
+     slots are used up;
+   - [o_redirect]: slots after a taken branch (fetch resumes at the
+     target next cycle);
+   - [o_drain]: the program ran out of instructions — mid-cycle at the
+     end, plus whole trailing cycles waiting for the last commits. *)
+type profile = {
+  o_issue : int;
+  o_cycles : int;
+  o_dispatched_slots : int;  (* = dyn_insns *)
+  o_rob_full : int;
+  o_rs_wait : int;
+  o_no_phys : int;
+  o_fetch : int;
+  o_redirect : int;
+  o_drain : int;
+  o_ilp : int array;  (* o_ilp.(k) = cycles that dispatched exactly k *)
+  o_max_rob : int;  (* peak reorder-buffer occupancy *)
+  o_insn_dispatches : (Insn.t * int) array;  (* per static instruction *)
+}
+
+let empty_slots p = (p.o_cycles * p.o_issue) - p.o_dispatched_slots
+
+let classified_slots p =
+  p.o_rob_full + p.o_rs_wait + p.o_no_phys + p.o_fetch + p.o_redirect + p.o_drain
+
+(* ---- Decoded static instruction (mirrors lib/sim's fast path) ---- *)
+
+type dinsn = {
+  dop : Insn.op;
+  ddst : int;  (* destination register index; -1 when none *)
+  ddst_f : bool;
+  dlat : int;
+  dtarget : int;
+  dsrc_reg : int array;  (* register index per slot; -1 = immediate *)
+  dsrc_isf : bool array;
+  dsrc_imm_i : int array;
+  dsrc_imm_f : float array;
+  dbr : bool;
+  dmem : bool;
+}
+
+type mem = {
+  mem_i : int array;
+  mem_f : float array;
+  valid : bool array;
+  is_float : bool array;
+  bases : (string * int) list;
+}
+
+let word = Sim.word
+
+let gap_words = 16
+
+let build_mem (p : Prog.t) : mem =
+  let total =
+    List.fold_left (fun acc a -> acc + a.Prog.asize + gap_words) gap_words p.Prog.arrays
+  in
+  let mem_i = Array.make total 0 in
+  let mem_f = Array.make total 0.0 in
+  let valid = Array.make total false in
+  let is_float = Array.make total false in
+  let next = ref gap_words in
+  let bases =
+    List.map
+      (fun (a : Prog.adecl) ->
+        let base = !next in
+        (match a.Prog.ainit with
+        | Prog.IInit vs ->
+          Array.iteri
+            (fun k v ->
+              mem_i.(base + k) <- v;
+              valid.(base + k) <- true)
+            vs
+        | Prog.FInit vs ->
+          Array.iteri
+            (fun k v ->
+              mem_f.(base + k) <- v;
+              valid.(base + k) <- true;
+              is_float.(base + k) <- true)
+            vs);
+        next := base + a.Prog.asize + gap_words;
+        (a.Prog.aname, base * word))
+      p.Prog.arrays
+  in
+  { mem_i; mem_f; valid; is_float; bases }
+
+let collect (p : Prog.t) (mem : mem) ivals fvals :
+    (string * Sim.value) list * (string * float array) list =
+  let outputs =
+    List.map
+      (fun (name, r) ->
+        ( name,
+          match r.Reg.cls with
+          | Reg.Int -> Sim.VI ivals.(r.Reg.id)
+          | Reg.Float -> Sim.VF fvals.(r.Reg.id) ))
+      p.Prog.outputs
+  in
+  let arrays_out =
+    List.map
+      (fun (a : Prog.adecl) ->
+        let base = List.assoc a.Prog.aname mem.bases / word in
+        let contents =
+          Array.init a.Prog.asize (fun k ->
+            if mem.is_float.(base + k) then mem.mem_f.(base + k)
+            else float_of_int mem.mem_i.(base + k))
+        in
+        (a.Prog.aname, contents))
+      p.Prog.arrays
+  in
+  (outputs, arrays_out)
+
+let decode (mem : mem) (flat : Flatten.t) : dinsn array =
+  let base_of lab =
+    match List.assoc_opt lab mem.bases with
+    | Some b -> b
+    | None -> errf "unknown array label %s" lab
+  in
+  let decode_one (i : Insn.t) : dinsn =
+    let n = Array.length i.Insn.srcs in
+    let dsrc_reg = Array.make n (-1) in
+    let dsrc_isf = Array.make n false in
+    let dsrc_imm_i = Array.make n 0 in
+    let dsrc_imm_f = Array.make n 0.0 in
+    let int_slot k =
+      match i.Insn.srcs.(k) with
+      | Operand.Reg r ->
+        if r.Reg.cls <> Reg.Int then
+          errf "float register %s in int context" (Reg.to_string r);
+        dsrc_reg.(k) <- r.Reg.id
+      | Operand.Int v -> dsrc_imm_i.(k) <- v
+      | Operand.Lab s -> dsrc_imm_i.(k) <- base_of s
+      | Operand.Flt _ -> errf "float immediate in int context"
+    in
+    let flt_slot k =
+      match i.Insn.srcs.(k) with
+      | Operand.Reg r ->
+        if r.Reg.cls <> Reg.Float then
+          errf "int register %s in float context" (Reg.to_string r);
+        dsrc_reg.(k) <- r.Reg.id;
+        dsrc_isf.(k) <- true
+      | Operand.Flt x -> dsrc_imm_f.(k) <- x
+      | Operand.Int v -> dsrc_imm_f.(k) <- float_of_int v
+      | Operand.Lab _ -> errf "label in float context"
+    in
+    let cls_slot cls k = match cls with Reg.Int -> int_slot k | Reg.Float -> flt_slot k in
+    (match i.Insn.op with
+    | Insn.IBin _ ->
+      int_slot 0;
+      int_slot 1
+    | Insn.FBin _ ->
+      flt_slot 0;
+      flt_slot 1
+    | Insn.IMov | Insn.ItoF -> int_slot 0
+    | Insn.FMov | Insn.FtoI -> flt_slot 0
+    | Insn.Load _ ->
+      int_slot 0;
+      int_slot 1;
+      int_slot 2
+    | Insn.Store cls ->
+      int_slot 0;
+      int_slot 1;
+      int_slot 2;
+      cls_slot cls 3
+    | Insn.Br (cls, _) ->
+      cls_slot cls 0;
+      cls_slot cls 1
+    | Insn.Jmp -> ());
+    let ddst, ddst_f =
+      match i.Insn.dst, Insn.result_cls i with
+      | Some r, Some cls ->
+        if r.Reg.cls <> cls then errf "class mismatch writing %s" (Reg.to_string r);
+        (r.Reg.id, cls = Reg.Float)
+      | Some _, None -> (-1, false)
+      | None, Some _ -> errf "instruction %d lacks destination" i.Insn.id
+      | None, None -> (-1, false)
+    in
+    {
+      dop = i.Insn.op;
+      ddst;
+      ddst_f;
+      dlat = Machine.latency i.Insn.op;
+      dtarget = (if Insn.is_branch i then Flatten.target_index flat i else -1);
+      dsrc_reg;
+      dsrc_isf;
+      dsrc_imm_i;
+      dsrc_imm_f;
+      dbr = Insn.is_branch i;
+      dmem = Insn.is_mem i;
+    }
+  in
+  Array.map decode_one flat.Flatten.code
+
+(* The maximum number of register sources any opcode has (Store: base,
+   offset and value). *)
+let max_srcs = 4
+
+let run_gen ?(fuel = 400_000_000) ~profile (machine : Machine.t) (p : Prog.t) :
+    Sim.result * profile option =
+  let rob, phys_regs =
+    match machine.Machine.core with
+    | Machine.Ooo { rob; phys_regs } -> (rob, phys_regs)
+    | Machine.Inorder -> invalid_arg "Ooo.run: machine core is Inorder (use Sim.run)"
+  in
+  let issue_width = machine.Machine.issue in
+  let branch_slots = machine.Machine.branch_slots in
+  let flat = Flatten.of_prog p in
+  let code = flat.Flatten.code in
+  let ncode = Array.length code in
+  let nregs = Reg.gen_count p.Prog.ctx.Prog.rgen + 1 in
+  let ivals = Array.make nregs 0 in
+  let fvals = Array.make nregs 0.0 in
+  let mem = build_mem p in
+  let dcode = decode mem flat in
+  let mem_i = mem.mem_i in
+  let mem_f = mem.mem_f in
+  let mem_valid = mem.valid in
+  let mem_isf = mem.is_float in
+  let nmem = Array.length mem_valid in
+  let gi d k =
+    let r = d.dsrc_reg.(k) in
+    if r >= 0 then ivals.(r) else d.dsrc_imm_i.(k)
+  [@@inline]
+  in
+  let gf d k =
+    let r = d.dsrc_reg.(k) in
+    if r >= 0 then fvals.(r) else d.dsrc_imm_f.(k)
+  [@@inline]
+  in
+  let cell_of_addr addr what =
+    if addr mod word <> 0 then errf "%s: misaligned address %d" what addr;
+    let c = addr / word in
+    if c < 0 || c >= nmem || not mem_valid.(c) then
+      errf "%s: address %d out of bounds" what addr;
+    c
+  [@@inline]
+  in
+  (* Rename table: the sequence number of the in-flight producer of each
+     architectural register, or -1 when the latest value has committed
+     (then the source is ready immediately). *)
+  let prod_i = Array.make nregs (-1) in
+  let prod_f = Array.make nregs (-1) in
+  (* Physical register free counts (P6-style: one allocated per renamed
+     destination at dispatch, freed at commit). *)
+  let free_int = ref phys_regs in
+  let free_float = ref phys_regs in
+  (* Reorder buffer: a circular queue of consecutive sequence numbers;
+     the entry for sequence s lives in slot [s mod rob] while in
+     flight. *)
+  let rb_issued = Array.make rob false in
+  let rb_complete = Array.make rob 0 in
+  let rb_lat = Array.make rob 0 in
+  let rb_dst = Array.make rob (-1) in
+  let rb_dst_f = Array.make rob false in
+  let rb_mem = Array.make rob false in
+  let rb_src = Array.make (rob * max_srcs) (-1) in
+  let rb_nsrc = Array.make rob 0 in
+  (* Un-issued entries as a doubly-linked list of slots in program
+     order, so the issue scan touches only waiting instructions. *)
+  let un_next = Array.make rob (-1) in
+  let un_prev = Array.make rob (-1) in
+  let un_head = ref (-1) in
+  let un_tail = ref (-1) in
+  let un_append s =
+    un_next.(s) <- -1;
+    un_prev.(s) <- !un_tail;
+    if !un_tail >= 0 then un_next.(!un_tail) <- s else un_head := s;
+    un_tail := s
+  in
+  let un_remove s =
+    let p = un_prev.(s) and n = un_next.(s) in
+    if p >= 0 then un_next.(p) <- n else un_head := n;
+    if n >= 0 then un_prev.(n) <- p else un_tail := p
+  in
+  let head_seq = ref 0 in
+  let next_seq = ref 0 in
+  let count = ref 0 in
+  let pc = ref 0 in
+  let cycle = ref 0 in
+  let dyn = ref 0 in
+  (* Profile accumulators (allocated small even when off). *)
+  let c_rob_full = ref 0 in
+  let c_rs_wait = ref 0 in
+  let c_no_phys = ref 0 in
+  let c_fetch = ref 0 in
+  let c_redirect = ref 0 in
+  let c_drain = ref 0 in
+  let max_rob = ref 0 in
+  let ilp = if profile then Array.make (issue_width + 1) 0 else [||] in
+  let insn_disp = if profile then Array.make ncode 0 else [||] in
+  while !count > 0 || !pc < ncode do
+    if !cycle > fuel then raise Sim.Timeout;
+    let cyc = !cycle in
+    (* -- commit: up to [issue] completed entries, oldest first -- *)
+    let committed = ref 0 in
+    let continue_commit = ref true in
+    while !continue_commit && !committed < issue_width && !count > 0 do
+      let s = !head_seq mod rob in
+      if rb_issued.(s) && rb_complete.(s) <= cyc then begin
+        let d = rb_dst.(s) in
+        if d >= 0 then begin
+          if rb_dst_f.(s) then begin
+            incr free_float;
+            if prod_f.(d) = !head_seq then prod_f.(d) <- -1
+          end
+          else begin
+            incr free_int;
+            if prod_i.(d) = !head_seq then prod_i.(d) <- -1
+          end
+        end;
+        incr head_seq;
+        decr count;
+        incr committed
+      end
+      else continue_commit := false
+    done;
+    (* -- issue: up to [issue] ready entries, oldest first; memory
+       operations keep program order among themselves -- *)
+    let to_issue = ref issue_width in
+    let mem_blocked = ref false in
+    let s = ref !un_head in
+    while !to_issue > 0 && !s >= 0 do
+      let sl = !s in
+      let nxt = un_next.(sl) in
+      let ready = ref true in
+      let base = sl * max_srcs in
+      for j = 0 to rb_nsrc.(sl) - 1 do
+        let q = rb_src.(base + j) in
+        if q >= !head_seq then begin
+          (* producer still in flight *)
+          let qs = q mod rob in
+          if (not rb_issued.(qs)) || rb_complete.(qs) > cyc then ready := false
+        end
+      done;
+      if !ready && ((not rb_mem.(sl)) || not !mem_blocked) then begin
+        rb_issued.(sl) <- true;
+        rb_complete.(sl) <- cyc + rb_lat.(sl);
+        un_remove sl;
+        decr to_issue
+      end
+      else if rb_mem.(sl) then mem_blocked := true;
+      s := nxt
+    done;
+    (* -- dispatch/rename: program order, functional execution.
+       Resource checks in a fixed order — branch slots, reorder buffer,
+       physical registers — and whichever stops dispatch first is
+       charged the rest of the cycle's slots. -- *)
+    let dispatched = ref 0 in
+    let branches = ref 0 in
+    let continue_dispatch = ref true in
+    while !continue_dispatch && !dispatched < issue_width do
+      let open_slots = issue_width - !dispatched in
+      if !pc >= ncode then begin
+        c_drain := !c_drain + open_slots;
+        continue_dispatch := false
+      end
+      else begin
+        let k = !pc in
+        let d = dcode.(k) in
+        if d.dbr && !branches >= branch_slots then begin
+          c_fetch := !c_fetch + open_slots;
+          continue_dispatch := false
+        end
+        else if !count = rob then begin
+          if rb_issued.(!head_seq mod rob) then c_rob_full := !c_rob_full + open_slots
+          else c_rs_wait := !c_rs_wait + open_slots;
+          continue_dispatch := false
+        end
+        else if
+          d.ddst >= 0 && (if d.ddst_f then !free_float = 0 else !free_int = 0)
+        then begin
+          c_no_phys := !c_no_phys + open_slots;
+          continue_dispatch := false
+        end
+        else begin
+          (* allocate the reorder-buffer entry and rename *)
+          let seq = !next_seq in
+          let sl = seq mod rob in
+          rb_issued.(sl) <- false;
+          rb_lat.(sl) <- d.dlat;
+          rb_dst.(sl) <- d.ddst;
+          rb_dst_f.(sl) <- d.ddst_f;
+          rb_mem.(sl) <- d.dmem;
+          let nsrc = ref 0 in
+          let base = sl * max_srcs in
+          Array.iteri
+            (fun j r ->
+              if r >= 0 then begin
+                let q = if d.dsrc_isf.(j) then prod_f.(r) else prod_i.(r) in
+                if q >= 0 then begin
+                  rb_src.(base + !nsrc) <- q;
+                  incr nsrc
+                end
+              end)
+            d.dsrc_reg;
+          rb_nsrc.(sl) <- !nsrc;
+          un_append sl;
+          if d.ddst >= 0 then begin
+            if d.ddst_f then begin
+              decr free_float;
+              prod_f.(d.ddst) <- seq
+            end
+            else begin
+              decr free_int;
+              prod_i.(d.ddst) <- seq
+            end
+          end;
+          incr next_seq;
+          incr count;
+          if !count > !max_rob then max_rob := !count;
+          incr dyn;
+          incr dispatched;
+          if d.dbr then incr branches;
+          if profile then insn_disp.(k) <- insn_disp.(k) + 1;
+          (* functional execution, mirroring lib/sim's fast path *)
+          (match d.dop with
+          | Insn.IBin op ->
+            let a = gi d 0 in
+            let b = gi d 1 in
+            let v =
+              match op with
+              | Insn.Add -> a + b
+              | Insn.Sub -> a - b
+              | Insn.Mul -> a * b
+              | Insn.Div -> if b = 0 then errf "division by zero" else a / b
+              | Insn.Rem -> if b = 0 then errf "remainder by zero" else a mod b
+              | Insn.Shl -> a lsl b
+              | Insn.Shr -> a asr b
+              | Insn.And -> a land b
+              | Insn.Or -> a lor b
+              | Insn.Xor -> a lxor b
+            in
+            ivals.(d.ddst) <- v;
+            incr pc
+          | Insn.FBin op ->
+            let a = gf d 0 in
+            let b = gf d 1 in
+            let v =
+              match op with
+              | Insn.Fadd -> a +. b
+              | Insn.Fsub -> a -. b
+              | Insn.Fmul -> a *. b
+              | Insn.Fdiv -> a /. b
+            in
+            fvals.(d.ddst) <- v;
+            incr pc
+          | Insn.IMov ->
+            ivals.(d.ddst) <- gi d 0;
+            incr pc
+          | Insn.FMov ->
+            fvals.(d.ddst) <- gf d 0;
+            incr pc
+          | Insn.ItoF ->
+            fvals.(d.ddst) <- float_of_int (gi d 0);
+            incr pc
+          | Insn.FtoI ->
+            ivals.(d.ddst) <- int_of_float (Float.trunc (gf d 0));
+            incr pc
+          | Insn.Load cls ->
+            let addr = gi d 0 + gi d 1 + gi d 2 in
+            let c = cell_of_addr addr "load" in
+            (match cls with
+            | Reg.Int ->
+              if mem_isf.(c) then errf "int load from float cell %d" addr;
+              ivals.(d.ddst) <- mem_i.(c)
+            | Reg.Float ->
+              if not mem_isf.(c) then errf "float load from int cell %d" addr;
+              fvals.(d.ddst) <- mem_f.(c));
+            incr pc
+          | Insn.Store cls ->
+            let addr = gi d 0 + gi d 1 + gi d 2 in
+            let c = cell_of_addr addr "store" in
+            (match cls with
+            | Reg.Int ->
+              if mem_isf.(c) then errf "int store to float cell %d" addr;
+              mem_i.(c) <- gi d 3
+            | Reg.Float ->
+              if not mem_isf.(c) then errf "float store to int cell %d" addr;
+              mem_f.(c) <- gf d 3);
+            incr pc
+          | Insn.Br (cls, c) ->
+            let taken =
+              match cls with
+              | Reg.Int -> Insn.eval_icmp c (gi d 0) (gi d 1)
+              | Reg.Float -> Insn.eval_fcmp c (gf d 0) (gf d 1)
+            in
+            if taken then begin
+              pc := d.dtarget;
+              c_redirect := !c_redirect + (issue_width - !dispatched);
+              continue_dispatch := false
+            end
+            else incr pc
+          | Insn.Jmp ->
+            pc := d.dtarget;
+            c_redirect := !c_redirect + (issue_width - !dispatched);
+            continue_dispatch := false)
+        end
+      end
+    done;
+    if profile then ilp.(!dispatched) <- ilp.(!dispatched) + 1;
+    incr cycle
+  done;
+  let outputs, arrays_out = collect p mem ivals fvals in
+  let result = { Sim.cycles = !cycle; dyn_insns = !dyn; outputs; arrays_out } in
+  let prof =
+    if profile then
+      Some
+        {
+          o_issue = issue_width;
+          o_cycles = !cycle;
+          o_dispatched_slots = !dyn;
+          o_rob_full = !c_rob_full;
+          o_rs_wait = !c_rs_wait;
+          o_no_phys = !c_no_phys;
+          o_fetch = !c_fetch;
+          o_redirect = !c_redirect;
+          o_drain = !c_drain;
+          o_ilp = ilp;
+          o_max_rob = !max_rob;
+          o_insn_dispatches = Array.mapi (fun k c -> (code.(k), c)) insn_disp;
+        }
+    else None
+  in
+  (result, prof)
+
+let run ?fuel (machine : Machine.t) (p : Prog.t) : Sim.result =
+  Impact_obs.Obs.span ~cat:"sim" "ooo.run" (fun () ->
+    fst (run_gen ?fuel ~profile:false machine p))
+
+let run_profiled ?fuel (machine : Machine.t) (p : Prog.t) : Sim.result * profile =
+  Impact_obs.Obs.span ~cat:"sim" "ooo.run" (fun () ->
+    match run_gen ?fuel ~profile:true machine p with
+    | r, Some prof -> (r, prof)
+    | _, None -> assert false)

@@ -8,7 +8,10 @@ type t = {
   q_opts : Opts.t;
 }
 
-let format_version = 1
+(* 2: the machine gained the [core] axis (inorder vs. out-of-order),
+   which is rendered into the canonical string below; entries written at
+   version 1 read as stale misses and are recomputed. *)
+let format_version = 2
 
 (* The AST cannot be marshaled (array initializers are closures), so the
    content fingerprint is taken over the deterministic lowering: the
@@ -41,11 +44,12 @@ let of_ast ~ast ~opts level machine =
   make ~subject:(subject_digest ast) ~opts level machine
 
 let to_string q =
-  Printf.sprintf "impact-query/%d subj=%s level=%s machine=%s/%d/%d %s"
+  Printf.sprintf "impact-query/%d subj=%s level=%s machine=%s/%d/%d/%s %s"
     format_version q.q_subject
     (Level.to_string q.q_level)
     q.q_machine.Machine.name q.q_machine.Machine.issue
     q.q_machine.Machine.branch_slots
+    (Machine.core_to_string q.q_machine.Machine.core)
     (Opts.to_string q.q_opts)
 
 let digest q = Digest.to_hex (Digest.string (to_string q))

@@ -74,7 +74,9 @@ let parse_request raw : request =
     | Json.Obj ms -> ms
     | _ -> raise (Malformed "query must be a JSON object")
   in
-  let allowed = [ "loop"; "level"; "issue"; "sched"; "unroll"; "fuel" ] in
+  let allowed =
+    [ "loop"; "level"; "issue"; "sched"; "unroll"; "fuel"; "core"; "rob"; "phys_regs" ]
+  in
   List.iter
     (fun (k, _) ->
       if not (List.mem k allowed) then
@@ -115,6 +117,28 @@ let parse_request raw : request =
   in
   let unroll = Option.map (get_int "unroll") (field "unroll") in
   let fuel = Option.map (get_int "fuel") (field "fuel") in
+  let rob = Option.map (get_int "rob") (field "rob") in
+  let phys_regs = Option.map (get_int "phys_regs") (field "phys_regs") in
+  let core =
+    match field "core" with
+    | None -> `Inorder
+    | Some v -> (
+      match get_str "core" v with
+      | "inorder" -> `Inorder
+      | "ooo" -> `Ooo
+      | s -> raise (Malformed (Printf.sprintf "unknown core %S" s)))
+  in
+  let machine =
+    match core with
+    | `Inorder ->
+      (match rob, phys_regs with
+      | None, None -> ()
+      | _ -> raise (Malformed "\"rob\"/\"phys_regs\" require \"core\": \"ooo\""));
+      Machine.make ~issue ()
+    | `Ooo ->
+      let rob = Option.value rob ~default:32 in
+      Machine.ooo ?phys_regs ~issue ~rob ()
+  in
   let loop =
     match Impact_workloads.Suite.find loop_name with
     | Some w -> w
@@ -123,7 +147,7 @@ let parse_request raw : request =
   {
     rq_loop = loop;
     rq_level = level;
-    rq_machine = Machine.make ~issue ();
+    rq_machine = machine;
     rq_opts = { Opts.unroll; sched; fuel };
   }
 
@@ -174,6 +198,19 @@ let response_of_request ~store ~line (rq : request) : Json.t =
       ("level", Json.Str (Level.to_string rq.rq_level));
       ("machine", Json.Str rq.rq_machine.Machine.name);
       ("issue", Json.Int rq.rq_machine.Machine.issue);
+      ( "core",
+        Json.Str
+          (match rq.rq_machine.Machine.core with
+          | Machine.Inorder -> "inorder"
+          | Machine.Ooo _ -> "ooo") );
+      ( "rob",
+        match rq.rq_machine.Machine.core with
+        | Machine.Inorder -> Json.Null
+        | Machine.Ooo { rob; _ } -> Json.Int rob );
+      ( "phys_regs",
+        match rq.rq_machine.Machine.core with
+        | Machine.Inorder -> Json.Null
+        | Machine.Ooo { phys_regs; _ } -> Json.Int phys_regs );
       ("sched", Json.Str (Opts.sched_to_string rq.rq_opts.Opts.sched));
       ("unroll", opt_int rq.rq_opts.Opts.unroll);
       ("fuel", opt_int rq.rq_opts.Opts.fuel);

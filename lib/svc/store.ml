@@ -7,6 +7,7 @@ type stats = {
   misses : int;
   stores : int;
   corrupt : int;
+  stale : int;
 }
 
 let hits s = s.mem_hits + s.disk_hits
@@ -70,7 +71,8 @@ let open_store ?(lru_capacity = 4096) dir =
     st_lru = Hashtbl.create 256;
     st_gen = 0;
     st_tmp_seq = 0;
-    st_stats = { mem_hits = 0; disk_hits = 0; misses = 0; stores = 0; corrupt = 0 };
+    st_stats =
+      { mem_hits = 0; disk_hits = 0; misses = 0; stores = 0; corrupt = 0; stale = 0 };
   }
 
 let dir t = t.st_dir
@@ -185,6 +187,7 @@ let lookup t q =
       bump t (fun s -> { s with disk_hits = s.disk_hits + 1 }) "hit.disk";
       Some m
     | Stale ->
+      bump t (fun s -> { s with stale = s.stale + 1 }) "stale";
       bump t (fun s -> { s with misses = s.misses + 1 }) "miss";
       None
     | Corrupt ->

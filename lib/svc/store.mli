@@ -28,7 +28,10 @@ type stats = {
   disk_hits : int;  (** lookups served by the directory *)
   misses : int;  (** lookups that found nothing usable *)
   stores : int;  (** entries published *)
-  corrupt : int;  (** entries rejected as corrupt/stale (subset of misses) *)
+  corrupt : int;  (** entries rejected as corrupt (subset of misses) *)
+  stale : int;
+      (** entries rejected for a {!Query.format_version} mismatch
+          (subset of misses; distinct from [corrupt]) *)
 }
 
 val hits : stats -> int

@@ -8,9 +8,15 @@ CI hosts are noisy and differ from the machine that produced the
 committed numbers). Stages below a small time floor are ignored — a few
 hundredths of a second of jitter is not a regression signal.
 
+With --check-summary, the in-order evaluation matrix itself is also
+guarded: the fresh summary speedup quantities and cell count must match
+the baseline exactly. Those numbers are deterministic for any worker
+count, so any drift is a correctness bug (e.g. a machine-model change
+leaking into the default in-order configuration), not host noise.
+
 Usage:
   check_bench_regression.py --baseline OLD.json --fresh NEW.json \
-      [--tolerance 0.25] [--min-seconds 0.05]
+      [--tolerance 0.25] [--min-seconds 0.05] [--check-summary]
 
 Exit status 1 if any compared metric regresses past tolerance.
 """
@@ -33,10 +39,29 @@ def main():
                     help="allowed relative slowdown (0.25 = +25%%)")
     ap.add_argument("--min-seconds", type=float, default=0.05,
                     help="ignore metrics whose baseline is below this")
+    ap.add_argument("--check-summary", action="store_true",
+                    help="also require the fresh summary speedups and cell "
+                         "count to match the baseline exactly")
     args = ap.parse_args()
 
     base = load(args.baseline)
     fresh = load(args.fresh)
+
+    if args.check_summary:
+        drift = []
+        if base.get("cells") != fresh.get("cells"):
+            drift.append(f"cells: {base.get('cells')} -> {fresh.get('cells')}")
+        bs, fs = base.get("summary", {}), fresh.get("summary", {})
+        for name in sorted(bs):
+            if name not in fs or bs[name] != fs[name]:
+                drift.append(f"summary.{name}: {bs[name]} -> {fs.get(name)}")
+        if drift:
+            print("in-order matrix drift (these numbers must be exact):")
+            for d in drift:
+                print(f"  {d}")
+            return 1
+        print(f"summary guard ok ({len(bs)} quantities, "
+              f"{base.get('cells')} cells)")
 
     metrics = [("total_wall_s", base.get("total_wall_s"), fresh.get("total_wall_s"))]
     for name, old in sorted(base.get("stages", {}).items()):

@@ -1,0 +1,179 @@
+(* Conformance and conservation tests for the out-of-order core
+   (lib/ooo). The OOO model is trace-driven — instructions execute
+   functionally at dispatch in program order — so its architectural
+   results must be *bit-identical* to the in-order simulator on the same
+   scheduled program, for any reorder-buffer or physical-register size.
+   The profiled runs must also account for every dispatch slot:
+   dispatched + attributed empty slots = cycles x issue, exactly. *)
+
+open Impact_ir
+open Impact_core
+module Sim = Impact_sim.Sim
+module Ooo = Impact_ooo.Ooo
+
+let subjects = Impact_workloads.Suite.all
+
+let lower (w : Impact_workloads.Suite.t) =
+  Impact_fir.Lower.lower w.Impact_workloads.Suite.ast
+
+(* Exact architectural equality: outputs, final array contents and the
+   dynamic instruction count, compared bit-for-bit (floats included —
+   both simulators execute the same operations in the same program
+   order). *)
+let same_arch (a : Sim.result) (b : Sim.result) =
+  a.Sim.outputs = b.Sim.outputs
+  && a.Sim.arrays_out = b.Sim.arrays_out
+  && a.Sim.dyn_insns = b.Sim.dyn_insns
+
+(* (OOO machine, in-order machine of the same width) pairs: rob=1 is
+   the degenerate one-in-flight core, the others exercise a realistic
+   window and a register-starved one. *)
+let machine_pairs =
+  [
+    (Machine.ooo ~issue:4 ~rob:1 (), Machine.make ~issue:4 ());
+    (Machine.ooo ~issue:8 ~rob:32 (), Machine.make ~issue:8 ());
+    (Machine.ooo ~phys_regs:6 ~issue:8 ~rob:64 (), Machine.make ~issue:8 ());
+  ]
+
+let test_conformance_all_kernels () =
+  List.iter
+    (fun (w : Impact_workloads.Suite.t) ->
+      List.iter
+        (fun level ->
+          List.iter
+            (fun (om, im) ->
+              let p = Compile.compile_with Opts.default level om (lower w) in
+              let inorder = Sim.run im p in
+              let ooo = Ooo.run om p in
+              if not (same_arch inorder ooo) then
+                Alcotest.failf "%s at %s on %s: architectural mismatch vs %s"
+                  w.Impact_workloads.Suite.name (Level.to_string level)
+                  om.Machine.name im.Machine.name)
+            machine_pairs)
+        Level.all)
+    subjects
+
+let test_rob1_deterministic () =
+  let m = Machine.ooo ~issue:4 ~rob:1 () in
+  List.iter
+    (fun name ->
+      let w = Option.get (Impact_workloads.Suite.find name) in
+      let p = Compile.compile_with Opts.default Level.Lev4 m (lower w) in
+      let a = Ooo.run m p in
+      let b = Ooo.run m p in
+      Alcotest.(check int) (name ^ " cycles deterministic") a.Sim.cycles b.Sim.cycles;
+      Helpers.check_bool (name ^ " results deterministic") true (same_arch a b);
+      (* One instruction in flight can never beat the interlocked
+         in-order pipeline of the same width. *)
+      let inorder = Sim.run (Machine.make ~issue:4 ()) p in
+      Helpers.check_bool (name ^ " rob=1 no faster than in-order") true
+        (a.Sim.cycles >= inorder.Sim.cycles))
+    [ "add"; "dotprod"; "sum"; "SRS-5" ]
+
+(* Dispatch-slot conservation on a kernel x level x machine grid,
+   including a severely register-starved configuration. *)
+let test_conservation () =
+  let machines =
+    [
+      Machine.ooo ~issue:8 ~rob:8 ();
+      Machine.ooo ~issue:8 ~rob:32 ();
+      Machine.ooo ~issue:4 ~rob:128 ();
+      Machine.ooo ~phys_regs:4 ~issue:8 ~rob:32 ();
+      Machine.ooo ~issue:2 ~rob:1 ();
+    ]
+  in
+  List.iter
+    (fun name ->
+      let w = Option.get (Impact_workloads.Suite.find name) in
+      List.iter
+        (fun level ->
+          List.iter
+            (fun m ->
+              let p = Compile.compile_with Opts.default level m (lower w) in
+              let r, prof = Ooo.run_profiled m p in
+              let where =
+                Printf.sprintf "%s %s %s" name (Level.to_string level)
+                  m.Machine.name
+              in
+              Alcotest.(check int)
+                (where ^ ": classified = empty slots")
+                (Ooo.empty_slots prof) (Ooo.classified_slots prof);
+              Alcotest.(check int)
+                (where ^ ": dispatched slots = dyn insns")
+                r.Sim.dyn_insns prof.Ooo.o_dispatched_slots;
+              Alcotest.(check int)
+                (where ^ ": ilp histogram sums to cycles")
+                prof.Ooo.o_cycles
+                (Array.fold_left ( + ) 0 prof.Ooo.o_ilp);
+              Alcotest.(check int)
+                (where ^ ": profiled cycles match plain run")
+                (Ooo.run m p).Sim.cycles r.Sim.cycles;
+              Helpers.check_bool (where ^ ": rob occupancy within bound") true
+                (prof.Ooo.o_max_rob >= 1
+                &&
+                match m.Machine.core with
+                | Machine.Ooo { rob; _ } -> prof.Ooo.o_max_rob <= rob
+                | Machine.Inorder -> false))
+            machines)
+        [ Level.Conv; Level.Lev2; Level.Lev4 ])
+    [ "add"; "dotprod"; "NAS-1"; "SRS-5" ]
+
+(* Larger windows never slow a program down: cycles are monotonically
+   non-increasing in the reorder-buffer size (everything else fixed). *)
+let test_rob_monotone () =
+  List.iter
+    (fun name ->
+      let w = Option.get (Impact_workloads.Suite.find name) in
+      let cycles rob =
+        let m = Machine.ooo ~issue:8 ~rob () in
+        (Ooo.run m (Compile.compile_with Opts.default Level.Lev2 m (lower w)))
+          .Sim.cycles
+      in
+      let cs = List.map cycles [ 1; 4; 16; 64; 256 ] in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a >= b && mono rest
+        | _ -> true
+      in
+      Helpers.check_bool (name ^ " cycles monotone in rob size") true (mono cs))
+    [ "add"; "dotprod" ]
+
+let test_run_rejects_inorder () =
+  let w = Option.get (Impact_workloads.Suite.find "add") in
+  let m = Machine.make ~issue:4 () in
+  let p = Compile.compile_with Opts.default Level.Conv m (lower w) in
+  match Ooo.run m p with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "Ooo.run accepted an in-order machine"
+
+(* Randomized conformance: scheduled straight-line programs (loads,
+   integer ops, a reduction) must produce the same architectural output
+   on both cores for any window size. *)
+let prop_random_conformance =
+  QCheck.Test.make
+    ~name:"ooo matches the in-order simulator on random programs" ~count:120
+    (QCheck.make
+       QCheck.Gen.(pair T_props.gen_straightline (int_range 1 24)))
+    (fun (spec, rob) ->
+      let p = T_props.build_straightline spec in
+      let p =
+        Impact_sched.List_sched.run Machine.issue_4
+          (Impact_sched.Superblock.run p)
+      in
+      let inorder = Sim.run Machine.issue_4 p in
+      let ooo = Ooo.run (Machine.ooo ~issue:4 ~rob ()) p in
+      same_arch inorder ooo)
+
+let suite =
+  [
+    ( "ooo",
+      [
+        Alcotest.test_case "conformance: all kernels x levels" `Quick
+          test_conformance_all_kernels;
+        Alcotest.test_case "rob=1 deterministic" `Quick test_rob1_deterministic;
+        Alcotest.test_case "dispatch-slot conservation" `Quick test_conservation;
+        Alcotest.test_case "cycles monotone in rob" `Quick test_rob_monotone;
+        Alcotest.test_case "rejects in-order machine" `Quick
+          test_run_rejects_inorder;
+        QCheck_alcotest.to_alcotest prop_random_conformance;
+      ] );
+  ]

@@ -98,6 +98,16 @@ let test_query_digest_sensitivity () =
   in
   differs "level" { base with Query.q_level = Level.Lev3 };
   differs "machine" { base with Query.q_machine = Machine.issue_4 };
+  differs "core"
+    { base with Query.q_machine = Machine.ooo ~issue:8 ~rob:32 () };
+  Helpers.check_bool "rob size changes digest" false
+    (Query.digest { base with Query.q_machine = Machine.ooo ~issue:8 ~rob:32 () }
+    = Query.digest { base with Query.q_machine = Machine.ooo ~issue:8 ~rob:64 () });
+  Helpers.check_bool "phys count changes digest" false
+    (Query.digest
+       { base with Query.q_machine = Machine.ooo ~phys_regs:16 ~issue:8 ~rob:32 () }
+    = Query.digest
+        { base with Query.q_machine = Machine.ooo ~phys_regs:32 ~issue:8 ~rob:32 () });
   differs "sched" { base with Query.q_opts = { Opts.default with Opts.sched = `Pipe } };
   differs "unroll" { base with Query.q_opts = { Opts.default with Opts.unroll = Some 2 } };
   differs "fuel" { base with Query.q_opts = { Opts.default with Opts.fuel = Some 9 } };
@@ -148,14 +158,9 @@ let test_store_corrupt_entry () =
   Helpers.check_int "corrupt counted" 1 s.Store.corrupt;
   Helpers.check_int "miss counted" 1 s.Store.misses
 
-let test_store_version_mismatch () =
-  let dir = fresh_dir () in
-  let st = Store.open_store dir in
-  let q = Query.of_ast ~ast:vecadd ~opts:Opts.default Level.Lev1 Machine.issue_2 in
-  Store.add st q (measure_default Level.Lev1 Machine.issue_2 vecadd);
-  (* Rewrite the header as a future format version, keeping the payload:
-     the entry must read as stale (miss), not corrupt. *)
-  let path = Store.entry_path st q in
+(* Rewrite a published entry's header magic to another format version,
+   keeping the payload intact. *)
+let rewrite_entry_version path version =
   let ic = open_in_bin path in
   let data = really_input_string ic (in_channel_length ic) in
   close_in ic;
@@ -164,18 +169,53 @@ let test_store_version_mismatch () =
   let rest = String.sub data nl (String.length data - nl) in
   let header' =
     match String.split_on_char ' ' header with
-    | _magic :: fields -> String.concat " " ("impact-cache/9999" :: fields)
+    | _magic :: fields ->
+      String.concat " " (Printf.sprintf "impact-cache/%d" version :: fields)
     | [] -> assert false
   in
   let oc = open_out_bin path in
   output_string oc header';
   output_string oc rest;
-  close_out oc;
+  close_out oc
+
+let test_store_version_mismatch () =
+  let dir = fresh_dir () in
+  let st = Store.open_store dir in
+  let q = Query.of_ast ~ast:vecadd ~opts:Opts.default Level.Lev1 Machine.issue_2 in
+  Store.add st q (measure_default Level.Lev1 Machine.issue_2 vecadd);
+  (* Rewrite the header as a future format version, keeping the payload:
+     the entry must read as stale (miss), not corrupt. *)
+  rewrite_entry_version (Store.entry_path st q) 9999;
   let st2 = Store.open_store dir in
   Helpers.check_bool "stale entry misses" true (Store.lookup st2 q = None);
   let s = Store.stats st2 in
   Helpers.check_int "stale is not corrupt" 0 s.Store.corrupt;
-  Helpers.check_int "stale counted as miss" 1 s.Store.misses
+  Helpers.check_int "stale counted as miss" 1 s.Store.misses;
+  Helpers.check_int "stale counted as stale" 1 s.Store.stale
+
+let test_store_old_version_entry () =
+  (* The machine's core axis landed in format version 2; an entry from a
+     version-1 cache directory must degrade to a stale miss, never be
+     served (it was keyed without the core axis) and never be flagged as
+     corruption. *)
+  Helpers.check_bool "format_version covers the core axis" true
+    (Query.format_version >= 2);
+  let dir = fresh_dir () in
+  let st = Store.open_store dir in
+  let q = Query.of_ast ~ast:vecadd ~opts:Opts.default Level.Lev2 Machine.issue_4 in
+  Store.add st q (measure_default Level.Lev2 Machine.issue_4 vecadd);
+  rewrite_entry_version (Store.entry_path st q) 1;
+  let st2 = Store.open_store dir in
+  Helpers.check_bool "v1 entry misses" true (Store.lookup st2 q = None);
+  let s = Store.stats st2 in
+  Helpers.check_int "v1 entry counted stale" 1 s.Store.stale;
+  Helpers.check_int "v1 entry counted miss" 1 s.Store.misses;
+  Helpers.check_int "v1 entry is not corrupt" 0 s.Store.corrupt;
+  (* Republishing overwrites the stale entry and it reads fresh again. *)
+  Store.add st2 q (measure_default Level.Lev2 Machine.issue_4 vecadd);
+  let st3 = Store.open_store dir in
+  Helpers.check_bool "republished entry hits" true (Store.lookup st3 q <> None);
+  Helpers.check_int "republished read is fresh" 0 (Store.stats st3).Store.stale
 
 let test_store_obs_counters () =
   let dir = fresh_dir () in
@@ -324,6 +364,37 @@ let test_serve_cache_disposition () =
       [ "cycles"; "dyn_insns"; "speedup"; "digest"; "int_regs"; "float_regs" ]
   | _ -> Alcotest.fail "responses not JSON"
 
+let test_serve_ooo_query () =
+  let line extra =
+    Printf.sprintf "{\"loop\": \"vecadd\", \"level\": \"Lev2\", \"issue\": 4%s}"
+      extra
+  in
+  let answer extra =
+    match Json.parse (Service.answer_line ~store:None ~line:1 (line extra)) with
+    | Ok j -> j
+    | Error msg -> Alcotest.failf "response not JSON: %s" msg
+  in
+  let field j k = Option.get (Json.member k j) in
+  let inorder = answer "" in
+  let ooo = answer ", \"core\": \"ooo\", \"rob\": 8" in
+  Helpers.check_bool "ooo query ok" true (field ooo "ok" = Json.Bool true);
+  Helpers.check_bool "core echoed" true (field ooo "core" = Json.Str "ooo");
+  Helpers.check_bool "rob echoed" true (field ooo "rob" = Json.Int 8);
+  Helpers.check_bool "phys defaults to rob" true
+    (field ooo "phys_regs" = Json.Int 8);
+  Helpers.check_bool "inorder core echoed" true
+    (field inorder "core" = Json.Str "inorder");
+  Helpers.check_bool "inorder rob is null" true (field inorder "rob" = Json.Null);
+  Helpers.check_bool "core changes the digest" false
+    (field inorder "digest" = field ooo "digest");
+  (match (field inorder "cycles", field ooo "cycles") with
+  | Json.Int a, Json.Int b ->
+    Helpers.check_bool "both cores simulate" true (a > 0 && b > 0)
+  | _ -> Alcotest.fail "cycles not ints");
+  let bad = answer ", \"rob\": 8" in
+  Helpers.check_bool "rob without core rejected" true
+    (field bad "error" = Json.Str "malformed query")
+
 (* ---- Deprecated wrappers ---- *)
 
 let test_opts_wrappers () =
@@ -460,6 +531,7 @@ let suite =
         Alcotest.test_case "roundtrip" `Quick test_store_roundtrip;
         Alcotest.test_case "corrupt entry" `Quick test_store_corrupt_entry;
         Alcotest.test_case "version mismatch" `Quick test_store_version_mismatch;
+        Alcotest.test_case "old-version entry" `Quick test_store_old_version_entry;
         Alcotest.test_case "obs counters" `Quick test_store_obs_counters;
         Alcotest.test_case "lru eviction" `Quick test_store_lru_eviction;
         Alcotest.test_case "crash recovery: orphaned temp swept" `Quick
@@ -473,6 +545,7 @@ let suite =
       [
         Alcotest.test_case "batch with errors" `Quick test_serve_batch;
         Alcotest.test_case "cache disposition" `Quick test_serve_cache_disposition;
+        Alcotest.test_case "ooo query" `Quick test_serve_ooo_query;
         Alcotest.test_case "read_lines bounds request lines" `Quick
           test_read_lines_bound;
       ] );

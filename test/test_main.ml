@@ -7,6 +7,7 @@ let () =
        [
          T_ir.suite;
          T_sim.suite;
+         T_ooo.suite;
          T_fir.suite;
          T_analysis.suite;
          T_opt.suite;
