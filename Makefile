@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-cold smoke pipe ooo profile serve soak check clean
+.PHONY: all build test bench bench-cold bench-serve smoke pipe ooo profile serve soak check clean
 
 all: build
 
@@ -35,6 +35,18 @@ profile: build
 serve: build
 	printf '{"loop": "dotprod", "level": "Lev4", "issue": 8}\nnot json\n{"loop": "nope"}\n' \
 	  | dune exec bin/impactc.exe -- serve
+
+# Serve load harness: drive `serve --listen` with concurrent pipelined
+# clients, report client-side latency percentiles and throughput,
+# cross-check them against the server's own {"op": "metrics"}
+# histograms and validate the JSONL access log; refreshes
+# BENCH_serve.json (see DESIGN.md "Service observability").
+# SERVE_SECONDS=10 to change the load duration.
+bench-serve: build
+	python3 scripts/loadgen.py --seconds $(or $(SERVE_SECONDS),5) --clients 4 \
+	  --access-log access.jsonl --out BENCH_serve.json -- \
+	  ./_build/default/bin/impactc.exe serve --listen 127.0.0.1:0 \
+	  --cache-dir _cache --queue-depth 64
 
 # TCP soak: hammer `serve --listen` with concurrent pipelined clients
 # under fault injection, then SIGTERM and assert a clean drain (exit 0,

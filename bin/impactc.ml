@@ -374,72 +374,261 @@ let print_ooo_hot_insns ?(limit = 8) (prof : Impact_ooo.Ooo.profile) =
       if k < limit then Printf.printf "  %9d  %s\n" n (Insn.to_string i))
     rows
 
+(* One level x machine cell of the profile's stall-summary matrix, in a
+   core-agnostic shape shared by the printed table and `profile --json`:
+   [lmr_slots] carries the per-cause slot counts (keys differ per core)
+   and the matching issue width, so percentages are derived, not
+   stored. *)
+type lm_row = {
+  lmr_level : string;
+  lmr_machine : string;
+  lmr_issue : int;
+  lmr_cycles : int;
+  lmr_dyn : int;
+  lmr_slots : (string * int) list;
+}
+
+let lm_pct r n = 100.0 *. float_of_int n /. float_of_int (max 1 (r.lmr_cycles * r.lmr_issue))
+
+let lm_slot r k = match List.assoc_opt k r.lmr_slots with Some n -> n | None -> 0
+
 (* Stall summary per level x issue rate for one kernel: the paper's
    Fig. 8-10 mechanism made visible (interlock share shrinking as the
    transformation level rises). *)
-let print_level_matrix w (opts : Opts.t) =
-  Printf.printf
-    "stall summary per level x issue rate (%% of issue slots)\n";
-  Printf.printf "  %-6s %-8s %9s %5s %7s %10s %7s %9s %6s\n" "level" "machine"
-    "cycles" "ipc" "issued%" "interlock%" "brlim%" "redirect%" "drain%";
-  List.iter
+let level_matrix_rows w (opts : Opts.t) =
+  List.concat_map
     (fun level ->
       let tp =
         Compile.transform_with opts level
           (Impact_fir.Lower.lower w.Impact_workloads.Suite.ast)
       in
-      List.iter
+      List.map
         (fun machine ->
           let scheduled = Compile.schedule_with opts machine tp in
           let r, prof = Impact_sim.Sim.run_profiled machine scheduled in
           let open Impact_sim.Sim in
-          let total = float_of_int (max 1 (prof.p_cycles * prof.p_issue)) in
-          let pct n = 100.0 *. float_of_int n /. total in
           let interlock =
             Array.fold_left (fun acc (_, n) -> acc + n) 0 prof.p_interlock
           in
-          Printf.printf
-            "  %-6s %-8s %9d %5.2f %6.1f%% %9.1f%% %6.1f%% %8.1f%% %5.1f%%\n"
-            (Level.to_string level) machine.Machine.name r.cycles
-            (float_of_int r.dyn_insns /. float_of_int r.cycles)
-            (pct prof.p_issued_slots) (pct interlock) (pct prof.p_branch_limit)
-            (pct prof.p_redirect) (pct prof.p_drain))
+          {
+            lmr_level = Level.to_string level;
+            lmr_machine = machine.Machine.name;
+            lmr_issue = prof.p_issue;
+            lmr_cycles = r.cycles;
+            lmr_dyn = r.dyn_insns;
+            lmr_slots =
+              [
+                ("issued", prof.p_issued_slots);
+                ("interlock", interlock);
+                ("branch_limit", prof.p_branch_limit);
+                ("redirect", prof.p_redirect);
+                ("drain", prof.p_drain);
+              ];
+          })
         (Report.matrix_machines ()))
     Level.all
 
+let print_level_matrix rows =
+  Printf.printf
+    "stall summary per level x issue rate (%% of issue slots)\n";
+  Printf.printf "  %-6s %-8s %9s %5s %7s %10s %7s %9s %6s\n" "level" "machine"
+    "cycles" "ipc" "issued%" "interlock%" "brlim%" "redirect%" "drain%";
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  %-6s %-8s %9d %5.2f %6.1f%% %9.1f%% %6.1f%% %8.1f%% %5.1f%%\n"
+        r.lmr_level r.lmr_machine r.lmr_cycles
+        (float_of_int r.lmr_dyn /. float_of_int r.lmr_cycles)
+        (lm_pct r (lm_slot r "issued"))
+        (lm_pct r (lm_slot r "interlock"))
+        (lm_pct r (lm_slot r "branch_limit"))
+        (lm_pct r (lm_slot r "redirect"))
+        (lm_pct r (lm_slot r "drain")))
+    rows
+
 (* The OOO counterpart: same level x issue sweep on the dynamically
    scheduled core (keeping the profiled machine's rob/phys sizes). *)
-let print_ooo_level_matrix w (opts : Opts.t) ~(core : Machine.core) =
+let ooo_level_matrix_rows w (opts : Opts.t) ~(core : Machine.core) =
+  List.concat_map
+    (fun level ->
+      let tp =
+        Compile.transform_with opts level
+          (Impact_fir.Lower.lower w.Impact_workloads.Suite.ast)
+      in
+      List.map
+        (fun machine ->
+          let scheduled = Compile.schedule_with opts machine tp in
+          let r, prof = Impact_ooo.Ooo.run_profiled machine scheduled in
+          let open Impact_ooo.Ooo in
+          {
+            lmr_level = Level.to_string level;
+            lmr_machine = machine.Machine.name;
+            lmr_issue = prof.o_issue;
+            lmr_cycles = r.Impact_sim.Sim.cycles;
+            lmr_dyn = r.Impact_sim.Sim.dyn_insns;
+            lmr_slots =
+              [
+                ("dispatched", prof.o_dispatched_slots);
+                ("rob_full", prof.o_rob_full);
+                ("rs_wait", prof.o_rs_wait);
+                ("no_phys", prof.o_no_phys);
+                ("fetch", prof.o_fetch);
+                ("redirect", prof.o_redirect);
+                ("drain", prof.o_drain);
+              ];
+          })
+        (Report.matrix_machines ~core ()))
+    Level.all
+
+let print_ooo_level_matrix rows =
   Printf.printf
     "dispatch summary per level x issue rate (%% of dispatch slots)\n";
   Printf.printf "  %-6s %-10s %9s %5s %6s %6s %7s %6s %6s %9s %6s\n" "level"
     "machine" "cycles" "ipc" "disp%" "rob%" "rswait%" "phys%" "fetch%"
     "redirect%" "drain%";
   List.iter
-    (fun level ->
-      let tp =
-        Compile.transform_with opts level
-          (Impact_fir.Lower.lower w.Impact_workloads.Suite.ast)
-      in
-      List.iter
-        (fun machine ->
-          let scheduled = Compile.schedule_with opts machine tp in
-          let r, prof = Impact_ooo.Ooo.run_profiled machine scheduled in
-          let open Impact_ooo.Ooo in
-          let total = float_of_int (max 1 (prof.o_cycles * prof.o_issue)) in
-          let pct n = 100.0 *. float_of_int n /. total in
-          Printf.printf
-            "  %-6s %-10s %9d %5.2f %5.1f%% %5.1f%% %6.1f%% %5.1f%% %5.1f%% \
-             %8.1f%% %5.1f%%\n"
-            (Level.to_string level) machine.Machine.name
-            r.Impact_sim.Sim.cycles
-            (float_of_int r.Impact_sim.Sim.dyn_insns
-            /. float_of_int r.Impact_sim.Sim.cycles)
-            (pct prof.o_dispatched_slots) (pct prof.o_rob_full)
-            (pct prof.o_rs_wait) (pct prof.o_no_phys) (pct prof.o_fetch)
-            (pct prof.o_redirect) (pct prof.o_drain))
-        (Report.matrix_machines ~core ()))
-    Level.all
+    (fun r ->
+      Printf.printf
+        "  %-6s %-10s %9d %5.2f %5.1f%% %5.1f%% %6.1f%% %5.1f%% %5.1f%% \
+         %8.1f%% %5.1f%%\n"
+        r.lmr_level r.lmr_machine r.lmr_cycles
+        (float_of_int r.lmr_dyn /. float_of_int r.lmr_cycles)
+        (lm_pct r (lm_slot r "dispatched"))
+        (lm_pct r (lm_slot r "rob_full"))
+        (lm_pct r (lm_slot r "rs_wait"))
+        (lm_pct r (lm_slot r "no_phys"))
+        (lm_pct r (lm_slot r "fetch"))
+        (lm_pct r (lm_slot r "redirect"))
+        (lm_pct r (lm_slot r "drain")))
+    rows
+
+(* ---- profile --json: the same data as the printed report, as a
+   schema-versioned machine-readable dump (impact-profile/1) covering
+   both cores. ---- *)
+
+module J = Impact_svc.Json
+
+let json_of_hot ?(limit = 8) rows =
+  let rows = List.filter (fun (_, n) -> n > 0) rows in
+  let rows = List.stable_sort (fun (_, a) (_, b) -> compare b a) rows in
+  J.List
+    (List.filteri (fun k _ -> k < limit) rows
+    |> List.map (fun (i, n) ->
+           J.Obj [ ("insn", J.Str (Insn.to_string i)); ("count", J.Int n) ]))
+
+let json_of_ilp ilp = J.List (Array.to_list (Array.map (fun n -> J.Int n) ilp))
+
+let json_of_matrix rows =
+  J.List
+    (List.map
+       (fun r ->
+         J.Obj
+           [
+             ("level", J.Str r.lmr_level);
+             ("machine", J.Str r.lmr_machine);
+             ("issue", J.Int r.lmr_issue);
+             ("cycles", J.Int r.lmr_cycles);
+             ("dyn_insns", J.Int r.lmr_dyn);
+             ("slots", J.Obj (List.map (fun (k, v) -> (k, J.Int v)) r.lmr_slots));
+           ])
+       rows)
+
+(* Slot-attribution fields for the dump; keys mirror the printed stall
+   table (the inorder interlock rows keep their per-latency split). *)
+let inorder_sim_json (prof : Impact_sim.Sim.profile) =
+  let open Impact_sim.Sim in
+  [
+    ( "stalls",
+      J.Obj
+        [
+          ("issued", J.Int prof.p_issued_slots);
+          ( "interlock",
+            J.List
+              (Array.to_list
+                 (Array.map
+                    (fun (lat, n) ->
+                      J.Obj [ ("latency", J.Int lat); ("slots", J.Int n) ])
+                    prof.p_interlock)) );
+          ("branch_limit", J.Int prof.p_branch_limit);
+          ("redirect", J.Int prof.p_redirect);
+          ("drain", J.Int prof.p_drain);
+        ] );
+    ("ilp", json_of_ilp prof.p_ilp);
+    ("hot_insns", json_of_hot (Array.to_list prof.p_insn_issues));
+  ]
+
+let ooo_sim_json (prof : Impact_ooo.Ooo.profile) =
+  let open Impact_ooo.Ooo in
+  [
+    ( "stalls",
+      J.Obj
+        [
+          ("dispatched", J.Int prof.o_dispatched_slots);
+          ("rob_full", J.Int prof.o_rob_full);
+          ("rs_wait", J.Int prof.o_rs_wait);
+          ("no_phys", J.Int prof.o_no_phys);
+          ("fetch", J.Int prof.o_fetch);
+          ("redirect", J.Int prof.o_redirect);
+          ("drain", J.Int prof.o_drain);
+        ] );
+    ("max_rob", J.Int prof.o_max_rob);
+    ("ilp", json_of_ilp prof.o_ilp);
+    ("hot_insns", json_of_hot (Array.to_list prof.o_insn_dispatches));
+  ]
+
+let profile_json ~name ~(co : common_opts) ~(machine : Machine.t) ~result ~rep
+    ~pipe_reports ~rows sim_fields =
+  J.Obj
+    ([
+       ("schema", J.Str "impact-profile/1");
+       ("loop", J.Str name);
+       ("level", J.Str (Level.to_string co.co_level));
+       ("machine", J.Str machine.Machine.name);
+       ("issue", J.Int machine.Machine.issue);
+       ( "core",
+         J.Str
+           (match machine.Machine.core with
+           | Machine.Inorder -> "inorder"
+           | Machine.Ooo _ -> "ooo") );
+       ( "rob",
+         match machine.Machine.core with
+         | Machine.Inorder -> J.Null
+         | Machine.Ooo { rob; _ } -> J.Int rob );
+       ( "phys_regs",
+         match machine.Machine.core with
+         | Machine.Inorder -> J.Null
+         | Machine.Ooo { phys_regs; _ } -> J.Int phys_regs );
+       ("sched", J.Str (Opts.sched_to_string co.co_sched));
+       ("unroll", match co.co_unroll with None -> J.Null | Some n -> J.Int n);
+       ("cycles", J.Int result.Impact_sim.Sim.cycles);
+       ("dyn_insns", J.Int result.Impact_sim.Sim.dyn_insns);
+       ( "ipc",
+         J.Float
+           (float_of_int result.Impact_sim.Sim.dyn_insns
+           /. float_of_int (max 1 result.Impact_sim.Sim.cycles)) );
+     ]
+    @ sim_fields
+    @ [
+        ( "counters",
+          J.Obj (List.map (fun (k, v) -> (k, J.Int v)) rep.Obs.r_counters) );
+        ( "spans",
+          J.List
+            (List.map
+               (fun (s : Obs.span_total) ->
+                 J.Obj
+                   [
+                     ("name", J.Str s.Obs.sp_name);
+                     ("calls", J.Int s.Obs.sp_calls);
+                     ("busy_ms", J.Float (s.Obs.sp_total_s *. 1e3));
+                   ])
+               rep.Obs.r_spans) );
+        ( "pipeline",
+          J.List
+            (List.map
+               (fun r -> J.Str (Impact_pipe.Pipe.report_to_string r))
+               pipe_reports) );
+        ("level_matrix", json_of_matrix rows);
+      ])
 
 let profile_loop_arg =
   Arg.(
@@ -448,7 +637,7 @@ let profile_loop_arg =
     & info [] ~docv:"NAME" ~doc:"Loop nest name from Table 2.")
 
 let profile_cmd =
-  let run name co =
+  let run name json_out co =
     let w = find_workload name in
     Obs.reset ();
     Obs.set_collecting true;
@@ -464,30 +653,43 @@ let profile_cmd =
       | `List -> (Compile.schedule_with opts machine tp, [])
       | `Pipe -> Impact_pipe.Pipe.run_with_report machine tp
     in
-    let result, print_sim_sections =
+    (* Pass telemetry ([rep]) is captured right after the profiled run,
+       before the level-matrix sweep recompiles the kernel and would
+       pollute the counters. *)
+    let result, rep, rows, print_sim_sections, sim_fields =
       match machine.Machine.core with
       | Machine.Inorder ->
         let result, prof = Impact_sim.Sim.run_profiled machine scheduled in
+        let rep = Obs.report () in
+        let rows = level_matrix_rows w opts in
         ( result,
-          fun () ->
+          rep,
+          rows,
+          (fun () ->
             print_stall_table prof;
             print_newline ();
             print_ilp_histogram prof;
             print_newline ();
             print_hot_insns prof;
             print_newline ();
-            print_level_matrix w opts )
+            print_level_matrix rows),
+          inorder_sim_json prof )
       | Machine.Ooo _ as core ->
         let result, prof = Impact_ooo.Ooo.run_profiled machine scheduled in
+        let rep = Obs.report () in
+        let rows = ooo_level_matrix_rows w opts ~core in
         ( result,
-          fun () ->
+          rep,
+          rows,
+          (fun () ->
             print_ooo_stall_table prof;
             print_newline ();
             print_ooo_ilp_histogram prof;
             print_newline ();
             print_ooo_hot_insns prof;
             print_newline ();
-            print_ooo_level_matrix w opts ~core )
+            print_ooo_level_matrix rows),
+          ooo_sim_json prof )
     in
     Printf.printf "profile %s at %s on %s%s\n" name (Level.to_string co.co_level)
       machine.Machine.name
@@ -496,7 +698,6 @@ let profile_cmd =
       result.Impact_sim.Sim.cycles result.Impact_sim.Sim.dyn_insns
       (float_of_int result.Impact_sim.Sim.dyn_insns
       /. float_of_int result.Impact_sim.Sim.cycles);
-    let rep = Obs.report () in
     Printf.printf "pass telemetry (this compile)\n";
     List.iter
       (fun (k, v) -> Printf.printf "  %-42s %8d\n" k v)
@@ -516,14 +717,36 @@ let profile_cmd =
         (fun r -> Printf.printf "  %s\n" (Impact_pipe.Pipe.report_to_string r))
         rs;
       print_newline ());
-    print_sim_sections ()
+    print_sim_sections ();
+    match json_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (J.to_string
+           (profile_json ~name ~co ~machine ~result ~rep ~pipe_reports ~rows
+              sim_fields));
+      output_char oc '\n';
+      close_out oc;
+      Printf.eprintf "wrote %s\n%!" path
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also write the full profile as machine-readable JSON (schema \
+             $(b,impact-profile/1)) to $(docv): identity, cycles/ipc, the \
+             slot-attribution stall table, ILP histogram, hottest \
+             instructions, pass telemetry and the level x issue matrix.")
   in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
          "Report stall attribution, ILP histogram and pass telemetry for one \
           loop nest")
-    Term.(const run $ profile_loop_arg $ common_opts_term)
+    Term.(const run $ profile_loop_arg $ json_arg $ common_opts_term)
 
 (* -- run-file / show-file -- *)
 
@@ -619,7 +842,8 @@ let parse_listen s =
     | Some p when p >= 0 && host <> "" -> (host, p)
     | _ -> fail ())
 
-let serve_listen ~store ~jobs ~queue_depth ~deadline_ms ~max_line hostport =
+let serve_listen ~store ~jobs ~queue_depth ~deadline_ms ~max_line ~access_log
+    ~trace_sample ~trace_out hostport =
   let host, port = parse_listen hostport in
   let faults =
     match Impact_net.Faults.of_env () with
@@ -638,11 +862,13 @@ let serve_listen ~store ~jobs ~queue_depth ~deadline_ms ~max_line hostport =
       deadline_ms;
       max_line;
       faults;
+      access_log;
+      trace_sample;
     }
   in
   let t = Impact_net.Listener.start cfg in
   Printf.eprintf
-    "impactc serve: listening on %s:%d (workers %d, queue %d%s%s%s)\n%!" host
+    "impactc serve: listening on %s:%d (workers %d, queue %d%s%s%s%s%s)\n%!" host
     (Impact_net.Listener.port t)
     (match jobs with Some j -> j | None -> Impact_exec.Pool.resolve_workers ())
     queue_depth
@@ -652,7 +878,13 @@ let serve_listen ~store ~jobs ~queue_depth ~deadline_ms ~max_line hostport =
     (if Impact_net.Faults.active faults then
        ", faults " ^ Impact_net.Faults.to_string faults
      else "")
-    (match store with None -> ", cache off" | Some _ -> "");
+    (match store with None -> ", cache off" | Some _ -> "")
+    (match access_log with
+    | Some path -> ", access-log " ^ path
+    | None -> "")
+    (match trace_sample with
+    | Some n -> Printf.sprintf ", trace 1/%d" n
+    | None -> "");
   let handler = Sys.Signal_handle (fun _ -> Impact_net.Listener.stop t) in
   Sys.set_signal Sys.sigterm handler;
   Sys.set_signal Sys.sigint handler;
@@ -665,10 +897,37 @@ let serve_listen ~store ~jobs ~queue_depth ~deadline_ms ~max_line hostport =
     s.Impact_net.Listener.responses s.Impact_net.Listener.shed
     s.Impact_net.Listener.deadlined s.Impact_net.Listener.too_long
     s.Impact_net.Listener.dropped_conns;
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+    Obs.write_trace path;
+    Printf.eprintf "impactc serve: wrote %s (%d trace events, %d dropped)\n%!"
+      path
+      (List.length (Obs.events ()))
+      (Obs.events_dropped ()));
   print_cache_stats store
 
 let serve_cmd =
-  let run file listen cache_dir no_cache jobs queue_depth deadline_ms max_line =
+  let run file listen cache_dir no_cache jobs queue_depth deadline_ms max_line
+      access_log trace_sample trace_out =
+    (match listen with
+    | None when access_log <> None || trace_sample <> None || trace_out <> None
+      ->
+      Printf.eprintf
+        "impactc serve: --access-log/--trace-sample/--trace-out require \
+         --listen\n";
+      exit 2
+    | _ -> ());
+    (match trace_sample with
+    | Some n when n < 1 ->
+      Printf.eprintf "impactc serve: --trace-sample expects N >= 1, got %d\n" n;
+      exit 2
+    | Some _ when trace_out = None ->
+      Printf.eprintf
+        "impactc serve: --trace-sample records spans but --trace-out FILE is \
+         needed to write them\n";
+      exit 2
+    | _ -> ());
     let store =
       if no_cache then None
       else Some (Impact_svc.Store.open_store cache_dir)
@@ -681,7 +940,8 @@ let serve_cmd =
     Obs.set_collecting true;
     match listen with
     | Some hostport ->
-      serve_listen ~store ~jobs ~queue_depth ~deadline_ms ~max_line hostport
+      serve_listen ~store ~jobs ~queue_depth ~deadline_ms ~max_line ~access_log
+        ~trace_sample ~trace_out hostport
     | None ->
       let ic = match file with None -> stdin | Some f -> open_in f in
       Fun.protect
@@ -763,6 +1023,37 @@ let serve_cmd =
              answered with a $(b,line too long) record and discarded without \
              buffering.")
   in
+  let access_log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"FILE"
+          ~doc:
+            "With $(b,--listen): write one JSON record per answered request \
+             line to $(docv) (JSONL; truncated at start, closed at drain) \
+             carrying connection and line ids, outcome, cache disposition and \
+             the total/queue/eval/write latency breakdown in milliseconds.")
+  in
+  let trace_sample_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace-sample" ] ~docv:"N"
+          ~doc:
+            "With $(b,--listen): record Chrome-trace request/queue/eval/write \
+             spans for 1-in-$(docv) connections (one Perfetto row per sampled \
+             connection); requires $(b,--trace-out) to write the trace file.")
+  in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "With $(b,--listen): write the recorded trace events as Chrome \
+             trace_event JSON to $(docv) after the drain completes (open in \
+             Perfetto).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -773,7 +1064,8 @@ let serve_cmd =
           the exit code is 0 even when individual queries fail.")
     Term.(
       const run $ file_arg $ listen_arg $ cache_dir_arg $ no_cache_arg $ jobs_arg
-      $ queue_depth_arg $ deadline_arg $ max_line_arg)
+      $ queue_depth_arg $ deadline_arg $ max_line_arg $ access_log_arg
+      $ trace_sample_arg $ trace_out_arg)
 
 let () =
   let doc = "IMPACT-style ILP transformation compiler (SC'92 reproduction)" in

@@ -98,6 +98,18 @@ type executor = {
   mutable ex_running : int;  (* jobs currently executing *)
   mutable ex_closed : bool;
   mutable ex_domains : unit Domain.t list;
+  (* Lifetime accounting, all guarded by [ex_mutex]. *)
+  mutable ex_submitted : int;  (* jobs accepted by [submit] *)
+  mutable ex_completed : int;  (* jobs that finished running *)
+  mutable ex_rejected : int;  (* submissions refused (queue full / closed) *)
+  mutable ex_peak_queue : int;  (* high-water mark of the pending queue *)
+}
+
+type executor_stats = {
+  submitted : int;
+  completed : int;
+  rejected : int;
+  peak_queue : int;
 }
 
 let create_executor ?workers ~queue_depth () =
@@ -112,6 +124,10 @@ let create_executor ?workers ~queue_depth () =
       ex_running = 0;
       ex_closed = false;
       ex_domains = [];
+      ex_submitted = 0;
+      ex_completed = 0;
+      ex_rejected = 0;
+      ex_peak_queue = 0;
     }
   in
   let worker () =
@@ -134,6 +150,7 @@ let create_executor ?workers ~queue_depth () =
         (try f () with _ -> ());
         Mutex.lock ex.ex_mutex;
         ex.ex_running <- ex.ex_running - 1;
+        ex.ex_completed <- ex.ex_completed + 1;
         Mutex.unlock ex.ex_mutex;
         next ()
     in
@@ -147,8 +164,11 @@ let submit ex f =
   let ok = (not ex.ex_closed) && Queue.length ex.ex_queue < ex.ex_capacity in
   if ok then begin
     Queue.add f ex.ex_queue;
+    ex.ex_submitted <- ex.ex_submitted + 1;
+    ex.ex_peak_queue <- max ex.ex_peak_queue (Queue.length ex.ex_queue);
     Condition.signal ex.ex_work
-  end;
+  end
+  else ex.ex_rejected <- ex.ex_rejected + 1;
   Mutex.unlock ex.ex_mutex;
   ok
 
@@ -163,6 +183,19 @@ let running ex =
   let n = ex.ex_running in
   Mutex.unlock ex.ex_mutex;
   n
+
+let executor_stats ex =
+  Mutex.lock ex.ex_mutex;
+  let s =
+    {
+      submitted = ex.ex_submitted;
+      completed = ex.ex_completed;
+      rejected = ex.ex_rejected;
+      peak_queue = ex.ex_peak_queue;
+    }
+  in
+  Mutex.unlock ex.ex_mutex;
+  s
 
 let executor_workers ex = ex.ex_workers
 

@@ -47,6 +47,18 @@ val queue_length : executor -> int
 val running : executor -> int
 (** Jobs currently executing. *)
 
+type executor_stats = {
+  submitted : int;  (** jobs accepted by {!submit} over the lifetime *)
+  completed : int;  (** jobs that finished running *)
+  rejected : int;  (** submissions refused (queue full or shut down) *)
+  peak_queue : int;  (** high-water mark of the pending queue *)
+}
+
+val executor_stats : executor -> executor_stats
+(** Lifetime accounting snapshot; the occupancy counterpart to the
+    instantaneous {!queue_length}/{!running}. Feeds the serve tier's
+    [{"op": "metrics"}] executor object. *)
+
 val executor_workers : executor -> int
 
 val executor_capacity : executor -> int

@@ -13,6 +13,8 @@ type config = {
   max_line : int;
   faults : Faults.t;
   store : Store.t option;
+  access_log : string option;  (* JSONL per-request timing log *)
+  trace_sample : int option;  (* trace spans for 1-in-N connections *)
 }
 
 let default_config ?store () =
@@ -25,6 +27,8 @@ let default_config ?store () =
     max_line = Service.default_max_line;
     faults = Faults.none;
     store;
+    access_log = None;
+    trace_sample = None;
   }
 
 type stats = {
@@ -61,6 +65,8 @@ type t = {
   c_deadlined : int Atomic.t;
   c_too_long : int Atomic.t;
   c_dropped : int Atomic.t;
+  access : out_channel option;
+  access_m : Mutex.t;
 }
 
 let port t = t.lport
@@ -102,22 +108,27 @@ let deadline_record ~line ~deadline_ms =
     ~detail:
       (Printf.sprintf "deadline of %d ms exceeded before evaluation" deadline_ms)
 
+(* Cache statistics, shared by the health and metrics records. The
+   [stale] count (format-version rollovers read as misses) is surfaced
+   here so a rollover is visible in production, not just in bench
+   stderr. *)
+let cache_json t =
+  match t.cfg.store with
+  | None -> Json.Null
+  | Some st ->
+    let s = Store.stats st in
+    Json.Obj
+      [
+        ("hits", Json.Int (Store.hits s));
+        ("mem_hits", Json.Int s.Store.mem_hits);
+        ("disk_hits", Json.Int s.Store.disk_hits);
+        ("misses", Json.Int s.Store.misses);
+        ("stores", Json.Int s.Store.stores);
+        ("corrupt", Json.Int s.Store.corrupt);
+        ("stale", Json.Int s.Store.stale);
+      ]
+
 let health_record t ~line =
-  let cache =
-    match t.cfg.store with
-    | None -> Json.Null
-    | Some st ->
-      let s = Store.stats st in
-      Json.Obj
-        [
-          ("hits", Json.Int (Store.hits s));
-          ("mem_hits", Json.Int s.Store.mem_hits);
-          ("disk_hits", Json.Int s.Store.disk_hits);
-          ("misses", Json.Int s.Store.misses);
-          ("stores", Json.Int s.Store.stores);
-          ("corrupt", Json.Int s.Store.corrupt);
-        ]
-  in
   let active = Mutex.protect t.m (fun () -> t.active) in
   Json.to_string
     (Json.Obj
@@ -137,13 +148,200 @@ let health_record t ~line =
          ("shed", Json.Int (Atomic.get t.c_shed));
          ("deadline", Json.Int (Atomic.get t.c_deadlined));
          ("draining", Json.Bool (Atomic.get t.draining));
-         ("cache", cache);
+         ("cache", cache_json t);
        ])
 
-let is_health raw =
+(* One histogram as JSON: exact integer state (count, sum, sparse
+   buckets) plus the extracted percentiles the dashboards want. The
+   overflow bucket renders its bound as [null]. *)
+let hist_json (h : Obs.Hist.snapshot) =
+  let le = ref [] and n = ref [] in
+  for k = Obs.Hist.buckets - 1 downto 0 do
+    if h.Obs.Hist.h_buckets.(k) > 0 then begin
+      le :=
+        (if k < Array.length Obs.Hist.bounds then Json.Float Obs.Hist.bounds.(k)
+         else Json.Null)
+        :: !le;
+      n := Json.Int h.Obs.Hist.h_buckets.(k) :: !n
+    end
+  done;
+  let p q = Json.Float (Obs.Hist.percentile h q *. 1e3) in
+  Json.Obj
+    [
+      ("count", Json.Int h.Obs.Hist.h_count);
+      ("sum_ms", Json.Float (float_of_int h.Obs.Hist.h_sum_ns *. 1e-6));
+      ("p50_ms", p 50.0);
+      ("p90_ms", p 90.0);
+      ("p99_ms", p 99.0);
+      ("p999_ms", p 99.9);
+      ("buckets", Json.Obj [ ("le_s", Json.List !le); ("count", Json.List !n) ]);
+    ]
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* The full observability snapshot behind [{"op": "metrics"}]: request
+   latency histograms, executor occupancy and lifetime accounting,
+   request counters and cache statistics — one JSON line, served inline
+   so it stays readable under full overload, exactly like health. *)
+let metrics_record t ~line =
+  let active = Mutex.protect t.m (fun () -> t.active) in
+  let ex = Pool.executor_stats t.exec in
+  let hists =
+    List.filter
+      (fun (h : Obs.Hist.snapshot) ->
+        starts_with ~prefix:"serve." h.Obs.Hist.h_name)
+      (Obs.Hist.snapshot ())
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("ok", Json.Bool true);
+         ("line", Json.Int line);
+         ("op", Json.Str "metrics");
+         ("uptime_s", Json.Float (Obs.now () -. t.started_at));
+         ("conns", Json.Int active);
+         ("draining", Json.Bool (Atomic.get t.draining));
+         ( "executor",
+           Json.Obj
+             [
+               ("queue_depth", Json.Int (Pool.queue_length t.exec));
+               ("queue_capacity", Json.Int t.cfg.queue_depth);
+               ("running", Json.Int (Pool.running t.exec));
+               ("workers", Json.Int (Pool.executor_workers t.exec));
+               ("submitted", Json.Int ex.Pool.submitted);
+               ("completed", Json.Int ex.Pool.completed);
+               ("rejected", Json.Int ex.Pool.rejected);
+               ("peak_queue", Json.Int ex.Pool.peak_queue);
+             ] );
+         ( "counters",
+           Json.Obj
+             [
+               ("accepted", Json.Int (Atomic.get t.c_accepted));
+               ("requests", Json.Int (Atomic.get t.c_requests));
+               ("responses", Json.Int (Atomic.get t.c_responses));
+               ("shed", Json.Int (Atomic.get t.c_shed));
+               ("deadline", Json.Int (Atomic.get t.c_deadlined));
+               ("too_long", Json.Int (Atomic.get t.c_too_long));
+               ("dropped_conns", Json.Int (Atomic.get t.c_dropped));
+             ] );
+         ("cache", cache_json t);
+         ( "histograms",
+           Json.Obj
+             (List.map
+                (fun (h : Obs.Hist.snapshot) -> (h.Obs.Hist.h_name, hist_json h))
+                hists) );
+       ])
+
+(* Queue-bypassing introspection ops, answered inline on the reader
+   thread so they work under full overload. *)
+let inline_op raw =
   match Json.parse raw with
-  | Ok j -> Json.member "op" j = Some (Json.Str "health")
-  | Error _ -> false
+  | Ok j -> (
+    match Json.member "op" j with
+    | Some (Json.Str "health") -> Some `Health
+    | Some (Json.Str "metrics") -> Some `Metrics
+    | _ -> None)
+  | Error _ -> None
+
+(* ---- Request lifecycle ----
+
+   Every answered line carries one of these through the cell queue: the
+   reader stamps read/admit, the worker stamps eval start/done (and the
+   outcome), and the writer — the only place that knows when the bytes
+   actually left — closes it out: histograms, the access log and the
+   sampled trace spans are all fed at write-flush time. *)
+
+type lifecycle = {
+  lc_conn : int;
+  lc_line : int;
+  lc_read : float;  (* request line fully read *)
+  mutable lc_admit : float;  (* accepted by the executor queue *)
+  mutable lc_start : float;  (* evaluation started *)
+  mutable lc_done : float;  (* response text ready *)
+  mutable lc_kind : string;  (* query | health | metrics | too_long *)
+  mutable lc_outcome : string;  (* ok | error | shed | deadline *)
+  mutable lc_cache : string option;  (* hit | miss | off *)
+  mutable lc_loop : string option;
+}
+
+let lifecycle ~conn ~line ~kind t_read =
+  {
+    lc_conn = conn;
+    lc_line = line;
+    lc_read = t_read;
+    lc_admit = t_read;
+    lc_start = t_read;
+    lc_done = t_read;
+    lc_kind = kind;
+    lc_outcome = "ok";
+    lc_cache = None;
+    lc_loop = None;
+  }
+
+let opt_str = function None -> Json.Null | Some s -> Json.Str s
+
+(* Close out one request at write-flush time [t1]: feed the latency
+   histograms (total split by outcome; queue wait and eval time for
+   requests that went through the executor), append the access-log
+   record, and emit Chrome-trace spans when this connection is
+   sampled. *)
+let finish_lifecycle t lc ~t1 ~bytes ~wrote ~sampled =
+  let queued = lc.lc_kind = "query" && lc.lc_outcome <> "shed" in
+  let evaluated = queued && lc.lc_outcome <> "deadline" in
+  Obs.Hist.observe ("serve.latency.total." ^ lc.lc_outcome) (t1 -. lc.lc_read);
+  if queued then Obs.Hist.observe "serve.latency.queue" (lc.lc_start -. lc.lc_admit);
+  if evaluated then Obs.Hist.observe "serve.latency.eval" (lc.lc_done -. lc.lc_start);
+  Obs.Hist.observe "serve.latency.write" (t1 -. lc.lc_done);
+  (match t.access with
+  | None -> ()
+  | Some ch ->
+    let ms a b = Json.Float (Float.max 0.0 ((b -. a) *. 1e3)) in
+    let record =
+      Json.Obj
+        [
+          ("ts_s", Json.Float (lc.lc_read -. t.started_at));
+          ("conn", Json.Int lc.lc_conn);
+          ("line", Json.Int lc.lc_line);
+          ("event", Json.Str lc.lc_kind);
+          ("outcome", Json.Str lc.lc_outcome);
+          ("cache", opt_str lc.lc_cache);
+          ("loop", opt_str lc.lc_loop);
+          ("total_ms", ms lc.lc_read t1);
+          ("queue_ms", if queued then ms lc.lc_admit lc.lc_start else Json.Null);
+          ("eval_ms", if evaluated then ms lc.lc_start lc.lc_done else Json.Null);
+          ("write_ms", ms lc.lc_done t1);
+          ("bytes", Json.Int bytes);
+          ("wrote", Json.Bool wrote);
+        ]
+    in
+    Mutex.protect t.access_m (fun () ->
+      output_string ch (Json.to_string record);
+      output_char ch '\n';
+      flush ch));
+  if sampled then begin
+    let label =
+      match lc.lc_loop with
+      | Some l -> Printf.sprintf "req %s" l
+      | None -> Printf.sprintf "req %s" lc.lc_kind
+    in
+    let args =
+      [
+        ("line", string_of_int lc.lc_line);
+        ("outcome", lc.lc_outcome);
+        ("cache", Option.value ~default:"-" lc.lc_cache);
+      ]
+    in
+    Obs.event ~cat:"serve" ~args ~tid:lc.lc_conn label ~t0:lc.lc_read ~t1;
+    if queued then
+      Obs.event ~cat:"serve" ~tid:lc.lc_conn "queue" ~t0:lc.lc_admit
+        ~t1:lc.lc_start;
+    if evaluated then
+      Obs.event ~cat:"serve" ~tid:lc.lc_conn "eval" ~t0:lc.lc_start
+        ~t1:lc.lc_done;
+    Obs.event ~cat:"serve" ~tid:lc.lc_conn "write" ~t0:lc.lc_done ~t1
+  end
 
 (* ---- Per-connection machinery ----
 
@@ -154,10 +352,15 @@ let is_health raw =
    queue head — so pipelined evaluation may complete out of order while
    the wire order never does. *)
 
-type cell = { mutable resp : string option }
+type cell = { mutable resp : string option; lc : lifecycle }
 
 let handle_conn t conn_id fd =
   let cfg = t.cfg in
+  let sampled =
+    match cfg.trace_sample with
+    | Some n when n > 0 -> conn_id mod n = 0
+    | _ -> false
+  in
   let rd_faults = Faults.stream cfg.faults ~conn:conn_id ~channel:0 in
   let wr_faults = Faults.stream cfg.faults ~conn:conn_id ~channel:1 in
   let m = Mutex.create () in
@@ -165,13 +368,14 @@ let handle_conn t conn_id fd =
   let out : cell Queue.t = Queue.create () in
   let done_reading = ref false in
   let fill cell resp =
+    cell.lc.lc_done <- Obs.now ();
     Mutex.lock m;
     cell.resp <- Some resp;
     Condition.broadcast ready;
     Mutex.unlock m
   in
-  let push () =
-    let c = { resp = None } in
+  let push lc =
+    let c = { resp = None; lc } in
     Mutex.lock m;
     Queue.add c out;
     Mutex.unlock m;
@@ -197,9 +401,7 @@ let handle_conn t conn_id fd =
       let rec take () =
         if not (Queue.is_empty out) then begin
           match (Queue.peek out).resp with
-          | Some r ->
-            ignore (Queue.pop out);
-            Some r
+          | Some _ -> Some (Queue.pop out)
           | None ->
             Condition.wait ready m;
             take ()
@@ -214,7 +416,9 @@ let handle_conn t conn_id fd =
       Mutex.unlock m;
       match job with
       | None -> ()
-      | Some resp ->
+      | Some cell ->
+        let resp = Option.get cell.resp in
+        let wrote = ref false in
         if !alive then
           if Faults.drop_conn wr_faults then begin
             (* Mid-line disconnect: half the response, then sever both
@@ -226,8 +430,16 @@ let handle_conn t conn_id fd =
           end
           else begin
             write_all (resp ^ "\n");
-            if !alive then bump t.c_responses "net.response"
+            if !alive then begin
+              bump t.c_responses "net.response";
+              wrote := true
+            end
           end;
+        (* Every consumed cell is closed out — including responses a
+           severed connection never saw — so the access log carries
+           exactly one record per answered request line. *)
+        finish_lifecycle t cell.lc ~t1:(Obs.now ())
+          ~bytes:(String.length resp) ~wrote:!wrote ~sampled;
         next ()
     in
     next ()
@@ -235,22 +447,27 @@ let handle_conn t conn_id fd =
   let wt = Thread.create writer () in
   (* Read side. *)
   let lineno = ref 0 in
-  let handle_request raw =
+  let handle_request ~t_read raw =
     let line = !lineno in
     bump t.c_requests "net.request";
     if Faults.slow_read rd_faults then begin
       Obs.count "net.fault.slow_read";
       Faults.delay rd_faults
     end;
-    if is_health raw then begin
+    match inline_op raw with
+    | Some `Health ->
       Obs.count "net.health";
-      let c = push () in
+      let c = push (lifecycle ~conn:conn_id ~line ~kind:"health" t_read) in
       fill c (health_record t ~line)
-    end
-    else begin
+    | Some `Metrics ->
+      Obs.count "net.metrics";
+      let c = push (lifecycle ~conn:conn_id ~line ~kind:"metrics" t_read) in
+      fill c (metrics_record t ~line)
+    | None ->
       let slow = Faults.slow_cell rd_faults in
       if slow then Obs.count "net.fault.slow_cell";
-      let c = push () in
+      let lc = lifecycle ~conn:conn_id ~line ~kind:"query" t_read in
+      let c = push lc in
       let arrival = Obs.now () in
       let expired () =
         match cfg.deadline_ms with
@@ -260,37 +477,54 @@ let handle_conn t conn_id fd =
       let answer () =
         if expired () then begin
           bump t.c_deadlined "net.deadline";
+          lc.lc_outcome <- "deadline";
           deadline_record ~line ~deadline_ms:(Option.get cfg.deadline_ms)
         end
         else begin
           if slow then Faults.delay rd_faults;
           if expired () then begin
             bump t.c_deadlined "net.deadline";
+            lc.lc_outcome <- "deadline";
             deadline_record ~line ~deadline_ms:(Option.get cfg.deadline_ms)
           end
-          else Service.answer_line ~store:cfg.store ~line raw
+          else begin
+            let a = Service.answer_line_ex ~store:cfg.store ~line raw in
+            lc.lc_outcome <- (if a.Service.a_ok then "ok" else "error");
+            lc.lc_cache <- a.Service.a_cache;
+            lc.lc_loop <- a.Service.a_loop;
+            a.Service.a_text
+          end
         end
       in
       let job () =
+        lc.lc_start <- Obs.now ();
         fill c
           (try answer ()
            with e ->
+             lc.lc_outcome <- "error";
              error_json ~line ~error:"internal error" ~detail:(Printexc.to_string e))
       in
+      lc.lc_admit <- Obs.now ();
       if not (Pool.submit t.exec job) then begin
         bump t.c_shed "net.shed";
+        lc.lc_outcome <- "shed";
+        let now = Obs.now () in
+        lc.lc_admit <- now;
+        lc.lc_start <- now;
         fill c (overloaded_record ~line ~capacity:cfg.queue_depth)
       end
-    end
   in
   let handle_line item =
     incr lineno;
+    let t_read = Obs.now () in
     match item with
     | `Over ->
       bump t.c_too_long "net.too_long";
-      let c = push () in
+      let lc = lifecycle ~conn:conn_id ~line:!lineno ~kind:"too_long" t_read in
+      lc.lc_outcome <- "error";
+      let c = push lc in
       fill c (Service.too_long_record ~line:!lineno ~max_line:cfg.max_line)
-    | `Raw raw -> if String.trim raw <> "" then handle_request raw
+    | `Raw raw -> if String.trim raw <> "" then handle_request ~t_read raw
   in
   let buf = Bytes.create 4096 in
   let pend = Buffer.create 256 in
@@ -375,6 +609,9 @@ let accept_loop t =
   done;
   Mutex.unlock t.m;
   Pool.shutdown_executor t.exec;
+  (match t.access with
+  | Some ch -> Mutex.protect t.access_m (fun () -> try close_out ch with _ -> ())
+  | None -> ());
   (try Unix.close t.stop_r with _ -> ());
   (try Unix.close t.stop_w with _ -> ());
   Atomic.set t.finished true
@@ -404,6 +641,16 @@ let start cfg =
     | Unix.ADDR_INET (_, p) -> p
     | _ -> cfg.port
   in
+  let access =
+    match cfg.access_log with
+    | None -> None
+    | Some path -> (
+      match open_out path with
+      | ch -> Some ch
+      | exception e ->
+        (try Unix.close lfd with _ -> ());
+        raise e)
+  in
   let stop_r, stop_w = Unix.pipe ~cloexec:true () in
   let t =
     {
@@ -430,6 +677,8 @@ let start cfg =
       c_deadlined = Atomic.make 0;
       c_too_long = Atomic.make 0;
       c_dropped = Atomic.make 0;
+      access;
+      access_m = Mutex.create ();
     }
   in
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());

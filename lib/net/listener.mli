@@ -25,8 +25,22 @@
       same ["line too long"] record the batch service emits;
     - [{"op": "health"}] requests bypass the admission queue and are
       answered inline with queue depth, worker occupancy, request
-      counters, uptime and cache statistics — so health stays
-      observable under full overload.
+      counters, uptime and cache statistics (including the [stale]
+      format-version-rollover count) — so health stays observable under
+      full overload;
+    - [{"op": "metrics"}] likewise bypasses the queue and returns the
+      full observability snapshot: the [serve.latency.*] histograms
+      (total latency split by outcome, queue wait, eval time, write
+      time — exact integer bucket counts plus extracted
+      p50/p90/p99/p999), executor occupancy and lifetime accounting
+      (submitted/completed/rejected/peak queue), request counters and
+      cache statistics.
+
+    Every answered request line carries a lifecycle record stamped at
+    read, queue-admit, eval-start, eval-end and write-flush; the writer
+    thread closes it out into the histograms, the optional access log
+    ([config.access_log]) and, for sampled connections
+    ([config.trace_sample]), Chrome-trace spans.
 
     {!stop} begins a graceful drain: the listening socket closes, the
     read side of every open connection is shut down, requests already
@@ -51,12 +65,22 @@ type config = {
   max_line : int;  (** request-line byte bound *)
   faults : Faults.t;
   store : Impact_svc.Store.t option;  (** measurement cache, if any *)
+  access_log : string option;
+      (** write one JSON record per answered request line to this file
+          (truncated at start, closed at drain): read timestamp, conn
+          and line ids, event kind, outcome, cache disposition, loop,
+          and the total/queue/eval/write timing breakdown in ms *)
+  trace_sample : int option;
+      (** [Some n] records Chrome-trace spans (req/queue/eval/write,
+          one Perfetto row per connection) for 1-in-[n] connections via
+          {!Impact_obs.Obs.event}; the caller writes them out with
+          {!Impact_obs.Obs.write_trace} after {!wait} *)
 }
 
 val default_config : ?store:Impact_svc.Store.t -> unit -> config
 (** Loopback host, ephemeral port, pool-default workers, queue depth
     64, no deadline, {!Impact_svc.Service.default_max_line}, no
-    faults. *)
+    faults, no access log, no trace sampling. *)
 
 type t
 

@@ -55,6 +55,14 @@ let locked f =
 
 let events_rev : event list ref = ref []
 
+(* Bound the trace buffer so a long-running sampled server cannot grow
+   it without limit; drops are counted and reported by [events_dropped]. *)
+let max_events = 2_000_000
+
+let n_events = ref 0
+
+let events_dropped_count = ref 0
+
 let notes_rev : (string * string) list ref = ref []
 
 let span_tbl : (string, float * int) Hashtbl.t = Hashtbl.create 64
@@ -72,18 +80,31 @@ let add_span_total name dur =
     in
     Hashtbl.replace span_tbl name (total +. dur, calls + 1))
 
-let push_event ~cat ~args name ~t0 ~t1 =
+let push_event ?tid:tid_opt ~cat ~args name ~t0 ~t1 =
   let ev =
     {
       ename = name;
       ecat = cat;
       ets_us = t0 *. 1e6;
       edur_us = (t1 -. t0) *. 1e6;
-      etid = tid ();
+      etid = (match tid_opt with Some t -> t | None -> tid ());
       eargs = args;
     }
   in
-  locked (fun () -> events_rev := ev :: !events_rev)
+  locked (fun () ->
+    if !n_events < max_events then begin
+      events_rev := ev :: !events_rev;
+      incr n_events
+    end
+    else incr events_dropped_count)
+
+(* Sampler-decided event recording: unconditional, so a caller that
+   samples 1-in-N connections can record spans while the global tracing
+   switch stays off (and the compiler hot paths stay unperturbed). *)
+let event ?(cat = "") ?(args = []) ?tid name ~t0 ~t1 =
+  push_event ?tid ~cat ~args name ~t0 ~t1
+
+let events_dropped () = locked (fun () -> !events_dropped_count)
 
 (* Shared close-out for span/emit/stage. *)
 let finish ~cat ~args ~as_stage name t0 =
@@ -152,13 +173,118 @@ let report () =
       r_notes = List.rev !notes_rev;
     })
 
+(* ---- Latency histograms ----
+
+   Log-bucketed, fixed boundaries, always on (like the stage
+   accumulators): the only recording sites are the serve tier's
+   per-request paths, where one mutex-guarded array increment per
+   request is negligible. Everything aggregated is an integer
+   (bucket counts, value count, sum in nanoseconds), so merging is a
+   commutative, associative sum and snapshots are bit-identical for any
+   worker count, recording interleaving or merge order. *)
+
+module Hist = struct
+  (* 5 buckets per decade from 1 us to 100 s: upper bounds
+     10^(k/5 - 6) for k = 0..40, resolution ratio 10^(1/5) ~ 1.58x.
+     One final overflow bucket catches anything above 100 s. *)
+  let bounds = Array.init 41 (fun k -> 10.0 ** ((float_of_int k /. 5.0) -. 6.0))
+
+  let buckets = Array.length bounds + 1
+
+  type snapshot = {
+    h_name : string;
+    h_count : int;
+    h_sum_ns : int;
+    h_buckets : int array;  (* length [buckets]; last is overflow *)
+  }
+
+  (* name -> (bucket counts, value count, sum ns); guarded by [m]. *)
+  let tbl : (string, int array * int ref * int ref) Hashtbl.t = Hashtbl.create 16
+
+  let bucket_of v =
+    (* First bound >= v; bounds are sorted so a binary search would do,
+       but 41 entries make a linear scan perfectly fine and simpler. *)
+    let rec go k =
+      if k >= Array.length bounds then Array.length bounds
+      else if v <= bounds.(k) then k
+      else go (k + 1)
+    in
+    go 0
+
+  let observe name seconds =
+    let v = if Float.is_nan seconds || seconds < 0.0 then 0.0 else seconds in
+    let k = bucket_of v in
+    let ns = int_of_float (Float.round (v *. 1e9)) in
+    locked (fun () ->
+      let counts, count, sum =
+        match Hashtbl.find_opt tbl name with
+        | Some entry -> entry
+        | None ->
+          let entry = (Array.make buckets 0, ref 0, ref 0) in
+          Hashtbl.add tbl name entry;
+          entry
+      in
+      counts.(k) <- counts.(k) + 1;
+      incr count;
+      sum := !sum + ns)
+
+  let snapshot () =
+    locked (fun () ->
+      Hashtbl.fold
+        (fun name (counts, count, sum) acc ->
+          { h_name = name; h_count = !count; h_sum_ns = !sum;
+            h_buckets = Array.copy counts }
+          :: acc)
+        tbl []
+      |> List.sort (fun a b -> String.compare a.h_name b.h_name))
+
+  let find name = List.find_opt (fun s -> s.h_name = name) (snapshot ())
+
+  let merge a b =
+    {
+      h_name = a.h_name;
+      h_count = a.h_count + b.h_count;
+      h_sum_ns = a.h_sum_ns + b.h_sum_ns;
+      h_buckets = Array.init buckets (fun k -> a.h_buckets.(k) + b.h_buckets.(k));
+    }
+
+  (* Exact nearest-rank extraction over the bucket counts: the value
+     returned is the upper bound of the bucket holding the ceil(p% * n)-th
+     smallest sample — deterministic, and within one bucket ratio
+     (~1.58x) of the true sample. The overflow bucket reports the last
+     finite bound. *)
+  let percentile s p =
+    if s.h_count <= 0 then 0.0
+    else begin
+      let rank =
+        let r = int_of_float (Float.ceil (float_of_int s.h_count *. p /. 100.0)) in
+        max 1 (min s.h_count r)
+      in
+      let rec go k seen =
+        if k >= buckets then bounds.(Array.length bounds - 1)
+        else
+          let seen = seen + s.h_buckets.(k) in
+          if seen >= rank then
+            if k < Array.length bounds then bounds.(k)
+            else bounds.(Array.length bounds - 1)
+          else go (k + 1) seen
+      in
+      go 0 0
+    end
+
+  let reset_tbl () = Hashtbl.reset tbl
+end
+
 let reset () =
   locked (fun () ->
     events_rev := [];
+    n_events := 0;
+    events_dropped_count := 0;
     notes_rev := [];
     Hashtbl.reset span_tbl;
     Hashtbl.reset counter_tbl;
-    Hashtbl.reset stage_tbl)
+    Hashtbl.reset stage_tbl;
+    Hist.reset_tbl ())
 
 (* ---- Chrome trace export ---- *)
 

@@ -63,6 +63,50 @@ val note : string -> string -> unit
 (** Record a free-form (name, text) line — e.g. one per-loop pipelining
     report. No-op unless collecting. *)
 
+(** {1 Latency histograms (always on)}
+
+    Log-bucketed histograms for the serve tier's request latencies.
+    Bucket boundaries are fixed at process start (5 per decade from
+    1 us to 100 s, ratio [10^(1/5)] ~ 1.58x, plus one overflow bucket),
+    increments are mutex-guarded integer adds, and sums are kept in
+    integer nanoseconds — so snapshots are bit-identical for any worker
+    count, recording interleaving or merge order, and percentile
+    extraction is an exact nearest-rank walk over the counts. *)
+
+module Hist : sig
+  val bounds : float array
+  (** Bucket upper bounds in seconds, strictly increasing. *)
+
+  val buckets : int
+  (** [Array.length bounds + 1]; the final bucket is the overflow. *)
+
+  type snapshot = {
+    h_name : string;
+    h_count : int;  (** values observed *)
+    h_sum_ns : int;  (** sum of observed values, integer nanoseconds *)
+    h_buckets : int array;  (** per-bucket counts, length {!buckets} *)
+  }
+
+  val observe : string -> float -> unit
+  (** [observe name seconds] adds one sample (clamped below at 0). *)
+
+  val snapshot : unit -> snapshot list
+  (** All histograms, sorted by name. *)
+
+  val find : string -> snapshot option
+
+  val merge : snapshot -> snapshot -> snapshot
+  (** Element-wise sum (the name is taken from the first argument).
+      Commutative and associative: any merge tree over the same
+      observations yields bit-identical snapshots. *)
+
+  val percentile : snapshot -> float -> float
+  (** [percentile s p] for [p] in [(0, 100]]: the upper bound (seconds)
+      of the bucket holding the [ceil(p/100 * count)]-th smallest
+      sample; [0.0] when the histogram is empty; the last finite bound
+      for samples in the overflow bucket. *)
+end
+
 (** {1 Stages (always on)} *)
 
 val stage : string -> (unit -> 'a) -> 'a
@@ -108,9 +152,28 @@ type event = {
   eargs : (string * string) list;
 }
 
+val event :
+  ?cat:string ->
+  ?args:(string * string) list ->
+  ?tid:int ->
+  string ->
+  t0:float ->
+  t1:float ->
+  unit
+(** Record one completed trace event {e unconditionally} — for callers
+    that make their own sampling decision (e.g. the TCP listener tracing
+    1-in-N connections) while the global tracing switch stays off.
+    [tid] overrides the recording domain id (sampled request spans use
+    the connection id, so Perfetto renders one row per connection). The
+    buffer is bounded; events past the cap are dropped and counted in
+    {!events_dropped}. *)
+
 val events : unit -> event list
 (** Buffered trace events in recording order, timestamps rebased so the
     earliest event starts at 0. *)
+
+val events_dropped : unit -> int
+(** Events discarded because the buffer cap was reached. *)
 
 val write_trace : string -> unit
 (** Write the buffered events to [path] as Chrome [trace_event] JSON

@@ -177,7 +177,10 @@ let measure_cell ~store (rq : request) q =
       Store.add st q m;
       ("miss", m))
 
-let response_of_request ~store ~line (rq : request) : Json.t =
+(* Returns the response object together with the cache disposition, so
+   the network layer can stamp its request-lifecycle records without
+   re-parsing the response. *)
+let response_of_request ~store ~line (rq : request) : Json.t * string =
   let q =
     Query.of_ast ~ast:rq.rq_loop.Impact_workloads.Suite.ast ~opts:rq.rq_opts
       rq.rq_level rq.rq_machine
@@ -190,7 +193,8 @@ let response_of_request ~store ~line (rq : request) : Json.t =
     Experiment.base_measurement_with rq.rq_opts (subject_of_workload rq.rq_loop)
   in
   let opt_int = function None -> Json.Null | Some n -> Json.Int n in
-  Json.Obj
+  let obj =
+    Json.Obj
     [
       ("ok", Json.Bool true);
       ("line", Json.Int line);
@@ -222,6 +226,8 @@ let response_of_request ~store ~line (rq : request) : Json.t =
       ("int_regs", Json.Int m.Compile.usage.Impact_regalloc.Regalloc.int_used);
       ("float_regs", Json.Int m.Compile.usage.Impact_regalloc.Regalloc.float_used);
     ]
+  in
+  (obj, cache)
 
 let error_record ~line ~error ~detail =
   Json.Obj
@@ -232,22 +238,39 @@ let error_record ~line ~error ~detail =
       ("detail", Json.Str detail);
     ]
 
-let answer_line ~store ~line raw =
-  let response =
-    match parse_request raw with
-    | exception Malformed detail ->
-      error_record ~line ~error:"malformed query" ~detail
-    | exception Unknown_loop name ->
-      error_record ~line ~error:"unknown loop"
-        ~detail:(Printf.sprintf "no loop nest named %S (try `impactc list`)" name)
-    | rq -> (
-      match response_of_request ~store ~line rq with
-      | r -> r
-      | exception Impact_sim.Sim.Timeout ->
-        error_record ~line ~error:"sim timeout"
-          ~detail:"simulation fuel exhausted; raise \"fuel\" or drop it")
+type answer = {
+  a_text : string;
+  a_ok : bool;
+  a_cache : string option;
+  a_loop : string option;
+}
+
+let answer_line_ex ~store ~line raw =
+  let err ?loop ~error ~detail () =
+    {
+      a_text = Json.to_string (error_record ~line ~error ~detail);
+      a_ok = false;
+      a_cache = None;
+      a_loop = loop;
+    }
   in
-  Json.to_string response
+  match parse_request raw with
+  | exception Malformed detail -> err ~error:"malformed query" ~detail ()
+  | exception Unknown_loop name ->
+    err ~loop:name ~error:"unknown loop"
+      ~detail:(Printf.sprintf "no loop nest named %S (try `impactc list`)" name)
+      ()
+  | rq -> (
+    let loop = rq.rq_loop.Impact_workloads.Suite.name in
+    match response_of_request ~store ~line rq with
+    | r, cache ->
+      { a_text = Json.to_string r; a_ok = true; a_cache = Some cache;
+        a_loop = Some loop }
+    | exception Impact_sim.Sim.Timeout ->
+      err ~loop ~error:"sim timeout"
+        ~detail:"simulation fuel exhausted; raise \"fuel\" or drop it" ())
+
+let answer_line ~store ~line raw = (answer_line_ex ~store ~line raw).a_text
 
 let is_blank s = String.trim s = ""
 

@@ -30,6 +30,21 @@ val answer_line : store:Store.t option -> line:int -> string -> string
 (** Answer one request line ([line] is its 1-based input position, echoed
     in the response). Always returns a single-line JSON record. *)
 
+type answer = {
+  a_text : string;  (** the single-line JSON record (= {!answer_line}) *)
+  a_ok : bool;  (** whether the record carries [{"ok": true}] *)
+  a_cache : string option;
+      (** cache disposition of a successful evaluation
+          (["hit"]/["miss"]/["off"]); [None] on errors *)
+  a_loop : string option;  (** the loop the request named, when parsed *)
+}
+
+val answer_line_ex : store:Store.t option -> line:int -> string -> answer
+(** {!answer_line} plus the metadata the TCP listener stamps into its
+    request-lifecycle records (outcome and cache disposition) without
+    re-parsing the response text. [a_text] is byte-identical to
+    {!answer_line} on the same input. *)
+
 type input =
   | Line of string  (** a complete request line, verbatim *)
   | Oversized of int

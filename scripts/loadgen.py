@@ -1,0 +1,456 @@
+#!/usr/bin/env python3
+"""Load the TCP query service and report latency percentiles.
+
+Spawns `impactc serve --listen 127.0.0.1:0`, warms the result cache,
+then drives it with concurrent pipelined connections for a fixed
+duration, measuring per-request client-side latency (send to response
+arrival). After the load phase it fetches `{"op": "metrics"}` on a
+fresh connection and cross-checks the server's own latency histograms
+against the client's observations, then SIGTERMs the server and
+asserts a clean drain.
+
+Writes a schema-versioned summary (impact-bench-serve/1) with client
+percentiles (p50/p90/p99/p999), throughput, shed rate and the server's
+metrics snapshot to --out (default BENCH_serve.json).
+
+The request mix is weighted, e.g. --mix query=8,health=1,malformed=1.
+With --access-log FILE the flag is appended to the server command and
+the file is validated after the drain: every line must parse as JSON,
+and (without fault injection) the record count must equal the server's
+requests + too-long counters — one record per answered request line.
+
+Strict count/percentile cross-checks are skipped when IMPACT_FAULTS is
+set (severed connections lose responses by design); the access log
+must still parse line by line.
+
+  python3 scripts/loadgen.py --seconds 5 --clients 4 --out BENCH_serve.json -- \
+      dune exec bin/impactc.exe -- serve --listen 127.0.0.1:0
+"""
+
+import argparse
+import json
+import math
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+BANNER = re.compile(r"impactc serve: listening on ([0-9.]+):([0-9]+)")
+DRAINED = re.compile(
+    r"impactc serve: drained \((\d+) conns, (\d+) requests, (\d+) responses, "
+    r"(\d+) shed, (\d+) deadline, (\d+) too-long, (\d+) dropped\)")
+
+# Small distinct queries: the warmup pass evaluates each once, so the
+# load phase runs mostly on cache hits and latencies stay tight.
+QUERIES = [
+    '{"loop": "add", "level": "Conv", "issue": 2}',
+    '{"loop": "add", "level": "Lev2", "issue": 4}',
+    '{"loop": "sum", "level": "Lev1", "issue": 4}',
+    '{"loop": "dotprod", "level": "Lev2", "issue": 2}',
+    '{"loop": "dotprod", "level": "Lev4", "issue": 8}',
+    '{"loop": "vecadd", "level": "Conv", "issue": 8}',
+    '{"loop": "vecadd", "level": "Lev4", "issue": 8, "core": "ooo"}',
+    '{"loop": "sum", "level": "Lev3", "issue": 8}',
+]
+HEALTH = '{"op": "health"}'
+MALFORMED = '{"bad": "query"}'
+
+
+def percentile(sorted_vals, p):
+    """Nearest-rank percentile over a pre-sorted list (0.0 if empty)."""
+    if not sorted_vals:
+        return 0.0
+    rank = max(1, min(len(sorted_vals), math.ceil(len(sorted_vals) * p / 100.0)))
+    return sorted_vals[rank - 1]
+
+
+def parse_mix(spec):
+    mix = []
+    for part in spec.split(","):
+        kind, _, w = part.partition("=")
+        kind = kind.strip()
+        if kind not in ("query", "health", "malformed"):
+            sys.exit("loadgen: unknown mix kind %r (query/health/malformed)" % kind)
+        try:
+            weight = int(w) if w else 1
+        except ValueError:
+            sys.exit("loadgen: bad mix weight %r" % w)
+        mix.extend([kind] * weight)
+    if not mix:
+        sys.exit("loadgen: empty mix")
+    return mix
+
+
+class Stats:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.conns = 0
+        self.severed = 0
+        self.sent = 0
+        self.latencies = []     # (kind, ok, seconds) per response received
+        self.errors = []
+
+    def fail(self, msg):
+        with self.lock:
+            self.errors.append(msg)
+
+
+def recv_lines(sock, stats, on_line):
+    """Stream response lines, calling on_line(raw) at each arrival."""
+    buf = b""
+    while True:
+        try:
+            chunk = sock.recv(65536)
+        except (ConnectionResetError, BrokenPipeError, socket.timeout, OSError):
+            with stats.lock:
+                stats.severed += 1
+            return False
+        if not chunk:
+            if buf:
+                with stats.lock:
+                    stats.severed += 1
+                return False
+            return True
+        buf += chunk
+        while True:
+            line, sep, rest = buf.partition(b"\n")
+            if not sep:
+                break
+            buf = rest
+            on_line(line)
+
+
+def one_connection(host, port, rnd, mix, pipeline, stats):
+    n = 1 + rnd % pipeline
+    kinds, lines = [], []
+    for i in range(n):
+        kind = mix[(rnd + i) % len(mix)]
+        kinds.append(kind)
+        if kind == "query":
+            lines.append(QUERIES[(rnd + 3 * i) % len(QUERIES)])
+        elif kind == "health":
+            lines.append(HEALTH)
+        else:
+            lines.append(MALFORMED)
+    got = []
+
+    def on_line(raw):
+        t = time.monotonic()
+        try:
+            r = json.loads(raw)
+        except json.JSONDecodeError:
+            stats.fail("response is not JSON: %r" % raw[:120])
+            return
+        got.append((r, t))
+
+    try:
+        with socket.create_connection((host, port), timeout=30) as s:
+            s.settimeout(120)
+            t0 = time.monotonic()
+            s.sendall(("\n".join(lines) + "\n").encode())
+            with stats.lock:
+                stats.sent += n
+            s.shutdown(socket.SHUT_WR)
+            clean = recv_lines(s, stats, on_line)
+    except (ConnectionRefusedError, ConnectionResetError, BrokenPipeError, OSError):
+        with stats.lock:
+            stats.severed += 1
+        return
+    prev = 0
+    for r, t in got:
+        line = r.get("line")
+        if not isinstance(line, int) or line <= prev or line > n:
+            stats.fail("responses out of order: line %r after %d (of %d)"
+                       % (line, prev, n))
+            return
+        prev = line
+        with stats.lock:
+            stats.latencies.append((kinds[line - 1], r.get("ok") is True, t - t0))
+    if clean:
+        with stats.lock:
+            stats.conns += 1
+
+
+def client_loop(host, port, seed, mix, pipeline, deadline, stats):
+    rnd = seed
+    while time.monotonic() < deadline and not stats.errors:
+        rnd = (rnd * 1103515245 + 12345) & 0x7FFFFFFF
+        one_connection(host, port, rnd, mix, pipeline, stats)
+
+
+def fetch_json_line(host, port, request, attempts=10):
+    """One request on a fresh connection; returns the parsed response."""
+    last = None
+    for _ in range(attempts):
+        try:
+            with socket.create_connection((host, port), timeout=30) as s:
+                s.settimeout(60)
+                s.sendall((request + "\n").encode())
+                s.shutdown(socket.SHUT_WR)
+                buf = b""
+                while True:
+                    chunk = s.recv(65536)
+                    if not chunk:
+                        break
+                    buf += chunk
+            line = buf.split(b"\n")[0]
+            if line:
+                return json.loads(line)
+            last = "empty response"
+        except (OSError, json.JSONDecodeError) as e:
+            last = str(e)
+        time.sleep(0.5)
+    sys.exit("loadgen: could not fetch %s: %s" % (request, last))
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--seconds", type=float, default=5.0,
+                    help="load-phase duration (default 5)")
+    ap.add_argument("--clients", type=int, default=4,
+                    help="concurrent client threads (default 4)")
+    ap.add_argument("--pipeline", type=int, default=8,
+                    help="max pipelined requests per connection (default 8)")
+    ap.add_argument("--mix", default="query=8,health=1,malformed=1",
+                    help="request mix weights (default query=8,health=1,malformed=1)")
+    ap.add_argument("--out", default="BENCH_serve.json",
+                    help="summary JSON path (default BENCH_serve.json)")
+    ap.add_argument("--access-log", default=None, metavar="FILE",
+                    help="pass --access-log FILE to the server and validate it after drain")
+    ap.add_argument("--tolerance-ratio", type=float, default=10.0,
+                    help="max server/client percentile disagreement factor (default 10)")
+    ap.add_argument("--drain-timeout", type=int, default=120)
+    ap.add_argument("server", nargs=argparse.REMAINDER,
+                    help="server command after `--` (must print the serve banner)")
+    args = ap.parse_args()
+    mix = parse_mix(args.mix)
+    faults = os.environ.get("IMPACT_FAULTS", "")
+    strict = not faults
+
+    cmd = args.server[1:] if args.server[:1] == ["--"] else args.server
+    cmd = cmd or ["dune", "exec", "bin/impactc.exe", "--",
+                  "serve", "--listen", "127.0.0.1:0"]
+    if args.access_log:
+        cmd = cmd + ["--access-log", args.access_log]
+
+    proc = subprocess.Popen(cmd, stderr=subprocess.PIPE, text=True)
+    host = port = None
+    banner_deadline = time.time() + 120
+    stderr_lines = []
+    while time.time() < banner_deadline:
+        line = proc.stderr.readline()
+        if not line:
+            break
+        stderr_lines.append(line)
+        m = BANNER.search(line)
+        if m:
+            host, port = m.group(1), int(m.group(2))
+            break
+    if port is None:
+        proc.kill()
+        sys.exit("loadgen: server never printed its listen banner:\n"
+                 + "".join(stderr_lines))
+    drainer = threading.Thread(
+        target=lambda: stderr_lines.extend(iter(proc.stderr.readline, "")), daemon=True)
+    drainer.start()
+
+    # Warmup: evaluate each distinct query once so the load phase runs
+    # on cache hits (and the first-eval outliers stay out of the tail).
+    warmup_sent = 0
+    for q in QUERIES:
+        r = fetch_json_line(host, port, q)
+        warmup_sent += 1
+        if strict and r.get("ok") is not True:
+            proc.kill()
+            sys.exit("loadgen: warmup query failed: %r" % r)
+    print("loadgen: server pid %d on %s:%d, warmed %d queries; "
+          "%d clients x %ss, mix %s" % (proc.pid, host, port, warmup_sent,
+                                        args.clients, args.seconds, args.mix))
+
+    stats = Stats()
+    t_start = time.monotonic()
+    deadline = t_start + args.seconds
+    threads = [threading.Thread(target=client_loop,
+                                args=(host, port, 1000 + i, mix, args.pipeline,
+                                      deadline, stats))
+               for i in range(args.clients)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.monotonic() - t_start
+    if stats.errors:
+        proc.kill()
+        sys.exit("loadgen: FAILED:\n  " + "\n  ".join(stats.errors[:10]))
+
+    # All load connections are closed, so every request they carried has
+    # flushed through the writer and landed in the histograms; a fresh
+    # connection now sees the complete load phase.
+    metrics = fetch_json_line(host, port, '{"op": "metrics"}')
+    metrics_fetches = 1
+
+    proc.send_signal(signal.SIGTERM)
+    try:
+        code = proc.wait(timeout=args.drain_timeout)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        sys.exit("loadgen: server did not drain within %ds of SIGTERM"
+                 % args.drain_timeout)
+    drainer.join(timeout=5)
+    if code != 0:
+        sys.exit("loadgen: server exited %d, want 0" % code)
+    drained = None
+    for l in stderr_lines:
+        m = DRAINED.search(l)
+        if m:
+            drained = [int(g) for g in m.groups()]
+    if drained is None:
+        sys.exit("loadgen: server exited 0 but never reported a drain")
+
+    failures = []
+
+    # ---- client-side percentiles ----
+    ok_lat = sorted(s for _, ok, s in stats.latencies if ok)
+    responses = len(stats.latencies)
+    ok_n = len(ok_lat)
+    err_n = responses - ok_n
+    throughput = responses / elapsed if elapsed > 0 else 0.0
+    lat_ms = {p: percentile(ok_lat, v) * 1e3
+              for p, v in (("p50", 50), ("p90", 90), ("p99", 99), ("p999", 99.9))}
+    lat_ms["mean"] = (sum(ok_lat) / ok_n * 1e3) if ok_n else 0.0
+    lat_ms["max"] = (ok_lat[-1] * 1e3) if ok_n else 0.0
+    if ok_n == 0:
+        failures.append("no request was ever answered ok")
+
+    # ---- server-side snapshot ----
+    counters = metrics["counters"]
+    hists = metrics["histograms"]
+    shed_rate = (counters["shed"] / counters["requests"]
+                 if counters["requests"] else 0.0)
+    total_hist_count = sum(h["count"] for name, h in hists.items()
+                           if name.startswith("serve.latency.total."))
+
+    if strict:
+        # Every request line the clients pushed (plus warmup) was read
+        # by the server; the metrics fetch itself is read before the
+        # snapshot is built but flushes after it.
+        expected = warmup_sent + stats.sent + metrics_fetches
+        if counters["requests"] != expected:
+            failures.append("server requests %d != client sent %d"
+                            % (counters["requests"], expected))
+        # The histograms cover exactly the requests whose connections
+        # closed before the snapshot (everything but the metrics fetch).
+        if total_hist_count != warmup_sent + responses:
+            failures.append("histogram total count %d != answered %d"
+                            % (total_hist_count, warmup_sent + responses))
+
+        srv_ok = hists.get("serve.latency.total.ok")
+        if not srv_ok or srv_ok["count"] == 0:
+            failures.append("server has no serve.latency.total.ok samples")
+        else:
+            # The server measures read-to-flush; the client send-to-arrival
+            # on the same pipelined stream. Generous ratio: bucket
+            # resolution is 1.58x and CI machines are noisy.
+            for p in ("p50", "p99"):
+                c = lat_ms[p]
+                s = srv_ok["%s_ms" % p]
+                slack = args.tolerance_ratio
+                if c > 1e-9 and s > 1e-9 and (c / s > slack or s / c > slack):
+                    failures.append(
+                        "%s disagrees: client %.3f ms vs server %.3f ms "
+                        "(tolerance %gx)" % (p, c, s, slack))
+
+    # ---- access log ----
+    access = None
+    if args.access_log:
+        with open(args.access_log) as f:
+            raw = f.read().splitlines()
+        records = []
+        for k, l in enumerate(raw):
+            try:
+                records.append(json.loads(l))
+            except json.JSONDecodeError:
+                failures.append("access log line %d is not JSON: %r" % (k + 1, l[:120]))
+                break
+        # One record per answered request line: the writer closes out
+        # every pushed cell, severed connections included.
+        expected = drained[1] + drained[5]  # requests + too-long
+        if len(records) != expected:
+            failures.append("access log has %d records, want requests+too_long=%d"
+                            % (len(records), expected))
+        for r in records[:200]:
+            for field in ("conn", "line", "event", "outcome", "total_ms", "wrote"):
+                if field not in r:
+                    failures.append("access record missing %r: %r" % (field, r))
+                    break
+        access = {"file": args.access_log, "records": len(records)}
+
+    summary = {
+        "schema": "impact-bench-serve/1",
+        "schema_version": 1,
+        "config": {
+            "clients": args.clients,
+            "seconds": args.seconds,
+            "pipeline": args.pipeline,
+            "mix": args.mix,
+            "faults": faults,
+            "server_cmd": " ".join(cmd),
+        },
+        "client": {
+            "connections": stats.conns,
+            "severed": stats.severed,
+            "sent": stats.sent,
+            "responses": responses,
+            "ok": ok_n,
+            "errors": err_n,
+            "throughput_rps": round(throughput, 3),
+            "latency_ms": {k: round(v, 4) for k, v in lat_ms.items()},
+        },
+        "server": {
+            "counters": counters,
+            "executor": metrics["executor"],
+            "cache": metrics["cache"],
+            "shed_rate": round(shed_rate, 6),
+            "histograms": {
+                name: {"count": h["count"], "p50_ms": h["p50_ms"],
+                       "p99_ms": h["p99_ms"], "p999_ms": h["p999_ms"]}
+                for name, h in hists.items()
+            },
+        },
+        "crosscheck": {
+            "strict": strict,
+            "client_p50_ms": round(lat_ms["p50"], 4),
+            "server_p50_ms": hists.get("serve.latency.total.ok", {}).get("p50_ms"),
+            "client_p99_ms": round(lat_ms["p99"], 4),
+            "server_p99_ms": hists.get("serve.latency.total.ok", {}).get("p99_ms"),
+            "tolerance_ratio": args.tolerance_ratio,
+        },
+    }
+    if access:
+        summary["access_log"] = access
+    with open(args.out, "w") as f:
+        json.dump(summary, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    print("loadgen: %d conns (%d severed), %d responses (%d ok) in %.1fs "
+          "= %.1f rps; shed rate %.3f"
+          % (stats.conns, stats.severed, responses, ok_n, elapsed,
+             throughput, shed_rate))
+    print("loadgen: client p50 %.2f ms, p99 %.2f ms, p999 %.2f ms; "
+          "server ok p50 %s ms, p99 %s ms"
+          % (lat_ms["p50"], lat_ms["p99"], lat_ms["p999"],
+             summary["crosscheck"]["server_p50_ms"],
+             summary["crosscheck"]["server_p99_ms"]))
+    print("loadgen: wrote %s" % args.out)
+    if failures:
+        sys.exit("loadgen: FAILED:\n  " + "\n  ".join(failures[:10]))
+    print("loadgen: PASS")
+
+
+if __name__ == "__main__":
+    main()

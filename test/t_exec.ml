@@ -328,6 +328,53 @@ let test_executor_introspection () =
   (* Shutdown is idempotent. *)
   Pool.shutdown_executor ex
 
+(* Lifetime accounting: submitted/completed/rejected/peak_queue — the
+   numbers the serve tier's {"op": "metrics"} executor object reports. *)
+let test_executor_stats () =
+  let ex = Pool.create_executor ~workers:1 ~queue_depth:2 () in
+  let s0 = Pool.executor_stats ex in
+  Helpers.check_int "fresh submitted" 0 s0.Pool.submitted;
+  Helpers.check_int "fresh completed" 0 s0.Pool.completed;
+  Helpers.check_int "fresh rejected" 0 s0.Pool.rejected;
+  Helpers.check_int "fresh peak" 0 s0.Pool.peak_queue;
+  let gate_m = Mutex.create () in
+  let gate_c = Condition.create () in
+  let open_gate = ref false in
+  let blocked_job () =
+    Mutex.lock gate_m;
+    while not !open_gate do
+      Condition.wait gate_c gate_m
+    done;
+    Mutex.unlock gate_m
+  in
+  (* Occupy the worker, fill both queue slots, then overflow twice. *)
+  Helpers.check_bool "submit 1" true (Pool.submit ex blocked_job);
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while Pool.running ex < 1 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.005
+  done;
+  Helpers.check_bool "submit 2" true (Pool.submit ex blocked_job);
+  Helpers.check_bool "submit 3" true (Pool.submit ex blocked_job);
+  Helpers.check_bool "overflow a" false (Pool.submit ex blocked_job);
+  Helpers.check_bool "overflow b" false (Pool.submit ex blocked_job);
+  let mid = Pool.executor_stats ex in
+  Helpers.check_int "mid submitted" 3 mid.Pool.submitted;
+  Helpers.check_int "mid rejected" 2 mid.Pool.rejected;
+  Helpers.check_int "mid peak = queue bound" 2 mid.Pool.peak_queue;
+  Helpers.check_int "mid completed" 0 mid.Pool.completed;
+  Mutex.lock gate_m;
+  open_gate := true;
+  Condition.broadcast gate_c;
+  Mutex.unlock gate_m;
+  Pool.shutdown_executor ex;
+  let fin = Pool.executor_stats ex in
+  Helpers.check_int "final completed = submitted" 3 fin.Pool.completed;
+  Helpers.check_int "final submitted unchanged" 3 fin.Pool.submitted;
+  (* Refusals after shutdown also count as rejections. *)
+  Helpers.check_bool "post-shutdown refused" false (Pool.submit ex (fun () -> ()));
+  Helpers.check_int "post-shutdown rejected" 3
+    (Pool.executor_stats ex).Pool.rejected
+
 let suite =
   [
     ( "exec.pool",
@@ -348,6 +395,8 @@ let suite =
           test_executor_shutdown_drains;
         Alcotest.test_case "introspection and idempotent shutdown" `Quick
           test_executor_introspection;
+        Alcotest.test_case "lifetime stats (submitted/completed/rejected/peak)"
+          `Quick test_executor_stats;
       ] );
     ( "exec.cache",
       [

@@ -24,6 +24,7 @@ module Service = Impact_svc.Service
 module Json = Impact_svc.Json
 module Store = Impact_svc.Store
 module Suite = Impact_workloads.Suite
+module Obs = Impact_obs.Obs
 
 let fresh_dir () =
   let f = Filename.temp_file "impact-net" ".cache" in
@@ -363,6 +364,242 @@ let test_oversized_line () =
   check_lines "oversized differential" expected lines;
   Helpers.check_int "too-long counted" 1 (Listener.stats t).Listener.too_long
 
+(* ---- Service observability: metrics op, access log, trace spans ---- *)
+
+let int_field name j k =
+  match field name j k with
+  | Json.Int n -> n
+  | _ -> Alcotest.failf "%s: field %S not an int" name k
+
+let str_field name j k =
+  match field name j k with
+  | Json.Str s -> s
+  | _ -> Alcotest.failf "%s: field %S not a string" name k
+
+(* One connection of load (3 ok queries + 1 malformed), then the
+   snapshot on a fresh connection: histograms are fed at writer flush,
+   so a closed connection's requests are fully accounted before the
+   metrics record is built. *)
+let test_metrics_op () =
+  let dir = fresh_dir () in
+  let store = Store.open_store dir in
+  let cfg =
+    { (Listener.default_config ~store ()) with Listener.workers = Some 2 }
+  in
+  Obs.reset ();
+  with_listener cfg @@ fun t ->
+  let lines, _ =
+    with_client (Listener.port t) @@ fun fd ->
+    send_lines fd (cheap_queries @ [ "not json" ]);
+    recv_all fd
+  in
+  Helpers.check_int "load answered" 4 (List.length lines);
+  let mlines, _ =
+    with_client (Listener.port t) @@ fun fd ->
+    send_lines fd [ "{\"op\": \"metrics\"}" ];
+    recv_all fd
+  in
+  Helpers.check_int "one metrics record" 1 (List.length mlines);
+  let m = parse_resp "metrics" (List.nth mlines 0) in
+  Helpers.check_bool "ok" true (field "m" m "ok" = Json.Bool true);
+  Helpers.check_bool "op echoed" true (field "m" m "op" = Json.Str "metrics");
+  let ex = field "m" m "executor" in
+  Helpers.check_int "submitted = 4 queries" 4 (int_field "m" ex "submitted");
+  Helpers.check_int "completed = submitted" 4 (int_field "m" ex "completed");
+  Helpers.check_int "rejected 0" 0 (int_field "m" ex "rejected");
+  Helpers.check_int "workers" 2 (int_field "m" ex "workers");
+  Helpers.check_bool "peak queue bounded" true
+    (int_field "m" ex "peak_queue" <= 4);
+  let counters = field "m" m "counters" in
+  (* The metrics request itself is counted at read time, before the
+     snapshot is built; its response has not flushed yet. *)
+  Helpers.check_int "requests = load + metrics" 5
+    (int_field "m" counters "requests");
+  Helpers.check_int "responses = load" 4 (int_field "m" counters "responses");
+  let hists = field "m" m "histograms" in
+  let hist k = field "m" hists k in
+  Helpers.check_int "total.ok = 3" 3
+    (int_field "m" (hist "serve.latency.total.ok") "count");
+  Helpers.check_int "total.error = 1 (malformed)" 1
+    (int_field "m" (hist "serve.latency.total.error") "count");
+  Helpers.check_int "queue = 4 queued" 4
+    (int_field "m" (hist "serve.latency.queue") "count");
+  Helpers.check_int "eval = 4 evaluated" 4
+    (int_field "m" (hist "serve.latency.eval") "count");
+  Helpers.check_int "write = 4 flushed" 4
+    (int_field "m" (hist "serve.latency.write") "count");
+  (* The sparse bucket arrays are parallel and sum to the count. *)
+  (match field "m" (hist "serve.latency.total.ok") "buckets" with
+  | Json.Obj bs -> (
+    match (List.assoc_opt "le_s" bs, List.assoc_opt "count" bs) with
+    | Some (Json.List les), Some (Json.List cnts) ->
+      Helpers.check_int "parallel bucket arrays" (List.length les)
+        (List.length cnts);
+      Helpers.check_int "bucket counts sum to count" 3
+        (List.fold_left
+           (fun acc c -> match c with Json.Int n -> acc + n | _ -> acc)
+           0 cnts)
+    | _ -> Alcotest.fail "bucket arrays missing")
+  | _ -> Alcotest.fail "buckets not an object");
+  (match field "m" (hist "serve.latency.total.ok") "p50_ms" with
+  | Json.Float p -> Helpers.check_bool "p50_ms positive" true (p > 0.0)
+  | _ -> Alcotest.fail "p50_ms not a float");
+  (* Satellite: the stale count is surfaced in both metrics and health
+     cache stats. *)
+  (match field "m" m "cache" with
+  | Json.Obj members ->
+    Helpers.check_bool "metrics cache has stale" true
+      (List.mem_assoc "stale" members)
+  | _ -> Alcotest.fail "metrics cache missing");
+  let hlines, _ =
+    with_client (Listener.port t) @@ fun fd ->
+    send_lines fd [ "{\"op\": \"health\"}" ];
+    recv_all fd
+  in
+  match field "h" (parse_resp "health" (List.nth hlines 0)) "cache" with
+  | Json.Obj members ->
+    Helpers.check_bool "health cache has stale" true
+      (List.mem_assoc "stale" members && List.assoc "stale" members = Json.Int 0)
+  | _ -> Alcotest.fail "health cache missing"
+
+(* The access log carries exactly one record per answered request line
+   — requests + too-long, blanks skipped — and every record is one
+   JSON object with the lifecycle fields. *)
+let test_access_log () =
+  let path = Filename.temp_file "impact-access" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with _ -> ()) @@ fun () ->
+  let cfg =
+    {
+      (Listener.default_config ()) with
+      Listener.workers = Some 2;
+      max_line = 128;
+      access_log = Some path;
+    }
+  in
+  let st =
+    with_listener cfg @@ fun t ->
+    let lines, _ =
+      with_client (Listener.port t) @@ fun fd ->
+      send_lines fd
+        [
+          List.nth cheap_queries 0;
+          "";
+          "not json";
+          String.make 300 'x';
+          "{\"op\": \"health\"}";
+          List.nth cheap_queries 1;
+        ];
+      recv_all fd
+    in
+    Helpers.check_int "answers" 5 (List.length lines);
+    Listener.stats t
+  in
+  (* with_listener drained: the access channel is flushed and closed. *)
+  let ic = open_in path in
+  let rec read acc =
+    match input_line ic with
+    | l -> read (l :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let records = read [] in
+  close_in ic;
+  Helpers.check_int "one record per answered line"
+    (st.Listener.requests + st.Listener.too_long)
+    (List.length records);
+  let parsed = List.map (parse_resp "access") records in
+  let events = List.map (fun r -> str_field "a" r "event") parsed in
+  Helpers.check_bool "events cover the kinds" true
+    (List.mem "query" events && List.mem "health" events
+    && List.mem "too_long" events);
+  List.iter
+    (fun r ->
+      (match field "a" r "total_ms" with
+      | Json.Float v -> Helpers.check_bool "total_ms >= 0" true (v >= 0.0)
+      | _ -> Alcotest.fail "total_ms not a float");
+      Helpers.check_bool "written to a live socket" true
+        (field "a" r "wrote" = Json.Bool true);
+      Helpers.check_int "single connection" 0 (int_field "a" r "conn"))
+    parsed;
+  (* Writer flush order = request order: line numbers increase (2 is
+     the skipped blank). *)
+  Helpers.check_bool "line numbers in request order" true
+    (List.map (fun r -> int_field "a" r "line") parsed = [ 1; 3; 4; 5; 6 ]);
+  (* Outcomes: ok query, malformed error, too-long error, health ok, ok
+     query. *)
+  Helpers.check_bool "outcomes recorded" true
+    (List.map (fun r -> str_field "a" r "outcome") parsed
+    = [ "ok"; "error"; "error"; "ok"; "ok" ])
+
+(* trace_sample = 2 records spans for connections 0 and 2 but not 1;
+   every request on a sampled connection gets a req span plus
+   queue/eval/write sub-spans, tagged with the connection id as tid. *)
+let test_trace_sampling () =
+  let cfg =
+    {
+      (Listener.default_config ()) with
+      Listener.workers = Some 1;
+      trace_sample = Some 2;
+    }
+  in
+  Obs.reset ();
+  with_listener cfg @@ fun t ->
+  for _ = 1 to 3 do
+    let lines, _ =
+      with_client (Listener.port t) @@ fun fd ->
+      send_lines fd [ List.nth cheap_queries 0 ];
+      recv_all fd
+    in
+    Helpers.check_int "answered" 1 (List.length lines)
+  done;
+  let evs = Obs.events () in
+  let reqs = List.filter (fun e -> e.Obs.ecat = "serve") evs in
+  let tids = List.sort_uniq compare (List.map (fun e -> e.Obs.etid) reqs) in
+  Helpers.check_bool "connections 0 and 2 sampled, 1 not" true
+    (tids = [ 0; 2 ]);
+  let names tid =
+    List.filter (fun e -> e.Obs.etid = tid) reqs
+    |> List.map (fun e -> e.Obs.ename)
+    |> List.sort compare
+  in
+  List.iter
+    (fun tid ->
+      Helpers.check_bool
+        (Printf.sprintf "conn %d has req+queue+eval+write spans" tid)
+        true
+        (names tid = [ "eval"; "queue"; "req add"; "write" ]))
+    [ 0; 2 ];
+  (* Span args carry the lifecycle outcome. *)
+  List.iter
+    (fun e ->
+      if e.Obs.ename = "req add" then
+        Helpers.check_bool "req span outcome arg" true
+          (List.assoc_opt "outcome" e.Obs.eargs = Some "ok"))
+    reqs
+
+(* The differential oracle must survive full observability: access log,
+   trace sampling and the store all on, responses still byte-identical
+   to the batch path. *)
+let test_oracle_under_observability () =
+  let path = Filename.temp_file "impact-access" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with _ -> ()) @@ fun () ->
+  let cfg =
+    {
+      (Listener.default_config ()) with
+      Listener.workers = Some 4;
+      queue_depth = 512;
+      access_log = Some path;
+      trace_sample = Some 1;
+    }
+  in
+  Obs.reset ();
+  with_listener cfg @@ fun t ->
+  let lines, _ =
+    with_client (Listener.port t) @@ fun fd ->
+    send_lines fd (Lazy.force corpus);
+    recv_all fd
+  in
+  check_lines "oracle under observability" (Lazy.force oracle) lines
+
 (* ---- Graceful drain with in-flight work ---- *)
 
 let test_drain_finishes_in_flight () =
@@ -552,6 +789,17 @@ let suite =
           test_health_and_blank_numbering;
         Alcotest.test_case "graceful drain finishes in-flight work" `Quick
           test_drain_finishes_in_flight;
+      ] );
+    ( "net: observability",
+      [
+        Alcotest.test_case "metrics op: histograms, executor, counters" `Quick
+          test_metrics_op;
+        Alcotest.test_case "access log: one record per answered line" `Quick
+          test_access_log;
+        Alcotest.test_case "trace sampling: 1-in-N connections get spans" `Quick
+          test_trace_sampling;
+        Alcotest.test_case "oracle byte-identical under full observability"
+          `Slow test_oracle_under_observability;
       ] );
     ( "net: properties",
       [

@@ -126,6 +126,156 @@ let test_reset_keeps_switches () =
   Helpers.check_bool "tracing survives reset" true (Obs.tracing ());
   Helpers.check_int "counters cleared" 0 (List.length (Obs.counters ()))
 
+(* ---- Latency histograms ---- *)
+
+let hist_eq name (a : Obs.Hist.snapshot) (b : Obs.Hist.snapshot) =
+  Helpers.check_string (name ^ ": name") a.Obs.Hist.h_name b.Obs.Hist.h_name;
+  Helpers.check_int (name ^ ": count") a.Obs.Hist.h_count b.Obs.Hist.h_count;
+  Helpers.check_int (name ^ ": sum_ns") a.Obs.Hist.h_sum_ns b.Obs.Hist.h_sum_ns;
+  Helpers.check_bool (name ^ ": buckets") true
+    (a.Obs.Hist.h_buckets = b.Obs.Hist.h_buckets)
+
+let get_hist name =
+  match Obs.Hist.find name with
+  | Some s -> s
+  | None -> Alcotest.failf "histogram %s missing" name
+
+(* Bucket boundaries are powers of 10^(1/5); values landing exactly on
+   a bound go into that bound's bucket, negatives and NaN clamp to 0,
+   values above the last finite bound (100 s) go into overflow. *)
+let test_hist_bucket_placement () =
+  with_switches ~collecting:false ~tracing:false @@ fun () ->
+  Obs.reset ();
+  Obs.Hist.observe "t.h" 1e-6 (* = bounds.(0), bucket 0 *);
+  Obs.Hist.observe "t.h" 0.0;
+  Obs.Hist.observe "t.h" (-5.0);
+  Obs.Hist.observe "t.h" Float.nan;
+  Obs.Hist.observe "t.h" 2e-6 (* bucket 2: 1.58us < 2us <= 2.51us *);
+  Obs.Hist.observe "t.h" 200.0 (* > 100 s: overflow *);
+  let s = get_hist "t.h" in
+  Helpers.check_int "count" 6 s.Obs.Hist.h_count;
+  Helpers.check_int "bucket 0" 4 s.Obs.Hist.h_buckets.(0);
+  Helpers.check_int "bucket 2" 1 s.Obs.Hist.h_buckets.(2);
+  Helpers.check_int "overflow" 1
+    s.Obs.Hist.h_buckets.(Obs.Hist.buckets - 1);
+  (* Integer-nanosecond sum: 1000 + 2000 + 200e9. *)
+  Helpers.check_int "sum ns" (3_000 + 200_000_000_000) s.Obs.Hist.h_sum_ns;
+  Helpers.check_int "total in buckets" 6
+    (Array.fold_left ( + ) 0 s.Obs.Hist.h_buckets)
+
+let test_hist_percentiles () =
+  Obs.reset ();
+  (* 90 samples at 1 us, 10 at 1 s — both exact bucket bounds, so the
+     nearest-rank extraction is exact, not just within a bucket ratio. *)
+  for _ = 1 to 90 do Obs.Hist.observe "t.p" 1e-6 done;
+  for _ = 1 to 10 do Obs.Hist.observe "t.p" 1.0 done;
+  let s = get_hist "t.p" in
+  let check name want got =
+    Helpers.check_bool
+      (Printf.sprintf "%s: %g = %g" name want got)
+      true
+      (Float.abs (want -. got) <= 1e-12 *. Float.max 1.0 want)
+  in
+  check "p50" 1e-6 (Obs.Hist.percentile s 50.0);
+  check "p90" 1e-6 (Obs.Hist.percentile s 90.0);
+  check "p99" 1.0 (Obs.Hist.percentile s 99.0);
+  check "p999" 1.0 (Obs.Hist.percentile s 99.9);
+  (* Empty histogram reports 0, overflow reports the last finite bound. *)
+  let empty =
+    { Obs.Hist.h_name = "e"; h_count = 0; h_sum_ns = 0;
+      h_buckets = Array.make Obs.Hist.buckets 0 }
+  in
+  check "empty p50" 0.0 (Obs.Hist.percentile empty 50.0);
+  Obs.reset ();
+  Obs.Hist.observe "t.over" 1e9;
+  check "overflow p50"
+    Obs.Hist.bounds.(Array.length Obs.Hist.bounds - 1)
+    (Obs.Hist.percentile (get_hist "t.over") 50.0)
+
+let test_hist_merge () =
+  Obs.reset ();
+  let vals_a = [ 1e-6; 3e-4; 0.2; 7.0 ] and vals_b = [ 2e-5; 0.2; 150.0 ] in
+  List.iter (Obs.Hist.observe "t.m") vals_a;
+  let a = get_hist "t.m" in
+  Obs.reset ();
+  List.iter (Obs.Hist.observe "t.m") vals_b;
+  let b = get_hist "t.m" in
+  Obs.reset ();
+  List.iter (Obs.Hist.observe "t.m") (vals_a @ vals_b);
+  let whole = get_hist "t.m" in
+  hist_eq "merge = observe-all" whole (Obs.Hist.merge a b);
+  hist_eq "merge commutes" (Obs.Hist.merge a b) (Obs.Hist.merge b a)
+
+(* The determinism claim: recording a fixed value stream must yield a
+   bit-identical snapshot whether one domain records it or eight record
+   interleaved slices of it. (Integer bucket counts and nanosecond sums
+   make accumulation order invisible.) *)
+let test_hist_determinism_across_domains () =
+  let n = 4_000 in
+  let value i =
+    (* Deterministic spread across ~9 decades, some negatives. *)
+    let x = float_of_int ((i * 7919 mod 9973) - 50) in
+    x *. 3.7e-6
+  in
+  Obs.reset ();
+  for i = 0 to n - 1 do Obs.Hist.observe "t.d" (value i) done;
+  let serial = Obs.Hist.snapshot () in
+  Obs.reset ();
+  let domains =
+    List.init 8 (fun d ->
+        Domain.spawn (fun () ->
+            let i = ref d in
+            while !i < n do
+              Obs.Hist.observe "t.d" (value !i);
+              i := !i + 8
+            done))
+  in
+  List.iter Domain.join domains;
+  let parallel = Obs.Hist.snapshot () in
+  Helpers.check_int "one histogram" 1 (List.length serial);
+  Helpers.check_int "same table size" (List.length serial)
+    (List.length parallel);
+  List.iter2 (hist_eq "serial = 8 domains") serial parallel
+
+(* Merge-order invariance (qcheck): any split of a value stream into
+   chunks, merged in any association order, equals observing the whole
+   stream at once. Guards the integer representation — float sums would
+   break this under reassociation. *)
+let prop_hist_merge_invariant =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 1 60)
+           (map (fun i -> float_of_int i *. 2.3e-7) (int_range (-1000) 2_000_000)))
+        (pair (int_range 0 100) (int_range 0 100)))
+  in
+  let arb =
+    QCheck.make gen ~print:(fun (vs, (i, j)) ->
+        Printf.sprintf "%d values, cuts %d %d" (List.length vs) i j)
+  in
+  QCheck.Test.make ~count:60 ~name:"histogram merge is order-invariant" arb
+    (fun (vs, (i, j)) ->
+      let n = List.length vs in
+      let cut1 = i mod (n + 1) in
+      let cut2 = cut1 + (j mod (n - cut1 + 1)) in
+      let chunk lo hi = List.filteri (fun k _ -> k >= lo && k < hi) vs in
+      let snap vals =
+        Obs.reset ();
+        List.iter (Obs.Hist.observe "t.q") vals;
+        match Obs.Hist.find "t.q" with
+        | Some s -> s
+        | None ->
+          { Obs.Hist.h_name = "t.q"; h_count = 0; h_sum_ns = 0;
+            h_buckets = Array.make Obs.Hist.buckets 0 }
+      in
+      let a = snap (chunk 0 cut1)
+      and b = snap (chunk cut1 cut2)
+      and c = snap (chunk cut2 n)
+      and whole = snap vs in
+      let left = Obs.Hist.merge (Obs.Hist.merge a b) c in
+      let right = Obs.Hist.merge a (Obs.Hist.merge b c) in
+      left = whole && right = whole)
+
 (* ---- Stall attribution ---- *)
 
 let interlock_total (p : Sim.profile) =
@@ -281,6 +431,18 @@ let suite =
         Alcotest.test_case "trace events and JSON export" `Quick
           test_trace_events_and_json;
         Alcotest.test_case "reset keeps switches" `Quick test_reset_keeps_switches;
+      ] );
+    ( "obs.hist",
+      [
+        Alcotest.test_case "bucket placement, clamping, overflow" `Quick
+          test_hist_bucket_placement;
+        Alcotest.test_case "exact percentile extraction" `Quick
+          test_hist_percentiles;
+        Alcotest.test_case "merge = observing the concatenation" `Quick
+          test_hist_merge;
+        Alcotest.test_case "serial and 8-domain snapshots identical" `Quick
+          test_hist_determinism_across_domains;
+        QCheck_alcotest.to_alcotest prop_hist_merge_invariant;
       ] );
     ( "obs.stalls",
       [

@@ -364,6 +364,53 @@ let test_serve_cache_disposition () =
       [ "cycles"; "dyn_insns"; "speedup"; "digest"; "int_regs"; "float_regs" ]
   | _ -> Alcotest.fail "responses not JSON"
 
+(* answer_line_ex: the metadata variant the TCP listener stamps into
+   its lifecycle records must agree with the plain text path byte for
+   byte, and classify outcomes/cache dispositions correctly. *)
+let test_answer_line_ex () =
+  let dir = fresh_dir () in
+  let st = Store.open_store dir in
+  let q = "{\"loop\": \"sum\", \"level\": \"Lev2\", \"issue\": 4}" in
+  (* Warm the store first so both sides of the byte-identity check see
+     the same cache disposition. *)
+  ignore (Service.answer_line ~store:(Some st) ~line:3 q);
+  let cases =
+    [
+      ("valid", Some st, q);
+      ("valid again (hit)", Some st, q);
+      ("storeless", None, q);
+      ("malformed", Some st, "not json");
+      ("unknown loop", Some st, "{\"loop\": \"nope\"}");
+    ]
+  in
+  List.iter
+    (fun (name, store, line) ->
+      let a = Service.answer_line_ex ~store ~line:3 line in
+      Helpers.check_string (name ^ ": text identical to answer_line")
+        (Service.answer_line ~store ~line:3 line)
+        a.Service.a_text)
+    cases;
+  let ex store line = Service.answer_line_ex ~store ~line:1 line in
+  let miss = ex (Some st) "{\"loop\": \"dotprod\"}" in
+  Helpers.check_bool "first eval ok" true miss.Service.a_ok;
+  Helpers.check_bool "first eval is a miss" true
+    (miss.Service.a_cache = Some "miss");
+  Helpers.check_bool "loop recorded" true
+    (miss.Service.a_loop = Some "dotprod");
+  let hit = ex (Some st) "{\"loop\": \"dotprod\"}" in
+  Helpers.check_bool "second eval is a hit" true
+    (hit.Service.a_cache = Some "hit");
+  let off = ex None "{\"loop\": \"dotprod\"}" in
+  Helpers.check_bool "storeless is off" true (off.Service.a_cache = Some "off");
+  let bad = ex None "not json" in
+  Helpers.check_bool "malformed not ok" false bad.Service.a_ok;
+  Helpers.check_bool "malformed has no cache" true (bad.Service.a_cache = None);
+  Helpers.check_bool "malformed has no loop" true (bad.Service.a_loop = None);
+  let unknown = ex None "{\"loop\": \"nope\"}" in
+  Helpers.check_bool "unknown loop not ok" false unknown.Service.a_ok;
+  Helpers.check_bool "unknown loop still named" true
+    (unknown.Service.a_loop = Some "nope")
+
 let test_serve_ooo_query () =
   let line extra =
     Printf.sprintf "{\"loop\": \"vecadd\", \"level\": \"Lev2\", \"issue\": 4%s}"
@@ -545,6 +592,8 @@ let suite =
       [
         Alcotest.test_case "batch with errors" `Quick test_serve_batch;
         Alcotest.test_case "cache disposition" `Quick test_serve_cache_disposition;
+        Alcotest.test_case "answer_line_ex metadata matches text path" `Quick
+          test_answer_line_ex;
         Alcotest.test_case "ooo query" `Quick test_serve_ooo_query;
         Alcotest.test_case "read_lines bounds request lines" `Quick
           test_read_lines_bound;
