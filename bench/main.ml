@@ -297,7 +297,7 @@ let pipe_eval (mlist : Machine.t list) (ss : Experiment.subject list) :
       let rows =
         List.map
           (fun machine ->
-            let lr = Impact_sim.Sim.run machine (Compile.schedule machine tp) in
+            let lr = Impact_sim.Sim.run machine (Compile.schedule_with bench_opts machine tp) in
             let piped, reports = Impact_pipe.Pipe.run_with_report machine tp in
             let pr = Impact_sim.Sim.run machine piped in
             {
@@ -794,12 +794,12 @@ let bechamel_tests () =
   let compile_test name level machine wname =
     Test.make ~name
       (Staged.stage (fun () ->
-         ignore (Compile.compile level machine (Impact_fir.Lower.lower (kernel wname)))))
+         ignore (Compile.compile_with bench_opts level machine (Impact_fir.Lower.lower (kernel wname)))))
   in
   let measure_test name level machine wname =
     Test.make ~name
       (Staged.stage (fun () ->
-         ignore (Compile.measure level machine (Impact_fir.Lower.lower (kernel wname)))))
+         ignore (Compile.measure_with bench_opts level machine (Impact_fir.Lower.lower (kernel wname)))))
   in
   [
     Test.make ~name:"table1:machine-description"
@@ -816,7 +816,7 @@ let bechamel_tests () =
     Test.make ~name:"fig11:regalloc-lev4-issue8"
       (Staged.stage
          (let p =
-            Compile.compile Level.Lev4 Machine.issue_8
+            Compile.compile_with bench_opts Level.Lev4 Machine.issue_8
               (Impact_fir.Lower.lower (kernel "dotprod"))
           in
           fun () -> ignore (Impact_regalloc.Regalloc.measure p)));

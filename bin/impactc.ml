@@ -842,62 +842,90 @@ let parse_listen s =
     | Some p when p >= 0 && host <> "" -> (host, p)
     | _ -> fail ())
 
-let serve_listen ~store ~jobs ~queue_depth ~deadline_ms ~max_line ~access_log
-    ~trace_sample ~trace_out hostport =
-  let host, port = parse_listen hostport in
-  let faults =
-    match Impact_net.Faults.of_env () with
-    | Ok f -> f
-    | Error msg ->
-      Printf.eprintf "impactc serve: IMPACT_FAULTS: %s\n" msg;
-      exit 2
-  in
+(* All serve-tier flags, validated together by the one term that builds
+   this record; the single-listener, sharded and stdin paths all consume
+   it, so listen-only constraints live in exactly one place. *)
+type serve_opts = {
+  so_listen : (string * int) option;
+  so_shards : int;  (* 0 = single listener; N >= 1 = router + N shards *)
+  so_jobs : int option;
+  so_queue_depth : int;
+  so_deadline_ms : int option;
+  so_max_line : int;
+  so_cache_dir : string;
+  so_no_cache : bool;
+  so_access_log : string option;
+  so_trace_sample : int option;
+  so_trace_out : string option;
+}
+
+let env_faults () =
+  match Impact_net.Faults.of_env () with
+  | Ok f -> f
+  | Error msg ->
+    Printf.eprintf "impactc serve: IMPACT_FAULTS: %s\n" msg;
+    exit 2
+
+(* The one place a [Listener.config] is built from CLI flags. *)
+let listener_config ?store ?prebound ~faults ~access_log ~trace_sample o ~host
+    ~port =
+  {
+    (Impact_net.Listener.default_config ?store ()) with
+    Impact_net.Listener.host;
+    port;
+    workers = o.so_jobs;
+    queue_depth = o.so_queue_depth;
+    deadline_ms = o.so_deadline_ms;
+    max_line = o.so_max_line;
+    faults;
+    access_log;
+    trace_sample;
+    prebound;
+  }
+
+let resolved_jobs o =
+  match o.so_jobs with
+  | Some j -> j
+  | None -> Impact_exec.Pool.resolve_workers ()
+
+let print_drained ~label (s : Impact_net.Listener.stats) =
+  Printf.eprintf
+    "impactc serve: %sdrained (%d conns, %d requests, %d responses, %d shed, \
+     %d deadline, %d too-long, %d dropped)\n%!"
+    label s.Impact_net.Listener.accepted s.Impact_net.Listener.requests
+    s.Impact_net.Listener.responses s.Impact_net.Listener.shed
+    s.Impact_net.Listener.deadlined s.Impact_net.Listener.too_long
+    s.Impact_net.Listener.dropped_conns
+
+let serve_listen ~store o ~host ~port =
+  let faults = env_faults () in
   let cfg =
-    {
-      (Impact_net.Listener.default_config ?store ()) with
-      Impact_net.Listener.host;
-      port;
-      workers = jobs;
-      queue_depth;
-      deadline_ms;
-      max_line;
-      faults;
-      access_log;
-      trace_sample;
-    }
+    listener_config ?store ~faults ~access_log:o.so_access_log
+      ~trace_sample:o.so_trace_sample o ~host ~port
   in
   let t = Impact_net.Listener.start cfg in
   Printf.eprintf
     "impactc serve: listening on %s:%d (workers %d, queue %d%s%s%s%s%s)\n%!" host
-    (Impact_net.Listener.port t)
-    (match jobs with Some j -> j | None -> Impact_exec.Pool.resolve_workers ())
-    queue_depth
-    (match deadline_ms with
+    (Impact_net.Listener.port t) (resolved_jobs o) o.so_queue_depth
+    (match o.so_deadline_ms with
     | Some ms -> Printf.sprintf ", deadline %d ms" ms
     | None -> "")
     (if Impact_net.Faults.active faults then
        ", faults " ^ Impact_net.Faults.to_string faults
      else "")
     (match store with None -> ", cache off" | Some _ -> "")
-    (match access_log with
+    (match o.so_access_log with
     | Some path -> ", access-log " ^ path
     | None -> "")
-    (match trace_sample with
+    (match o.so_trace_sample with
     | Some n -> Printf.sprintf ", trace 1/%d" n
     | None -> "");
   let handler = Sys.Signal_handle (fun _ -> Impact_net.Listener.stop t) in
   Sys.set_signal Sys.sigterm handler;
   Sys.set_signal Sys.sigint handler;
   Impact_net.Listener.wait t;
-  let s = Impact_net.Listener.stats t in
-  Printf.eprintf
-    "impactc serve: drained (%d conns, %d requests, %d responses, %d shed, %d \
-     deadline, %d too-long, %d dropped)\n%!"
-    s.Impact_net.Listener.accepted s.Impact_net.Listener.requests
-    s.Impact_net.Listener.responses s.Impact_net.Listener.shed
-    s.Impact_net.Listener.deadlined s.Impact_net.Listener.too_long
-    s.Impact_net.Listener.dropped_conns;
-  (match trace_out with
+  print_drained ~label:"" (Impact_net.Listener.stats t);
+  (match o.so_trace_out with
   | None -> ()
   | Some path ->
     Obs.write_trace path;
@@ -907,47 +935,160 @@ let serve_listen ~store ~jobs ~queue_depth ~deadline_ms ~max_line ~access_log
       (Obs.events_dropped ()));
   print_cache_stats store
 
+(* One forked shard server: a plain listener on the socket the parent
+   pre-bound, owning its own slice of the cache directory. Faults,
+   access log and tracing stay with the parent router — the shard links
+   must stay clean for positional response pairing, and the client
+   boundary (where faults are specified to strike) lives in the
+   router. The banner and drain lines deliberately say "shard K ..." so
+   harnesses that scrape "impactc serve: listening on"/"... drained"
+   only ever match the front end. *)
+let serve_shard_child o ~shard fd =
+  let store =
+    if o.so_no_cache then None
+    else
+      Some
+        (Impact_svc.Store.open_store
+           (Impact_svc.Store.shard_dir o.so_cache_dir shard))
+  in
+  (match store with
+  | Some st -> Impact_svc.Service.install_cache st
+  | None -> ());
+  Obs.set_collecting true;
+  let cfg =
+    listener_config ?store ~prebound:fd ~faults:Impact_net.Faults.none
+      ~access_log:None ~trace_sample:None o ~host:"127.0.0.1" ~port:0
+  in
+  let t = Impact_net.Listener.start cfg in
+  Printf.eprintf "impactc serve: shard %d listening on 127.0.0.1:%d (workers %d, queue %d)\n%!"
+    shard (Impact_net.Listener.port t) (resolved_jobs o) o.so_queue_depth;
+  let handler = Sys.Signal_handle (fun _ -> Impact_net.Listener.stop t) in
+  Sys.set_signal Sys.sigterm handler;
+  Sys.set_signal Sys.sigint handler;
+  Impact_net.Listener.wait t;
+  print_drained ~label:(Printf.sprintf "shard %d " shard)
+    (Impact_net.Listener.stats t);
+  print_cache_stats store;
+  exit 0
+
+let rec reap_child pid =
+  match Unix.waitpid [] pid with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap_child pid
+  | r -> r
+
+let serve_sharded o ~host ~port =
+  let n = o.so_shards in
+  (* Pre-bind every shard's listening socket here so the children need
+     no port handshake: a forked child serves on its inherited fd, and
+     the router can connect immediately — the sockets are already
+     listening, so the kernel queues connections even before a child
+     runs its first accept. *)
+  let socks =
+    Array.init n (fun _ ->
+        let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+        Unix.listen fd 128;
+        fd)
+  in
+  let backend_port fd =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let ports = Array.map backend_port socks in
+  (* Fork before this process creates any domain or thread: forking a
+     multicore OCaml runtime with live domains is undefined. *)
+  let pids =
+    Array.init n (fun k ->
+        match Unix.fork () with
+        | 0 ->
+          Array.iteri
+            (fun j fd -> if j <> k then try Unix.close fd with _ -> ())
+            socks;
+          serve_shard_child o ~shard:k socks.(k)
+        | pid -> pid)
+  in
+  Array.iter (fun fd -> try Unix.close fd with _ -> ()) socks;
+  Obs.set_collecting true;
+  let faults = env_faults () in
+  let rcfg =
+    {
+      Impact_net.Router.host;
+      port;
+      backends = Array.map (fun p -> ("127.0.0.1", p)) ports;
+      max_line = o.so_max_line;
+      faults;
+      access_log = o.so_access_log;
+    }
+  in
+  let t = Impact_net.Router.start rcfg in
+  Printf.eprintf
+    "impactc serve: listening on %s:%d (%d shards, workers %d/shard, queue \
+     %d/shard%s%s%s%s)\n%!"
+    host (Impact_net.Router.port t) n (resolved_jobs o) o.so_queue_depth
+    (match o.so_deadline_ms with
+    | Some ms -> Printf.sprintf ", deadline %d ms" ms
+    | None -> "")
+    (if Impact_net.Faults.active faults then
+       ", faults " ^ Impact_net.Faults.to_string faults
+     else "")
+    (if o.so_no_cache then ", cache off" else "")
+    (match o.so_access_log with
+    | Some path -> ", access-log " ^ path
+    | None -> "");
+  let handler = Sys.Signal_handle (fun _ -> Impact_net.Router.stop t) in
+  Sys.set_signal Sys.sigterm handler;
+  Sys.set_signal Sys.sigint handler;
+  Impact_net.Router.wait t;
+  print_drained ~label:"" (Impact_net.Router.stats t);
+  (* The shards outlive the router's drain (every forwarded line was
+     answered before the links closed); terminate and reap them now. *)
+  Array.iter (fun pid -> try Unix.kill pid Sys.sigterm with _ -> ()) pids;
+  let failed = ref 0 in
+  Array.iter
+    (fun pid ->
+      match reap_child pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, _ ->
+        incr failed;
+        Printf.eprintf "impactc serve: shard pid %d exited abnormally\n%!" pid)
+    pids;
+  if !failed > 0 then exit 1
+
 let serve_cmd =
-  let run file listen cache_dir no_cache jobs queue_depth deadline_ms max_line
-      access_log trace_sample trace_out =
-    (match listen with
-    | None when access_log <> None || trace_sample <> None || trace_out <> None
-      ->
-      Printf.eprintf
-        "impactc serve: --access-log/--trace-sample/--trace-out require \
-         --listen\n";
-      exit 2
-    | _ -> ());
-    (match trace_sample with
-    | Some n when n < 1 ->
-      Printf.eprintf "impactc serve: --trace-sample expects N >= 1, got %d\n" n;
-      exit 2
-    | Some _ when trace_out = None ->
-      Printf.eprintf
-        "impactc serve: --trace-sample records spans but --trace-out FILE is \
-         needed to write them\n";
-      exit 2
-    | _ -> ());
-    let store =
-      if no_cache then None
-      else Some (Impact_svc.Store.open_store cache_dir)
-    in
-    (* The base-measurement path goes through Experiment, so give it the
-       same store; counters come back through Obs. *)
-    (match store with
-    | Some st -> Impact_svc.Service.install_cache st
-    | None -> ());
-    Obs.set_collecting true;
-    match listen with
-    | Some hostport ->
-      serve_listen ~store ~jobs ~queue_depth ~deadline_ms ~max_line ~access_log
-        ~trace_sample ~trace_out hostport
+  let run file o =
+    match o.so_listen with
+    | Some (host, port) ->
+      if o.so_shards > 0 then serve_sharded o ~host ~port
+      else begin
+        let store =
+          if o.so_no_cache then None
+          else Some (Impact_svc.Store.open_store o.so_cache_dir)
+        in
+        (* The base-measurement path goes through Experiment, so give it
+           the same store; counters come back through Obs. *)
+        (match store with
+        | Some st -> Impact_svc.Service.install_cache st
+        | None -> ());
+        Obs.set_collecting true;
+        serve_listen ~store o ~host ~port
+      end
     | None ->
+      let store =
+        if o.so_no_cache then None
+        else Some (Impact_svc.Store.open_store o.so_cache_dir)
+      in
+      (match store with
+      | Some st -> Impact_svc.Service.install_cache st
+      | None -> ());
+      Obs.set_collecting true;
       let ic = match file with None -> stdin | Some f -> open_in f in
       Fun.protect
         ~finally:(fun () -> if file <> None then close_in_noerr ic)
         (fun () ->
-          Impact_svc.Service.run_channel ?workers:jobs ~max_line ~store ic stdout);
+          Impact_svc.Service.run_channel ?workers:o.so_jobs
+            ~max_line:o.so_max_line ~store ic stdout);
       print_cache_stats store
   in
   let file_arg =
@@ -1054,18 +1195,75 @@ let serve_cmd =
              trace_event JSON to $(docv) after the drain completes (open in \
              Perfetto).")
   in
+  let shards_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "With $(b,--listen): fork $(docv) shard server processes, each \
+             owning a disjoint $(b,shard-K/) slice of the cache directory and \
+             its own worker domains, behind a front router that places each \
+             request by a consistent hash of its query digest (repeats of a \
+             query always warm the same shard). Clients see one server: the \
+             same protocol, per-connection order and record bytes; \
+             $(b,health)/$(b,metrics) ops aggregate across shards. \
+             $(b,--queue-depth), $(b,--deadline-ms) and $(b,-j) apply per \
+             shard.")
+  in
+  (* The one validated term all serve-mode flags funnel through. *)
+  let serve_opts_term =
+    let build listen shards cache_dir no_cache jobs queue_depth deadline_ms
+        max_line access_log trace_sample trace_out =
+      let fail fmt =
+        Printf.ksprintf
+          (fun msg ->
+            Printf.eprintf "impactc serve: %s\n" msg;
+            exit 2)
+          fmt
+      in
+      if listen = None && (access_log <> None || trace_sample <> None
+                           || trace_out <> None || shards <> 0)
+      then fail "--access-log/--trace-sample/--trace-out/--shards require --listen";
+      if shards < 0 then fail "--shards expects N >= 1, got %d" shards;
+      (match trace_sample with
+      | Some n when n < 1 -> fail "--trace-sample expects N >= 1, got %d" n
+      | Some _ when trace_out = None ->
+        fail
+          "--trace-sample records spans but --trace-out FILE is needed to \
+           write them"
+      | _ -> ());
+      if shards > 0 && (trace_sample <> None || trace_out <> None) then
+        fail "--trace-sample/--trace-out are per-process; not available with --shards";
+      {
+        so_listen = Option.map parse_listen listen;
+        so_shards = shards;
+        so_jobs = jobs;
+        so_queue_depth = queue_depth;
+        so_deadline_ms = deadline_ms;
+        so_max_line = max_line;
+        so_cache_dir = cache_dir;
+        so_no_cache = no_cache;
+        so_access_log = access_log;
+        so_trace_sample = trace_sample;
+        so_trace_out = trace_out;
+      }
+    in
+    Term.(
+      const build $ listen_arg $ shards_arg $ cache_dir_arg $ no_cache_arg
+      $ jobs_arg $ queue_depth_arg $ deadline_arg $ max_line_arg
+      $ access_log_arg $ trace_sample_arg $ trace_out_arg)
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Answer JSON queries (one object per line; see DESIGN.md \"Query API \
           & result cache\"), from standard input or a file by default, or as \
-          a concurrent TCP service with $(b,--listen). Every request line is \
+          a concurrent TCP service with $(b,--listen) (optionally sharded \
+          across processes with $(b,--shards)). Every request line is \
           answered in order with a JSON result or a structured error record; \
           the exit code is 0 even when individual queries fail.")
-    Term.(
-      const run $ file_arg $ listen_arg $ cache_dir_arg $ no_cache_arg $ jobs_arg
-      $ queue_depth_arg $ deadline_arg $ max_line_arg $ access_log_arg
-      $ trace_sample_arg $ trace_out_arg)
+    Term.(const run $ file_arg $ serve_opts_term)
 
 let () =
   let doc = "IMPACT-style ILP transformation compiler (SC'92 reproduction)" in

@@ -58,7 +58,7 @@ let fig7_kernel =
   }
 
 let cycles level kernel =
-  let m = Compile.measure level Impact_ir.Machine.unlimited (Impact_fir.Lower.lower kernel) in
+  let m = Compile.measure_with Opts.default level Impact_ir.Machine.unlimited (Impact_fir.Lower.lower kernel) in
   m
 
 let () =

@@ -39,7 +39,7 @@ let () =
   print_endline "(speedup vs. issue-1 Conv)";
   print_newline ();
   let base =
-    Compile.measure Level.Conv Impact_ir.Machine.issue_1 (Impact_fir.Lower.lower stencil)
+    Compile.measure_with Opts.default Level.Conv Impact_ir.Machine.issue_1 (Impact_fir.Lower.lower stencil)
   in
   let unrolls = [ 2; 4; 8 ] in
   Printf.printf "%-9s" "issue\\unr";
@@ -52,7 +52,7 @@ let () =
       List.iter
         (fun u ->
           let m =
-            Compile.measure ~unroll_factor:u Level.Lev4 machine
+            Compile.measure_with (Opts.make ~unroll:u ()) Level.Lev4 machine
               (Impact_fir.Lower.lower stencil)
           in
           Printf.printf " %8.2f" (Compile.speedup ~base ~this:m))

@@ -39,13 +39,13 @@ let () =
   print_endline "cycles/iteration).";
   print_newline ();
   let base =
-    Compile.measure Level.Conv Impact_ir.Machine.issue_1 (Impact_fir.Lower.lower kernel)
+    Compile.measure_with Opts.default Level.Conv Impact_ir.Machine.issue_1 (Impact_fir.Lower.lower kernel)
   in
   Printf.printf "%-5s %12s %9s\n" "level" "cycles/iter" "speedup";
   List.iter
     (fun level ->
       let m =
-        Compile.measure ~unroll_factor:3 level Impact_ir.Machine.unlimited
+        Compile.measure_with (Opts.make ~unroll:3 ()) level Impact_ir.Machine.unlimited
           (Impact_fir.Lower.lower kernel)
       in
       Printf.printf "%-5s %12.2f %9.2f\n" (Level.to_string level)

@@ -58,7 +58,7 @@ let () =
   print_newline ();
   let iters = size * size * size in
   let base =
-    Compile.measure Level.Conv Impact_ir.Machine.issue_1 (Impact_fir.Lower.lower kernel)
+    Compile.measure_with Opts.default Level.Conv Impact_ir.Machine.issue_1 (Impact_fir.Lower.lower kernel)
   in
   Printf.printf "%-5s %-9s %10s %12s %9s\n" "level" "machine" "cycles" "cyc/inner-it"
     "speedup";
@@ -66,7 +66,7 @@ let () =
     (fun level ->
       List.iter
         (fun machine ->
-          let m = Compile.measure level machine (Impact_fir.Lower.lower kernel) in
+          let m = Compile.measure_with Opts.default level machine (Impact_fir.Lower.lower kernel) in
           Printf.printf "%-5s %-9s %10d %12.2f %9.2f\n" (Level.to_string level)
             machine.Impact_ir.Machine.name m.Compile.cycles
             (float_of_int m.Compile.cycles /. float_of_int iters)
@@ -74,7 +74,7 @@ let () =
         [ Impact_ir.Machine.issue_8 ])
     Level.all;
   (* Validate against the OCaml reference. *)
-  let m = Compile.measure Level.Lev4 Impact_ir.Machine.issue_8 (Impact_fir.Lower.lower kernel) in
+  let m = Compile.measure_with Opts.default Level.Lev4 Impact_ir.Machine.issue_8 (Impact_fir.Lower.lower kernel) in
   let c = List.assoc "C" m.Compile.result.Impact_sim.Sim.arrays_out in
   let expect = reference () in
   let max_err = ref 0.0 in

@@ -31,12 +31,12 @@ let () =
   print_endline "(paper: Conv 7.0, Lev1 6.33, Lev2 2.67 cycles/iteration)";
   print_newline ();
   let machine = Impact_ir.Machine.unlimited in
-  let base = Compile.measure Level.Conv Impact_ir.Machine.issue_1 (Impact_fir.Lower.lower kernel) in
+  let base = Compile.measure_with Opts.default Level.Conv Impact_ir.Machine.issue_1 (Impact_fir.Lower.lower kernel) in
   Printf.printf "%-5s %10s %12s %9s\n" "level" "cycles" "cycles/iter" "speedup";
   List.iter
     (fun level ->
       let m =
-        Compile.measure ~unroll_factor:3 level machine (Impact_fir.Lower.lower kernel)
+        Compile.measure_with (Opts.make ~unroll:3 ()) level machine (Impact_fir.Lower.lower kernel)
       in
       Printf.printf "%-5s %10d %12.2f %9.2f\n" (Level.to_string level) m.Compile.cycles
         (float_of_int m.Compile.cycles /. float_of_int n)

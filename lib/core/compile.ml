@@ -9,9 +9,7 @@
    reports its wall time to [Impact_obs.Obs] for `bench json` and the
    bench stderr stage report.
 
-   The [*_with] entry points take the consolidated [Opts.t] record; the
-   optional-argument signatures below them are retained as thin
-   wrappers for existing call sites. *)
+   Every entry point takes the consolidated [Opts.t] record. *)
 
 open Impact_ir
 
@@ -74,22 +72,6 @@ let compile_with (opts : Opts.t) (level : Level.t) (machine : Machine.t)
 let measure_with (opts : Opts.t) (level : Level.t) (machine : Machine.t)
     (p : Prog.t) : measurement =
   schedule_and_measure_with opts level machine (transform_with opts level p)
-
-(* ---- Deprecated optional-argument wrappers ---- *)
-
-let transform ?unroll_factor level p =
-  transform_with (Opts.make ?unroll:unroll_factor ()) level p
-
-let schedule ?sched machine p = schedule_with (Opts.make ?sched ()) machine p
-
-let schedule_and_measure ?sched ?fuel level machine p =
-  schedule_and_measure_with (Opts.make ?sched ?fuel ()) level machine p
-
-let compile ?unroll_factor ?sched level machine p =
-  compile_with (Opts.make ?unroll:unroll_factor ?sched ()) level machine p
-
-let measure ?unroll_factor ?sched ?fuel level machine p =
-  measure_with (Opts.make ?unroll:unroll_factor ?sched ?fuel ()) level machine p
 
 (* Speedup of a measurement against the paper's base configuration: an
    issue-1 processor with conventional optimizations. *)

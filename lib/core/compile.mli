@@ -2,9 +2,8 @@
     independence boundary so the harness can cache the transform prefix
     and share it across machine configurations.
 
-    The canonical entry points are the [*_with] functions taking the
-    consolidated {!Opts.t}; the optional-argument variants are kept as
-    thin wrappers so existing call sites build unchanged. *)
+    Every entry point takes the consolidated {!Opts.t} — build one with
+    {!Opts.make} (or start from {!Opts.default}). *)
 
 open Impact_ir
 
@@ -45,33 +44,6 @@ val compile_with : Opts.t -> Level.t -> Machine.t -> Prog.t -> Prog.t
 
 val measure_with : Opts.t -> Level.t -> Machine.t -> Prog.t -> measurement
 (** [schedule_and_measure_with opts level machine (transform_with opts level p)]. *)
-
-(** {1 Deprecated optional-argument wrappers}
-
-    Thin wrappers over the [*_with] API, kept so pre-[Opts] call sites
-    (and their tests) build unchanged. New code should pass an
-    {!Opts.t}. *)
-
-val transform : ?unroll_factor:int -> Level.t -> Prog.t -> Prog.t
-(** @deprecated Use {!transform_with}. *)
-
-val schedule : ?sched:Opts.sched -> Machine.t -> Prog.t -> Prog.t
-(** @deprecated Use {!schedule_with}. *)
-
-val schedule_and_measure :
-  ?sched:Opts.sched -> ?fuel:int -> Level.t -> Machine.t -> Prog.t ->
-  measurement
-(** @deprecated Use {!schedule_and_measure_with}. *)
-
-val compile :
-  ?unroll_factor:int -> ?sched:Opts.sched -> Level.t -> Machine.t -> Prog.t ->
-  Prog.t
-(** @deprecated Use {!compile_with}. *)
-
-val measure :
-  ?unroll_factor:int -> ?sched:Opts.sched -> ?fuel:int -> Level.t ->
-  Machine.t -> Prog.t -> measurement
-(** @deprecated Use {!measure_with}. *)
 
 val speedup : base:measurement -> this:measurement -> float
 (** Speedup against the paper's base configuration (issue-1, Conv). *)

@@ -120,9 +120,6 @@ let base_measurement_with (opts : Opts.t) (s : subject) : Compile.measurement =
     Mutex.unlock base_mutex;
     m
 
-let base_measurement ?unroll_factor s =
-  base_measurement_with (Opts.make ?unroll:unroll_factor ()) s
-
 (* Run one subject across levels and machines; poisoned cells (fuel
    exhaustion) are reported separately instead of aborting the run.
    [opts.sched] selects the per-machine scheduler; the base measurement
@@ -207,19 +204,6 @@ let run_all_with ?workers ?(progress = fun _ -> ())
   (* Poison reports after the join, in deterministic subject order. *)
   Array.iter (fun (_, ps) -> List.iter on_poison ps) results;
   List.concat_map fst (Array.to_list results)
-
-(* ---- Deprecated optional-argument wrappers ---- *)
-
-let run_subject ?unroll_factor ?sched ?on_poison machines levels s =
-  run_subject_with ?on_poison
-    (Opts.make ?unroll:unroll_factor ?sched ())
-    machines levels s
-
-let run_all ?unroll_factor ?sched ?workers ?progress ?on_poison machines levels
-    subjects =
-  run_all_with ?workers ?progress ?on_poison
-    (Opts.make ?unroll:unroll_factor ?sched ())
-    machines levels subjects
 
 (* ---- Aggregation ---- *)
 

@@ -3,8 +3,7 @@
     issue-1 Conv base) and register usage into the distributions of
     Figures 8-15.
 
-    The canonical entry points take the consolidated {!Opts.t}; the
-    optional-argument variants are kept as thin wrappers. An optional
+    Every entry point takes the consolidated {!Opts.t}. An optional
     measurement cache ({!set_cache}) is consulted before any per-cell
     compilation or simulation is scheduled. *)
 
@@ -55,9 +54,6 @@ val base_measurement_with : Opts.t -> subject -> Compile.measurement
     installed measurement cache when possible. May raise
     [Impact_sim.Sim.Timeout]. *)
 
-val base_measurement : ?unroll_factor:int -> subject -> Compile.measurement
-(** @deprecated Use {!base_measurement_with}. *)
-
 val clear_base_cache : unit -> unit
 
 val run_subject_with :
@@ -91,28 +87,6 @@ val run_all_with :
     count — with or without a warm measurement cache; [progress] runs on
     worker domains, poison reports are delivered after the join in
     subject order. *)
-
-val run_subject :
-  ?unroll_factor:int ->
-  ?sched:Opts.sched ->
-  ?on_poison:(poisoned -> unit) ->
-  Machine.t list ->
-  Level.t list ->
-  subject ->
-  cell list
-(** @deprecated Use {!run_subject_with}. *)
-
-val run_all :
-  ?unroll_factor:int ->
-  ?sched:Opts.sched ->
-  ?workers:int ->
-  ?progress:(string -> unit) ->
-  ?on_poison:(poisoned -> unit) ->
-  Machine.t list ->
-  Level.t list ->
-  subject list ->
-  cell list
-(** @deprecated Use {!run_all_with}. *)
 
 val filter_cells :
   ?group:string -> ?level:Level.t -> ?machine:Machine.t -> cell list -> cell list

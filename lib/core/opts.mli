@@ -2,9 +2,8 @@
 
     One record gathers the knobs that used to travel as scattered
     optional arguments ([?unroll_factor], [?sched], [?fuel]) through
-    {!Compile}, {!Experiment} and the drivers. The [*_with] entry
-    points take an [Opts.t]; the old optional-argument signatures
-    remain as thin wrappers over {!make}. *)
+    {!Compile}, {!Experiment} and the drivers. Every entry point takes
+    an [Opts.t] — build one with {!make} or start from {!default}. *)
 
 type sched = [ `List | `Pipe ]
 

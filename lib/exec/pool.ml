@@ -103,6 +103,7 @@ type executor = {
   mutable ex_completed : int;  (* jobs that finished running *)
   mutable ex_rejected : int;  (* submissions refused (queue full / closed) *)
   mutable ex_peak_queue : int;  (* high-water mark of the pending queue *)
+  ex_on_complete : unit -> unit;  (* completion wakeup, outside the lock *)
 }
 
 type executor_stats = {
@@ -112,7 +113,7 @@ type executor_stats = {
   peak_queue : int;
 }
 
-let create_executor ?workers ~queue_depth () =
+let create_executor ?workers ?(on_complete = fun () -> ()) ~queue_depth () =
   let w = match workers with Some w -> max 1 w | None -> resolve_workers () in
   let ex =
     {
@@ -128,6 +129,7 @@ let create_executor ?workers ~queue_depth () =
       ex_completed = 0;
       ex_rejected = 0;
       ex_peak_queue = 0;
+      ex_on_complete = on_complete;
     }
   in
   let worker () =
@@ -152,6 +154,7 @@ let create_executor ?workers ~queue_depth () =
         ex.ex_running <- ex.ex_running - 1;
         ex.ex_completed <- ex.ex_completed + 1;
         Mutex.unlock ex.ex_mutex;
+        (try ex.ex_on_complete () with _ -> ());
         next ()
     in
     next ()

@@ -31,9 +31,18 @@ val map_list : ?workers:int -> ('a -> 'b) -> 'a list -> 'b list
 
 type executor
 
-val create_executor : ?workers:int -> queue_depth:int -> unit -> executor
+val create_executor :
+  ?workers:int -> ?on_complete:(unit -> unit) -> queue_depth:int -> unit -> executor
 (** Spawn [workers] domains (default {!resolve_workers}) behind a queue
-    bounded at [queue_depth] pending jobs (clamped to at least 1). *)
+    bounded at [queue_depth] pending jobs (clamped to at least 1).
+
+    [on_complete] is the completion notification: it runs on the worker
+    domain after every job finishes (normally or by exception), outside
+    the executor lock. An event-driven consumer passes a self-pipe
+    wakeup here so it can multiplex job completions with socket
+    readiness instead of blocking on a condition variable; the callback
+    must therefore be cheap, non-blocking and exception-free
+    (exceptions escaping it are swallowed like job exceptions). *)
 
 val submit : executor -> (unit -> unit) -> bool
 (** Enqueue a job, or return [false] when the queue is at capacity or

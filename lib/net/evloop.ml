@@ -1,0 +1,124 @@
+module Wake = struct
+  type t = { r : Unix.file_descr; w : Unix.file_descr }
+
+  let create () =
+    let r, w = Unix.pipe ~cloexec:true () in
+    Unix.set_nonblock r;
+    Unix.set_nonblock w;
+    { r; w }
+
+  let ring t = try ignore (Unix.write t.w (Bytes.make 1 '!') 0 1) with _ -> ()
+
+  let fd t = t.r
+
+  let drain t =
+    let buf = Bytes.create 64 in
+    let rec go () =
+      match Unix.read t.r buf 0 64 with
+      | 0 -> ()
+      | _ -> go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (_, _, _) -> ()
+    in
+    go ()
+
+  let close t =
+    (try Unix.close t.r with _ -> ());
+    try Unix.close t.w with _ -> ()
+end
+
+module Framer = struct
+  type t = {
+    max_line : int;
+    pend : Buffer.t;
+    mutable over : bool;  (* current line already blew the bound *)
+  }
+
+  let create ~max_line = { max_line; pend = Buffer.create 256; over = false }
+
+  let take t =
+    let item = if t.over then `Over else `Line (Buffer.contents t.pend) in
+    Buffer.clear t.pend;
+    t.over <- false;
+    item
+
+  (* Scan for newlines a chunk at a time rather than per character: the
+     hot path under pipelined load is a 4 KiB read holding several
+     complete small lines. *)
+  let feed t buf n k =
+    let i = ref 0 in
+    while !i < n do
+      match Bytes.index_from_opt buf !i '\n' with
+      | Some j when j < n ->
+        (if not t.over then
+           let len = j - !i in
+           if Buffer.length t.pend + len > t.max_line then begin
+             Buffer.clear t.pend;
+             t.over <- true
+           end
+           else Buffer.add_subbytes t.pend buf !i len);
+        k (take t);
+        i := j + 1
+      | _ ->
+        (if not t.over then
+           let len = n - !i in
+           if Buffer.length t.pend + len > t.max_line then begin
+             Buffer.clear t.pend;
+             t.over <- true
+           end
+           else Buffer.add_subbytes t.pend buf !i len);
+        i := n
+    done
+
+  let final t =
+    if Buffer.length t.pend > 0 || t.over then Some (take t) else None
+end
+
+module Outq = struct
+  type seg = {
+    sg_bytes : Bytes.t;
+    mutable sg_off : int;
+    sg_on_flush : (wrote:bool -> unit) option;
+  }
+
+  type t = seg Queue.t
+
+  let create () : t = Queue.create ()
+
+  let push (t : t) ?on_flush s =
+    Queue.add { sg_bytes = Bytes.of_string s; sg_off = 0; sg_on_flush = on_flush } t
+
+  let is_empty (t : t) = Queue.is_empty t
+
+  let fire seg ~wrote =
+    match seg.sg_on_flush with None -> () | Some f -> f ~wrote
+
+  let abort (t : t) =
+    while not (Queue.is_empty t) do
+      fire (Queue.pop t) ~wrote:false
+    done
+
+  let flush (t : t) fd =
+    let rec go () =
+      if Queue.is_empty t then `Drained
+      else begin
+        let seg = Queue.peek t in
+        let len = Bytes.length seg.sg_bytes - seg.sg_off in
+        match Unix.write fd seg.sg_bytes seg.sg_off len with
+        | k ->
+          seg.sg_off <- seg.sg_off + k;
+          if seg.sg_off >= Bytes.length seg.sg_bytes then begin
+            ignore (Queue.pop t);
+            fire seg ~wrote:true
+          end;
+          go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          `Blocked
+        | exception Unix.Unix_error (_, _, _) ->
+          abort t;
+          `Error
+      end
+    in
+    go ()
+end

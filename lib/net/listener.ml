@@ -15,6 +15,7 @@ type config = {
   store : Store.t option;
   access_log : string option;  (* JSONL per-request timing log *)
   trace_sample : int option;  (* trace spans for 1-in-N connections *)
+  prebound : Unix.file_descr option;  (* serve on this socket (shard child) *)
 }
 
 let default_config ?store () =
@@ -29,6 +30,7 @@ let default_config ?store () =
     store;
     access_log = None;
     trace_sample = None;
+    prebound = None;
   }
 
 type stats = {
@@ -41,23 +43,81 @@ type stats = {
   dropped_conns : int;
 }
 
+(* ---- Request lifecycle ----
+
+   Every answered line carries one of these through the cell queue: the
+   event loop stamps read/admit, the worker stamps eval start/done (and
+   the outcome), and the flush callback — the only place that knows when
+   the bytes actually left — closes it out: histograms, the access log
+   and the sampled trace spans are all fed at write-flush time. *)
+
+type lifecycle = {
+  lc_conn : int;
+  lc_line : int;
+  lc_read : float;  (* request line fully read *)
+  mutable lc_admit : float;  (* accepted by the executor queue *)
+  mutable lc_start : float;  (* evaluation started *)
+  mutable lc_done : float;  (* response text ready *)
+  mutable lc_kind : string;  (* query | health | metrics | too_long *)
+  mutable lc_outcome : string;  (* ok | error | shed | deadline *)
+  mutable lc_cache : string option;  (* hit | miss | off *)
+  mutable lc_loop : string option;
+}
+
+let lifecycle ~conn ~line ~kind t_read =
+  {
+    lc_conn = conn;
+    lc_line = line;
+    lc_read = t_read;
+    lc_admit = t_read;
+    lc_start = t_read;
+    lc_done = t_read;
+    lc_kind = kind;
+    lc_outcome = "ok";
+    lc_cache = None;
+    lc_loop = None;
+  }
+
+(* ---- Per-connection state ----
+
+   The loop owns everything here except [c_resp], which a worker domain
+   fills ([Atomic.set], then a self-pipe ring). The cell queue holds
+   answered-but-not-yet-serialized lines in request order; the loop pops
+   the filled prefix into the write queue, so pipelined evaluation may
+   complete out of order while the wire order never does. *)
+
+type cell = { c_resp : string option Atomic.t; c_lc : lifecycle }
+
+type conn = {
+  cn_id : int;
+  cn_fd : Unix.file_descr;
+  cn_sampled : bool;
+  cn_rd_faults : Faults.stream;
+  cn_wr_faults : Faults.stream;
+  cn_framer : Evloop.Framer.t;
+  mutable cn_lineno : int;
+  cn_cells : cell Queue.t;
+  cn_out : Evloop.Outq.t;
+  mutable cn_read_open : bool;  (* still reading request bytes *)
+  mutable cn_alive : bool;  (* write side still usable *)
+  mutable cn_want_write : bool;  (* outq blocked; arm write interest *)
+}
+
 type t = {
   cfg : config;
   lfd : Unix.file_descr;
   lport : int;
   exec : Pool.executor;
   started_at : float;
-  stop_r : Unix.file_descr;
-  stop_w : Unix.file_descr;
+  wake : Evloop.Wake.t;
   draining : bool Atomic.t;
   stop_sent : bool Atomic.t;
   finished : bool Atomic.t;
-  next_conn : int Atomic.t;
-  m : Mutex.t;
-  conn_done : Condition.t;
-  conns : (int, Unix.file_descr) Hashtbl.t;  (* open connections, for drain *)
+  conns : (Unix.file_descr, conn) Hashtbl.t;  (* loop-owned, keyed by socket *)
+  mutable next_conn : int;
   mutable active : int;
-  mutable accept_thread : Thread.t option;
+  mutable accepting : bool;
+  mutable loop_thread : Thread.t option;
   c_accepted : int Atomic.t;
   c_requests : int Atomic.t;
   c_responses : int Atomic.t;
@@ -66,7 +126,6 @@ type t = {
   c_too_long : int Atomic.t;
   c_dropped : int Atomic.t;
   access : out_channel option;
-  access_m : Mutex.t;
 }
 
 let port t = t.lport
@@ -129,7 +188,6 @@ let cache_json t =
       ]
 
 let health_record t ~line =
-  let active = Mutex.protect t.m (fun () -> t.active) in
   Json.to_string
     (Json.Obj
        [
@@ -141,7 +199,7 @@ let health_record t ~line =
          ("queue_capacity", Json.Int t.cfg.queue_depth);
          ("running", Json.Int (Pool.running t.exec));
          ("workers", Json.Int (Pool.executor_workers t.exec));
-         ("conns", Json.Int active);
+         ("conns", Json.Int t.active);
          ("accepted", Json.Int (Atomic.get t.c_accepted));
          ("requests", Json.Int (Atomic.get t.c_requests));
          ("responses", Json.Int (Atomic.get t.c_responses));
@@ -186,7 +244,6 @@ let starts_with ~prefix s =
    request counters and cache statistics — one JSON line, served inline
    so it stays readable under full overload, exactly like health. *)
 let metrics_record t ~line =
-  let active = Mutex.protect t.m (fun () -> t.active) in
   let ex = Pool.executor_stats t.exec in
   let hists =
     List.filter
@@ -201,7 +258,7 @@ let metrics_record t ~line =
          ("line", Json.Int line);
          ("op", Json.Str "metrics");
          ("uptime_s", Json.Float (Obs.now () -. t.started_at));
-         ("conns", Json.Int active);
+         ("conns", Json.Int t.active);
          ("draining", Json.Bool (Atomic.get t.draining));
          ( "executor",
            Json.Obj
@@ -234,8 +291,8 @@ let metrics_record t ~line =
                 hists) );
        ])
 
-(* Queue-bypassing introspection ops, answered inline on the reader
-   thread so they work under full overload. *)
+(* Queue-bypassing introspection ops, answered inline on the event loop
+   so they work under full overload. *)
 let inline_op raw =
   match Json.parse raw with
   | Ok j -> (
@@ -244,41 +301,6 @@ let inline_op raw =
     | Some (Json.Str "metrics") -> Some `Metrics
     | _ -> None)
   | Error _ -> None
-
-(* ---- Request lifecycle ----
-
-   Every answered line carries one of these through the cell queue: the
-   reader stamps read/admit, the worker stamps eval start/done (and the
-   outcome), and the writer — the only place that knows when the bytes
-   actually left — closes it out: histograms, the access log and the
-   sampled trace spans are all fed at write-flush time. *)
-
-type lifecycle = {
-  lc_conn : int;
-  lc_line : int;
-  lc_read : float;  (* request line fully read *)
-  mutable lc_admit : float;  (* accepted by the executor queue *)
-  mutable lc_start : float;  (* evaluation started *)
-  mutable lc_done : float;  (* response text ready *)
-  mutable lc_kind : string;  (* query | health | metrics | too_long *)
-  mutable lc_outcome : string;  (* ok | error | shed | deadline *)
-  mutable lc_cache : string option;  (* hit | miss | off *)
-  mutable lc_loop : string option;
-}
-
-let lifecycle ~conn ~line ~kind t_read =
-  {
-    lc_conn = conn;
-    lc_line = line;
-    lc_read = t_read;
-    lc_admit = t_read;
-    lc_start = t_read;
-    lc_done = t_read;
-    lc_kind = kind;
-    lc_outcome = "ok";
-    lc_cache = None;
-    lc_loop = None;
-  }
 
 let opt_str = function None -> Json.Null | Some s -> Json.Str s
 
@@ -316,10 +338,9 @@ let finish_lifecycle t lc ~t1 ~bytes ~wrote ~sampled =
           ("wrote", Json.Bool wrote);
         ]
     in
-    Mutex.protect t.access_m (fun () ->
-      output_string ch (Json.to_string record);
-      output_char ch '\n';
-      flush ch));
+    output_string ch (Json.to_string record);
+    output_char ch '\n';
+    flush ch);
   if sampled then begin
     let label =
       match lc.lc_loop with
@@ -343,278 +364,297 @@ let finish_lifecycle t lc ~t1 ~bytes ~wrote ~sampled =
     Obs.event ~cat:"serve" ~tid:lc.lc_conn "write" ~t0:lc.lc_done ~t1
   end
 
-(* ---- Per-connection machinery ----
+(* ---- Request handling (on the loop thread) ---- *)
 
-   One reader thread parses lines and enqueues work; one writer thread
-   writes completed responses strictly in request order. Cells join
-   them: the reader pushes a cell per answered line, workers (or the
-   reader itself, for inline answers) fill it, the writer blocks on the
-   queue head — so pipelined evaluation may complete out of order while
-   the wire order never does. *)
+let push_cell cn lc =
+  let c = { c_resp = Atomic.make None; c_lc = lc } in
+  Queue.add c cn.cn_cells;
+  c
 
-type cell = { mutable resp : string option; lc : lifecycle }
+let fill cell resp =
+  cell.c_lc.lc_done <- Obs.now ();
+  Atomic.set cell.c_resp (Some resp)
 
-let handle_conn t conn_id fd =
-  let cfg = t.cfg in
-  let sampled =
-    match cfg.trace_sample with
-    | Some n when n > 0 -> conn_id mod n = 0
-    | _ -> false
-  in
-  let rd_faults = Faults.stream cfg.faults ~conn:conn_id ~channel:0 in
-  let wr_faults = Faults.stream cfg.faults ~conn:conn_id ~channel:1 in
-  let m = Mutex.create () in
-  let ready = Condition.create () in
-  let out : cell Queue.t = Queue.create () in
-  let done_reading = ref false in
-  let fill cell resp =
-    cell.lc.lc_done <- Obs.now ();
-    Mutex.lock m;
-    cell.resp <- Some resp;
-    Condition.broadcast ready;
-    Mutex.unlock m
-  in
-  let push lc =
-    let c = { resp = None; lc } in
-    Mutex.lock m;
-    Queue.add c out;
-    Mutex.unlock m;
-    c
-  in
-  (* Write side: [alive] is owned by the writer thread alone. *)
-  let alive = ref true in
-  let write_all s =
-    let b = Bytes.of_string s in
-    let n = Bytes.length b in
-    let rec go off =
-      if off < n then
-        match Unix.write fd b off (n - off) with
-        | k -> go (off + k)
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
-        | exception Unix.Unix_error (_, _, _) -> alive := false
+let handle_request t cn ~t_read raw =
+  let line = cn.cn_lineno in
+  bump t.c_requests "net.request";
+  if Faults.slow_read cn.cn_rd_faults then begin
+    Obs.count "net.fault.slow_read";
+    Faults.delay cn.cn_rd_faults
+  end;
+  match inline_op raw with
+  | Some `Health ->
+    Obs.count "net.health";
+    let c = push_cell cn (lifecycle ~conn:cn.cn_id ~line ~kind:"health" t_read) in
+    fill c (health_record t ~line)
+  | Some `Metrics ->
+    Obs.count "net.metrics";
+    let c = push_cell cn (lifecycle ~conn:cn.cn_id ~line ~kind:"metrics" t_read) in
+    fill c (metrics_record t ~line)
+  | None ->
+    let cfg = t.cfg in
+    let slow = Faults.slow_cell cn.cn_rd_faults in
+    if slow then Obs.count "net.fault.slow_cell";
+    let lc = lifecycle ~conn:cn.cn_id ~line ~kind:"query" t_read in
+    let c = push_cell cn lc in
+    let arrival = Obs.now () in
+    let expired () =
+      match cfg.deadline_ms with
+      | None -> false
+      | Some ms -> (Obs.now () -. arrival) *. 1000.0 > float_of_int ms
     in
-    go 0
-  in
-  let writer () =
-    let rec next () =
-      Mutex.lock m;
-      let rec take () =
-        if not (Queue.is_empty out) then begin
-          match (Queue.peek out).resp with
-          | Some _ -> Some (Queue.pop out)
-          | None ->
-            Condition.wait ready m;
-            take ()
-        end
-        else if !done_reading then None
-        else begin
-          Condition.wait ready m;
-          take ()
-        end
-      in
-      let job = take () in
-      Mutex.unlock m;
-      match job with
-      | None -> ()
-      | Some cell ->
-        let resp = Option.get cell.resp in
-        let wrote = ref false in
-        if !alive then
-          if Faults.drop_conn wr_faults then begin
-            (* Mid-line disconnect: half the response, then sever both
-               directions so the reader unblocks too. *)
-            bump t.c_dropped "net.fault.drop_conn";
-            write_all (String.sub resp 0 ((String.length resp + 1) / 2));
-            (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
-            alive := false
-          end
-          else begin
-            write_all (resp ^ "\n");
-            if !alive then begin
-              bump t.c_responses "net.response";
-              wrote := true
-            end
-          end;
-        (* Every consumed cell is closed out — including responses a
-           severed connection never saw — so the access log carries
-           exactly one record per answered request line. *)
-        finish_lifecycle t cell.lc ~t1:(Obs.now ())
-          ~bytes:(String.length resp) ~wrote:!wrote ~sampled;
-        next ()
-    in
-    next ()
-  in
-  let wt = Thread.create writer () in
-  (* Read side. *)
-  let lineno = ref 0 in
-  let handle_request ~t_read raw =
-    let line = !lineno in
-    bump t.c_requests "net.request";
-    if Faults.slow_read rd_faults then begin
-      Obs.count "net.fault.slow_read";
-      Faults.delay rd_faults
-    end;
-    match inline_op raw with
-    | Some `Health ->
-      Obs.count "net.health";
-      let c = push (lifecycle ~conn:conn_id ~line ~kind:"health" t_read) in
-      fill c (health_record t ~line)
-    | Some `Metrics ->
-      Obs.count "net.metrics";
-      let c = push (lifecycle ~conn:conn_id ~line ~kind:"metrics" t_read) in
-      fill c (metrics_record t ~line)
-    | None ->
-      let slow = Faults.slow_cell rd_faults in
-      if slow then Obs.count "net.fault.slow_cell";
-      let lc = lifecycle ~conn:conn_id ~line ~kind:"query" t_read in
-      let c = push lc in
-      let arrival = Obs.now () in
-      let expired () =
-        match cfg.deadline_ms with
-        | None -> false
-        | Some ms -> (Obs.now () -. arrival) *. 1000.0 > float_of_int ms
-      in
-      let answer () =
+    let answer () =
+      if expired () then begin
+        bump t.c_deadlined "net.deadline";
+        lc.lc_outcome <- "deadline";
+        deadline_record ~line ~deadline_ms:(Option.get cfg.deadline_ms)
+      end
+      else begin
+        if slow then Faults.delay cn.cn_rd_faults;
         if expired () then begin
           bump t.c_deadlined "net.deadline";
           lc.lc_outcome <- "deadline";
           deadline_record ~line ~deadline_ms:(Option.get cfg.deadline_ms)
         end
         else begin
-          if slow then Faults.delay rd_faults;
-          if expired () then begin
-            bump t.c_deadlined "net.deadline";
-            lc.lc_outcome <- "deadline";
-            deadline_record ~line ~deadline_ms:(Option.get cfg.deadline_ms)
-          end
-          else begin
-            let a = Service.answer_line_ex ~store:cfg.store ~line raw in
-            lc.lc_outcome <- (if a.Service.a_ok then "ok" else "error");
-            lc.lc_cache <- a.Service.a_cache;
-            lc.lc_loop <- a.Service.a_loop;
-            a.Service.a_text
-          end
+          let a = Service.answer_line_ex ~store:cfg.store ~line raw in
+          lc.lc_outcome <- (if a.Service.a_ok then "ok" else "error");
+          lc.lc_cache <- a.Service.a_cache;
+          lc.lc_loop <- a.Service.a_loop;
+          a.Service.a_text
         end
-      in
-      let job () =
-        lc.lc_start <- Obs.now ();
-        fill c
-          (try answer ()
-           with e ->
-             lc.lc_outcome <- "error";
-             error_json ~line ~error:"internal error" ~detail:(Printexc.to_string e))
-      in
-      lc.lc_admit <- Obs.now ();
-      if not (Pool.submit t.exec job) then begin
-        bump t.c_shed "net.shed";
-        lc.lc_outcome <- "shed";
-        let now = Obs.now () in
-        lc.lc_admit <- now;
-        lc.lc_start <- now;
-        fill c (overloaded_record ~line ~capacity:cfg.queue_depth)
       end
-  in
-  let handle_line item =
-    incr lineno;
-    let t_read = Obs.now () in
-    match item with
-    | `Over ->
-      bump t.c_too_long "net.too_long";
-      let lc = lifecycle ~conn:conn_id ~line:!lineno ~kind:"too_long" t_read in
-      lc.lc_outcome <- "error";
-      let c = push lc in
-      fill c (Service.too_long_record ~line:!lineno ~max_line:cfg.max_line)
-    | `Raw raw -> if String.trim raw <> "" then handle_request ~t_read raw
-  in
-  let buf = Bytes.create 4096 in
-  let pend = Buffer.create 256 in
-  let over = ref false in
-  let rec read_loop () =
-    match Unix.read fd buf 0 (Bytes.length buf) with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_loop ()
-    | exception Unix.Unix_error (_, _, _) -> ()
-    | 0 -> ()
-    | n ->
-      for i = 0 to n - 1 do
-        match Bytes.get buf i with
-        | '\n' ->
-          let item = if !over then `Over else `Raw (Buffer.contents pend) in
-          Buffer.clear pend;
-          over := false;
-          handle_line item
-        | c ->
-          if not !over then
-            if Buffer.length pend >= cfg.max_line then begin
-              Buffer.clear pend;
-              over := true
-            end
-            else Buffer.add_char pend c
-      done;
-      read_loop ()
-  in
-  read_loop ();
-  if Buffer.length pend > 0 || !over then
-    handle_line (if !over then `Over else `Raw (Buffer.contents pend));
-  Mutex.lock m;
-  done_reading := true;
-  Condition.broadcast ready;
-  Mutex.unlock m;
-  Thread.join wt;
-  (try Unix.close fd with _ -> ());
-  Mutex.lock t.m;
-  Hashtbl.remove t.conns conn_id;
+    in
+    let job () =
+      lc.lc_start <- Obs.now ();
+      fill c
+        (try answer ()
+         with e ->
+           lc.lc_outcome <- "error";
+           error_json ~line ~error:"internal error" ~detail:(Printexc.to_string e))
+    in
+    lc.lc_admit <- Obs.now ();
+    if not (Pool.submit t.exec job) then begin
+      bump t.c_shed "net.shed";
+      lc.lc_outcome <- "shed";
+      let now = Obs.now () in
+      lc.lc_admit <- now;
+      lc.lc_start <- now;
+      fill c (overloaded_record ~line ~capacity:cfg.queue_depth)
+    end
+
+let handle_line t cn item =
+  cn.cn_lineno <- cn.cn_lineno + 1;
+  let t_read = Obs.now () in
+  match item with
+  | `Over ->
+    bump t.c_too_long "net.too_long";
+    let lc =
+      lifecycle ~conn:cn.cn_id ~line:cn.cn_lineno ~kind:"too_long" t_read
+    in
+    lc.lc_outcome <- "error";
+    let c = push_cell cn lc in
+    fill c (Service.too_long_record ~line:cn.cn_lineno ~max_line:t.cfg.max_line)
+  | `Line raw -> if String.trim raw <> "" then handle_request t cn ~t_read raw
+
+(* End of the request stream (EOF, error, sever or drain): the
+   unterminated tail counts as a final line, like the batch reader. *)
+let close_read t cn =
+  if cn.cn_read_open then begin
+    cn.cn_read_open <- false;
+    match Evloop.Framer.final cn.cn_framer with
+    | Some item -> handle_line t cn item
+    | None -> ()
+  end
+
+let read_chunk t cn buf =
+  match Unix.read cn.cn_fd buf 0 (Bytes.length buf) with
+  | 0 -> close_read t cn
+  | n -> Evloop.Framer.feed cn.cn_framer buf n (fun item -> handle_line t cn item)
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+    ()
+  | exception Unix.Unix_error (_, _, _) -> close_read t cn
+
+(* Mid-line disconnect delivered: sever both directions so the peer sees
+   the cut, and stop reading. The unterminated input tail still counts
+   as a final (never-written) request, exactly as an EOF would. *)
+let sever t cn =
+  (try Unix.shutdown cn.cn_fd Unix.SHUTDOWN_ALL with _ -> ());
+  cn.cn_alive <- false;
+  close_read t cn
+
+(* Serialize the filled prefix of the cell queue into the write queue.
+   While the connection is alive every consumed cell draws the writer
+   fault stream in response order (deterministic replay); after a sever
+   or write error, cells are still consumed and closed out — so the
+   access log carries exactly one record per answered request line —
+   but nothing further hits the wire. *)
+let promote t cn =
+  while
+    (not (Queue.is_empty cn.cn_cells))
+    && Atomic.get (Queue.peek cn.cn_cells).c_resp <> None
+  do
+    let cell = Queue.pop cn.cn_cells in
+    let resp = Option.get (Atomic.get cell.c_resp) in
+    if cn.cn_alive then
+      if Faults.drop_conn cn.cn_wr_faults then begin
+        (* Mid-line disconnect: half the response on the wire, then
+           sever both directions once the torn bytes have flushed — so
+           the torn tail is the last thing the peer ever sees. *)
+        bump t.c_dropped "net.fault.drop_conn";
+        cn.cn_alive <- false;
+        Evloop.Outq.push cn.cn_out
+          ~on_flush:(fun ~wrote:_ -> sever t cn)
+          (String.sub resp 0 ((String.length resp + 1) / 2));
+        finish_lifecycle t cell.c_lc ~t1:(Obs.now ())
+          ~bytes:(String.length resp) ~wrote:false ~sampled:cn.cn_sampled
+      end
+      else
+        Evloop.Outq.push cn.cn_out
+          ~on_flush:(fun ~wrote ->
+            if wrote then bump t.c_responses "net.response";
+            finish_lifecycle t cell.c_lc ~t1:(Obs.now ())
+              ~bytes:(String.length resp) ~wrote ~sampled:cn.cn_sampled)
+          (resp ^ "\n")
+    else
+      finish_lifecycle t cell.c_lc ~t1:(Obs.now ())
+        ~bytes:(String.length resp) ~wrote:false ~sampled:cn.cn_sampled
+  done
+
+let flush_out cn =
+  if not (Evloop.Outq.is_empty cn.cn_out) then
+    match Evloop.Outq.flush cn.cn_out cn.cn_fd with
+    | `Drained -> cn.cn_want_write <- false
+    | `Blocked -> cn.cn_want_write <- true
+    | `Error ->
+      (* The flush aborted the queue (callbacks fired unwritten); stop
+         producing output but keep consuming cells and, until EOF,
+         request bytes — exactly like the old writer/reader split. *)
+      cn.cn_want_write <- false;
+      cn.cn_alive <- false
+
+let conn_finished cn =
+  (not cn.cn_read_open)
+  && Queue.is_empty cn.cn_cells
+  && Evloop.Outq.is_empty cn.cn_out
+
+let close_conn t cn =
+  (try Unix.close cn.cn_fd with _ -> ());
+  Hashtbl.remove t.conns cn.cn_fd;
   t.active <- t.active - 1;
-  Condition.broadcast t.conn_done;
-  Mutex.unlock t.m;
   Obs.count "net.conn.close"
 
-(* ---- Accept loop and drain ---- *)
+let accept_burst t =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept ~cloexec:true t.lfd with
+    | exception
+        Unix.Unix_error
+          ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _)
+      ->
+      continue := false
+    | exception Unix.Unix_error (_, _, _) -> continue := false
+    | fd, _ ->
+      bump t.c_accepted "net.accept";
+      Unix.set_nonblock fd;
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+      let id = t.next_conn in
+      t.next_conn <- id + 1;
+      let cfg = t.cfg in
+      let sampled =
+        match cfg.trace_sample with
+        | Some n when n > 0 -> id mod n = 0
+        | _ -> false
+      in
+      let cn =
+        {
+          cn_id = id;
+          cn_fd = fd;
+          cn_sampled = sampled;
+          cn_rd_faults = Faults.stream cfg.faults ~conn:id ~channel:0;
+          cn_wr_faults = Faults.stream cfg.faults ~conn:id ~channel:1;
+          cn_framer = Evloop.Framer.create ~max_line:cfg.max_line;
+          cn_lineno = 0;
+          cn_cells = Queue.create ();
+          cn_out = Evloop.Outq.create ();
+          cn_read_open = true;
+          cn_alive = true;
+          cn_want_write = false;
+        }
+      in
+      Hashtbl.replace t.conns fd cn;
+      t.active <- t.active + 1
+  done
 
-let accept_loop t =
-  let rec loop () =
-    if not (Atomic.get t.draining) then
-      match Unix.select [ t.lfd; t.stop_r ] [] [] (-1.0) with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-      | rs, _, _ ->
-        if List.mem t.stop_r rs then ()
-        else begin
-          (match Unix.accept ~cloexec:true t.lfd with
-          | exception
-              Unix.Unix_error
-                ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _)
-            ->
-            ()
-          | fd, _ ->
-            bump t.c_accepted "net.accept";
-            let id = Atomic.fetch_and_add t.next_conn 1 in
-            Mutex.lock t.m;
-            Hashtbl.replace t.conns id fd;
-            t.active <- t.active + 1;
-            Mutex.unlock t.m;
-            ignore (Thread.create (fun () -> handle_conn t id fd) ()));
-          loop ()
-        end
+let begin_drain t =
+  if t.accepting then begin
+    Obs.count "net.drain";
+    t.accepting <- false;
+    (try Unix.close t.lfd with _ -> ());
+    (* No new requests: every connection's unread bytes are abandoned,
+       its partial line counts as final, and whatever was already read
+       is evaluated, written and flushed before the loop exits. *)
+    Hashtbl.iter (fun _ cn -> close_read t cn) t.conns
+  end
+
+let event_loop t =
+  let buf = Bytes.create 4096 in
+  let rec iterate () =
+    if Atomic.get t.draining then begin_drain t;
+    (* Serialize completed answers, then push bytes opportunistically:
+       a nonblocking write needs no readiness round-trip. *)
+    Hashtbl.iter
+      (fun _ cn ->
+        promote t cn;
+        flush_out cn)
+      t.conns;
+    (* Reap connections that have fully finished. *)
+    let dead =
+      Hashtbl.fold (fun _ cn acc -> if conn_finished cn then cn :: acc else acc)
+        t.conns []
+    in
+    List.iter (fun cn -> close_conn t cn) dead;
+    if Atomic.get t.draining && Hashtbl.length t.conns = 0 then ()
+    else begin
+      let rds = ref [ Evloop.Wake.fd t.wake ] in
+      if t.accepting then rds := t.lfd :: !rds;
+      let wrs = ref [] in
+      Hashtbl.iter
+        (fun fd cn ->
+          if cn.cn_read_open then rds := fd :: !rds;
+          if cn.cn_want_write then wrs := fd :: !wrs)
+        t.conns;
+      match Unix.select !rds !wrs [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> iterate ()
+      | r, w, _ ->
+        Evloop.Wake.drain t.wake;
+        List.iter
+          (fun fd ->
+            match Hashtbl.find_opt t.conns fd with
+            | Some cn when cn.cn_want_write -> flush_out cn
+            | _ -> ())
+          w;
+        List.iter
+          (fun fd ->
+            if t.accepting && fd = t.lfd then accept_burst t
+            else if fd <> Evloop.Wake.fd t.wake then
+              match Hashtbl.find_opt t.conns fd with
+              | Some cn when cn.cn_read_open -> read_chunk t cn buf
+              | _ -> ())
+          r;
+        iterate ()
+    end
   in
-  loop ();
-  (* Drain: no new connections, no new requests; everything already
-     read is evaluated, written and flushed before we return. *)
-  Obs.count "net.drain";
-  (try Unix.close t.lfd with _ -> ());
-  Mutex.lock t.m;
-  Hashtbl.iter
-    (fun _ fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with _ -> ())
-    t.conns;
-  while t.active > 0 do
-    Condition.wait t.conn_done t.m
-  done;
-  Mutex.unlock t.m;
+  iterate ();
   Pool.shutdown_executor t.exec;
   (match t.access with
-  | Some ch -> Mutex.protect t.access_m (fun () -> try close_out ch with _ -> ())
+  | Some ch -> ( try close_out ch with _ -> ())
   | None -> ());
-  (try Unix.close t.stop_r with _ -> ());
-  (try Unix.close t.stop_w with _ -> ());
+  Evloop.Wake.close t.wake;
   Atomic.set t.finished true
+
+(* ---- Lifecycle ---- *)
 
 let resolve_host host =
   try Unix.inet_addr_of_string host
@@ -625,17 +665,23 @@ let resolve_host host =
 
 let start cfg =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  let lfd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (match
-     Unix.setsockopt lfd Unix.SO_REUSEADDR true;
-     Unix.bind lfd (Unix.ADDR_INET (resolve_host cfg.host, cfg.port));
-     Unix.listen lfd 128;
-     Unix.set_nonblock lfd
-   with
-  | () -> ()
-  | exception e ->
-    (try Unix.close lfd with _ -> ());
-    raise e);
+  let lfd =
+    match cfg.prebound with
+    | Some fd -> fd
+    | None ->
+      let lfd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (match
+         Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+         Unix.bind lfd (Unix.ADDR_INET (resolve_host cfg.host, cfg.port));
+         Unix.listen lfd 128
+       with
+      | () -> ()
+      | exception e ->
+        (try Unix.close lfd with _ -> ());
+        raise e);
+      lfd
+  in
+  Unix.set_nonblock lfd;
   let lport =
     match Unix.getsockname lfd with
     | Unix.ADDR_INET (_, p) -> p
@@ -651,25 +697,26 @@ let start cfg =
         (try Unix.close lfd with _ -> ());
         raise e)
   in
-  let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+  let wake = Evloop.Wake.create () in
   let t =
     {
       cfg;
       lfd;
       lport;
-      exec = Pool.create_executor ?workers:cfg.workers ~queue_depth:cfg.queue_depth ();
+      exec =
+        Pool.create_executor ?workers:cfg.workers
+          ~on_complete:(fun () -> Evloop.Wake.ring wake)
+          ~queue_depth:cfg.queue_depth ();
       started_at = Obs.now ();
-      stop_r;
-      stop_w;
+      wake;
       draining = Atomic.make false;
       stop_sent = Atomic.make false;
       finished = Atomic.make false;
-      next_conn = Atomic.make 0;
-      m = Mutex.create ();
-      conn_done = Condition.create ();
-      conns = Hashtbl.create 16;
+      conns = Hashtbl.create 64;
+      next_conn = 0;
       active = 0;
-      accept_thread = None;
+      accepting = true;
+      loop_thread = None;
       c_accepted = Atomic.make 0;
       c_requests = Atomic.make 0;
       c_responses = Atomic.make 0;
@@ -678,16 +725,15 @@ let start cfg =
       c_too_long = Atomic.make 0;
       c_dropped = Atomic.make 0;
       access;
-      access_m = Mutex.create ();
     }
   in
-  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t.loop_thread <- Some (Thread.create (fun () -> event_loop t) ());
   t
 
 let stop t =
   if not (Atomic.exchange t.stop_sent true) then begin
     Atomic.set t.draining true;
-    try ignore (Unix.write t.stop_w (Bytes.make 1 '!') 0 1) with _ -> ()
+    Evloop.Wake.ring t.wake
   end
 
 let wait t =
@@ -698,4 +744,4 @@ let wait t =
   while not (Atomic.get t.finished) do
     Thread.delay 0.05
   done;
-  match t.accept_thread with Some th -> Thread.join th | None -> ()
+  match t.loop_thread with Some th -> Thread.join th | None -> ()

@@ -37,10 +37,22 @@
       cache statistics.
 
     Every answered request line carries a lifecycle record stamped at
-    read, queue-admit, eval-start, eval-end and write-flush; the writer
-    thread closes it out into the histograms, the optional access log
+    read, queue-admit, eval-start, eval-end and write-flush; it is
+    closed out into the histograms, the optional access log
     ([config.access_log]) and, for sampled connections
-    ([config.trace_sample]), Chrome-trace spans.
+    ([config.trace_sample]), Chrome-trace spans at the moment the
+    response's last byte is accepted by the kernel.
+
+    {b Architecture.} One event-loop thread owns every socket: the
+    listening socket, all connection sockets (nonblocking, multiplexed
+    with [Unix.select], interest sets re-armed per readiness) and a
+    self-pipe. Each connection carries an incremental line framer, a
+    FIFO of answer cells and an ordered write queue; executor worker
+    domains fill cells and ring the self-pipe ({!Impact_exec.Pool}
+    completion notification), and the loop serializes the filled prefix
+    of each connection's cell queue into its write queue — so pipelined
+    evaluation completes out of order while the wire order never does,
+    with no per-connection threads anywhere.
 
     {!stop} begins a graceful drain: the listening socket closes, the
     read side of every open connection is shut down, requests already
@@ -75,12 +87,16 @@ type config = {
           one Perfetto row per connection) for 1-in-[n] connections via
           {!Impact_obs.Obs.event}; the caller writes them out with
           {!Impact_obs.Obs.write_trace} after {!wait} *)
+  prebound : Unix.file_descr option;
+      (** an already bound-and-listening socket to serve on instead of
+          binding [host]/[port] — how a shard parent hands each forked
+          child its listening socket. The listener owns and closes it. *)
 }
 
 val default_config : ?store:Impact_svc.Store.t -> unit -> config
 (** Loopback host, ephemeral port, pool-default workers, queue depth
     64, no deadline, {!Impact_svc.Service.default_max_line}, no
-    faults, no access log, no trace sampling. *)
+    faults, no access log, no trace sampling, no prebound socket. *)
 
 type t
 

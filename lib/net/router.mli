@@ -1,0 +1,74 @@
+(** Front router for a sharded serve tier.
+
+    A second select-based reactor (same building blocks as
+    {!Listener}, see {!Evloop}): it accepts client connections,
+    frames request lines, and forwards each line over a persistent
+    pipelined connection to the shard that owns it —
+    {!Shard_route.route} on the {!Impact_svc.Service.route_digest} of
+    the line (or on a hash of the raw line when it does not parse, so
+    error responses route deterministically too). Because every shard
+    answers its connection in request order, responses pair with
+    requests positionally per link; the router rewrites the [line]
+    field back to the client's numbering and re-serializes them into
+    client order through the same filled-prefix cell queue the
+    listener uses. Clients cannot tell a router from a single
+    listener: byte-identical records, per-connection order, one
+    response per request line.
+
+    [{"op": "health"}] and [{"op": "metrics"}] fan out: the op is
+    forwarded down every shard link (consuming one ordered slot on
+    each), and when the last shard's snapshot arrives the router
+    answers with an aggregate — its own request counters, latency
+    histograms and access log are authoritative for the client-facing
+    totals, executor occupancy and cache statistics are summed across
+    shards, and the raw per-shard records ride along under
+    ["per_shard"]. A shard that cannot be reached degrades to an
+    [{"ok": false}] entry there, never to a hung client.
+
+    Fault injection happens at the router's client boundary (the
+    shards behind it run fault-free, keeping the shard links clean):
+    reader delays, slow cells and mid-line disconnects draw from the
+    same seeded {!Faults} streams, so a sharded server is
+    client-indistinguishable from a single faulty listener.
+
+    Oversized lines are rejected at the router with the shared
+    ["line too long"] record; blank lines are skipped (but numbered).
+    A shard link that dies answers its in-flight lines with
+    [{"error": "shard unavailable"}] records and refuses later lines
+    routed to it the same way — load on healthy shards is unaffected.
+
+    {!stop}/{!wait} drain exactly like the listener: stop accepting,
+    treat every client's partial line as final, forward what was
+    read, flush every response, then close the shard links. The shard
+    processes are expected to outlive the router's drain (the parent
+    terminates them afterwards). *)
+
+type config = {
+  host : string;  (** interface to bind, name or dotted quad *)
+  port : int;  (** 0 picks an ephemeral port (see {!port}) *)
+  backends : (string * int) array;  (** shard endpoints, index = shard id *)
+  max_line : int;  (** request-line byte bound, enforced here *)
+  faults : Faults.t;  (** injected at the client boundary *)
+  access_log : string option;  (** as {!Listener.config.access_log} *)
+}
+
+type t
+
+val start : config -> t
+(** Bind the frontend, connect every shard link (the backends must
+    already be listening — a prebound-and-forked shard is, even
+    before its child process starts accepting), and serve on a
+    background thread. Raises [Unix.Unix_error] / [Failure] if the
+    frontend cannot bind or a backend cannot be reached. *)
+
+val port : t -> int
+
+val stop : t -> unit
+(** Begin graceful drain (idempotent, signal-handler safe). *)
+
+val wait : t -> unit
+(** Block until every client connection has drained and the shard
+    links are closed. *)
+
+val stats : t -> Listener.stats
+(** Client-facing totals, same shape and meaning as the listener's. *)

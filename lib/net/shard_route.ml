@@ -1,0 +1,46 @@
+(* Consistent-hash ring over shard indices. Points are MD5-derived so
+   placement is stable across processes, OCaml versions and runs; the
+   router and any future client-side router agree on the mapping by
+   construction. Virtual nodes smooth the distribution: with 64 points
+   per shard the worst shard stays within a few percent of fair share
+   for the digest populations we route (MD5 hex strings). *)
+
+type t = { shards : int; ring : (int * int) array (* point, shard *) }
+
+let vnodes = 64
+
+(* First 8 hex digits of an MD5, as a non-negative int. 32 bits of the
+   digest is plenty: collisions on the ring just merge two points. *)
+let point (s : string) : int =
+  let d = Digest.to_hex (Digest.string s) in
+  int_of_string ("0x" ^ String.sub d 0 8) land 0x3FFFFFFF
+
+let make ~shards =
+  if shards < 1 then invalid_arg "Shard_route.make: shards < 1";
+  let pts = ref [] in
+  for k = 0 to shards - 1 do
+    for v = 0 to vnodes - 1 do
+      pts := (point (Printf.sprintf "shard-%d-%d" k v), k) :: !pts
+    done
+  done;
+  let ring = Array.of_list !pts in
+  (* Ties broken by shard index so the ring is a function of (shards)
+     alone, never of construction order. *)
+  Array.sort compare ring;
+  { shards; ring }
+
+let shards t = t.shards
+
+let route t ~digest =
+  if t.shards = 1 then 0
+  else begin
+    let p = point digest in
+    (* First ring point clockwise from [p], wrapping. *)
+    let n = Array.length t.ring in
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if fst t.ring.(mid) < p then lo := mid + 1 else hi := mid
+    done;
+    snd t.ring.(if !lo >= n then 0 else !lo)
+  end

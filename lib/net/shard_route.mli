@@ -1,0 +1,22 @@
+(** Deterministic request-to-shard placement.
+
+    A consistent-hash ring over shard indices, keyed by the query
+    digest: the same digest always lands on the same shard (so each
+    shard's measurement cache stays disjoint and every repeat of a
+    query is a warm hit on exactly one shard), and the mapping is a
+    pure function of the shard count — stable across processes and
+    restarts. MD5-derived ring points with 64 virtual nodes per shard
+    keep the load split near-uniform. *)
+
+type t
+
+val make : shards:int -> t
+(** Raises [Invalid_argument] if [shards < 1]. *)
+
+val shards : t -> int
+
+val route : t -> digest:string -> int
+(** The owning shard, in [0 .. shards-1]. Total: any string routes,
+    digest or not — requests that fail to parse are routed by a hash
+    of the raw line so their error responses still come from a
+    deterministic shard. *)

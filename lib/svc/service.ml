@@ -181,9 +181,11 @@ let measure_cell ~store (rq : request) q =
    the network layer can stamp its request-lifecycle records without
    re-parsing the response. *)
 let response_of_request ~store ~line (rq : request) : Json.t * string =
+  (* Through the memoized subject digest: the AST hashes once per loop
+     name per process, not once per request. *)
   let q =
-    Query.of_ast ~ast:rq.rq_loop.Impact_workloads.Suite.ast ~opts:rq.rq_opts
-      rq.rq_level rq.rq_machine
+    query_of_subject (subject_of_workload rq.rq_loop) rq.rq_opts rq.rq_level
+      rq.rq_machine
   in
   let cache, m = measure_cell ~store rq q in
   (* Speedup against the paper's issue-1 Conv baseline; served from the
@@ -271,6 +273,16 @@ let answer_line_ex ~store ~line raw =
         ~detail:"simulation fuel exhausted; raise \"fuel\" or drop it" ())
 
 let answer_line ~store ~line raw = (answer_line_ex ~store ~line raw).a_text
+
+let route_digest raw =
+  match parse_request raw with
+  | rq ->
+    Some
+      (Query.digest
+         (query_of_subject (subject_of_workload rq.rq_loop) rq.rq_opts
+            rq.rq_level rq.rq_machine))
+  | exception Malformed _ -> None
+  | exception Unknown_loop _ -> None
 
 let is_blank s = String.trim s = ""
 

@@ -14,9 +14,19 @@ the baseline exactly. Those numbers are deterministic for any worker
 count, so any drift is a correctness bug (e.g. a machine-model change
 leaking into the default in-order configuration), not host noise.
 
+With --serve, the files are BENCH_serve.json summaries (loadgen.py
+output) instead: client p99 latency must not grow past (1+tolerance)x
+the baseline, and client throughput must not fall below
+1/(1+tolerance) of it (symmetric in ratio space, so one knob covers
+both directions). Serve numbers are far noisier than wall-clock stage
+times, so pair this mode with a generous tolerance — the guard is
+there to catch order-of-magnitude regressions (a reintroduced
+thread-per-connection design, a Nagle stall), not percent-level
+drift.
+
 Usage:
   check_bench_regression.py --baseline OLD.json --fresh NEW.json \
-      [--tolerance 0.25] [--min-seconds 0.05] [--check-summary]
+      [--tolerance 0.25] [--min-seconds 0.05] [--check-summary] [--serve]
 
 Exit status 1 if any compared metric regresses past tolerance.
 """
@@ -31,6 +41,44 @@ def load(path):
         return json.load(f)
 
 
+def check_serve(base, fresh, tolerance):
+    """Guard the serve-tier load numbers: client p99 may not grow past
+    (1+tolerance)x the baseline, and throughput may not fall below
+    1/(1+tolerance) of it."""
+    failures = []
+
+    b_rps = base.get("client", {}).get("throughput_rps")
+    f_rps = fresh.get("client", {}).get("throughput_rps")
+    if b_rps and f_rps:
+        ratio = f_rps / b_rps
+        flag = "REGRESSION" if ratio < 1.0 / (1.0 + tolerance) else "ok"
+        print(f"  client.throughput_rps: {b_rps:.1f} -> {f_rps:.1f} "
+              f"({ratio:.2f}x) {flag}")
+        if flag == "REGRESSION":
+            failures.append("client.throughput_rps")
+    else:
+        print("  skip client.throughput_rps: missing in one file")
+
+    b_p99 = base.get("client", {}).get("latency_ms", {}).get("p99")
+    f_p99 = fresh.get("client", {}).get("latency_ms", {}).get("p99")
+    if b_p99 and f_p99:
+        ratio = f_p99 / b_p99
+        flag = "REGRESSION" if ratio > 1.0 + tolerance else "ok"
+        print(f"  client.latency_ms.p99: {b_p99:.2f}ms -> {f_p99:.2f}ms "
+              f"({ratio:.2f}x) {flag}")
+        if flag == "REGRESSION":
+            failures.append("client.latency_ms.p99")
+    else:
+        print("  skip client.latency_ms.p99: missing in one file")
+
+    if failures:
+        print(f"serve perf regression (tolerance {tolerance:.0%}): "
+              f"{', '.join(failures)}")
+        return 1
+    print("serve perf guard ok")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--baseline", required=True)
@@ -42,10 +90,16 @@ def main():
     ap.add_argument("--check-summary", action="store_true",
                     help="also require the fresh summary speedups and cell "
                          "count to match the baseline exactly")
+    ap.add_argument("--serve", action="store_true",
+                    help="compare BENCH_serve.json summaries (throughput and "
+                         "client p99) instead of eval stage times")
     args = ap.parse_args()
 
     base = load(args.baseline)
     fresh = load(args.fresh)
+
+    if args.serve:
+        return check_serve(base, fresh, args.tolerance)
 
     if args.check_summary:
         drift = []

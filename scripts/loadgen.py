@@ -225,6 +225,10 @@ def main():
     ap.add_argument("--tolerance-ratio", type=float, default=10.0,
                     help="max server/client percentile disagreement factor (default 10)")
     ap.add_argument("--drain-timeout", type=int, default=120)
+    ap.add_argument("--baseline", default=None, metavar="FILE",
+                    help="committed BENCH_serve.json to compare against "
+                         "(informational; the CI guard is "
+                         "check_bench_regression.py --serve)")
     ap.add_argument("server", nargs=argparse.REMAINDER,
                     help="server command after `--` (must print the serve banner)")
     args = ap.parse_args()
@@ -447,6 +451,20 @@ def main():
              summary["crosscheck"]["server_p50_ms"],
              summary["crosscheck"]["server_p99_ms"]))
     print("loadgen: wrote %s" % args.out)
+    if args.baseline:
+        try:
+            with open(args.baseline) as f:
+                base = json.load(f)["client"]
+            b_rps = base.get("throughput_rps")
+            b_p50 = base.get("latency_ms", {}).get("p50")
+            b_p99 = base.get("latency_ms", {}).get("p99")
+            print("loadgen: vs %s: throughput %.1f -> %.1f rps (%.2fx), "
+                  "p50 %.2f -> %.2f ms, p99 %.2f -> %.2f ms"
+                  % (args.baseline, b_rps, throughput,
+                     throughput / b_rps if b_rps else float("nan"),
+                     b_p50, lat_ms["p50"], b_p99, lat_ms["p99"]))
+        except (OSError, KeyError, ValueError, TypeError) as e:
+            print("loadgen: baseline comparison skipped (%s)" % e)
     if failures:
         sys.exit("loadgen: FAILED:\n  " + "\n  ".join(failures[:10]))
     print("loadgen: PASS")

@@ -12,7 +12,9 @@ duration, then sends SIGTERM and checks:
   - at least one request was actually answered.
 
 Severed connections (fault injection) and shed requests are expected
-under load; ordering within whatever did arrive must still hold. Run
+under load; ordering within whatever did arrive must still hold. When
+the server command carries `--shards N`, the drain check also requires
+every forked shard to report its own clean drain ("shard K drained"). Run
 with IMPACT_FAULTS set to soak the failure paths, e.g.:
 
   IMPACT_FAULTS=slow_read:0.05,drop_conn:0.02,slow_cell:0.1 \
@@ -180,6 +182,9 @@ def main():
     drain.join(timeout=5)
 
     drained = [l for l in stderr_lines if "impactc serve: drained" in l]
+    shards = 0
+    if "--shards" in cmd:
+        shards = int(cmd[cmd.index("--shards") + 1])
     print("soak: %d clean connections, %d responses (%d ok), %d severed"
           % (stats.conns, stats.responses, stats.ok, stats.severed))
     for l in drained:
@@ -190,6 +195,17 @@ def main():
         sys.exit("soak: server exited %d, want 0" % code)
     if not drained:
         sys.exit("soak: server exited 0 but never reported a drain")
+    if shards:
+        missing = [k for k in range(shards)
+                   if not any("impactc serve: shard %d drained" % k in l
+                              for l in stderr_lines)]
+        if missing:
+            sys.exit("soak: shards %s never reported a clean drain"
+                     % ", ".join(map(str, missing)))
+        for l in stderr_lines:
+            if "drained" in l and "shard" in l:
+                print("soak: " + l.strip())
+        print("soak: all %d shards drained cleanly" % shards)
     if stats.ok == 0:
         sys.exit("soak: no request was ever answered ok")
     print("soak: PASS (exit 0, clean drain)")

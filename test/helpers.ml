@@ -89,7 +89,8 @@ let lower = Lower.lower
 
 (* Measure a program at a level/machine. *)
 let measure ?unroll_factor ?fuel level machine (ast : Ast.program) =
-  Impact_core.Compile.measure ?unroll_factor ?fuel level machine (lower ast)
+  Impact_core.Compile.measure_with
+    (Impact_core.Opts.make ?unroll:unroll_factor ?fuel ()) level machine (lower ast)
 
 (* Check that every level produces the same observables as Conv at
    issue-1 for the given program. *)

@@ -3,11 +3,11 @@
 
    - Pool: deterministic ordering at any worker count, exception
      propagation, nested use from within tasks.
-   - Compile.transform / schedule_and_measure: splitting the pipeline
+   - Compile.transform_with / schedule_and_measure_with: splitting the pipeline
      at the machine boundary and sharing the transformed program across
      machines yields exactly the measurements of the monolithic
-     [Compile.measure], level by level.
-   - Experiment.run_all: worker count 1 vs N produce identical cell
+     [Compile.measure_with], level by level.
+   - Experiment.run_all_with: worker count 1 vs N produce identical cell
      lists; the base-measurement cache returns the same value as an
      uncached measurement.
    - Sim.run (pre-decoded) conforms to Sim.run_ref (reference
@@ -74,7 +74,7 @@ let same_measurement name (a : Compile.measurement) (b : Compile.measurement) =
   Helpers.same_observables name a.Compile.result b.Compile.result
 
 (* Sharing one [transform] across machines must equal a fresh
-   [Compile.measure] per (level, machine) cell. *)
+   [Compile.measure_with] per (level, machine) cell. *)
 let test_transform_cache_equiv () =
   List.iter
     (fun wname ->
@@ -83,11 +83,11 @@ let test_transform_cache_equiv () =
       in
       List.iter
         (fun level ->
-          let shared = Compile.transform level (Helpers.lower ast) in
+          let shared = Compile.transform_with Opts.default level (Helpers.lower ast) in
           List.iter
             (fun machine ->
-              let cached = Compile.schedule_and_measure level machine shared in
-              let fresh = Compile.measure level machine (Helpers.lower ast) in
+              let cached = Compile.schedule_and_measure_with Opts.default level machine shared in
+              let fresh = Compile.measure_with Opts.default level machine (Helpers.lower ast) in
               same_measurement
                 (Printf.sprintf "%s/%s/%s" wname (Level.to_string level)
                    machine.Machine.name)
@@ -123,9 +123,9 @@ let cell_key (c : Experiment.cell) =
 let test_run_all_workers_invariant () =
   let subjects = subjects_subset () in
   Experiment.clear_base_cache ();
-  let seq = Experiment.run_all ~workers:1 machines Level.all subjects in
+  let seq = Experiment.run_all_with ~workers:1 Opts.default machines Level.all subjects in
   Experiment.clear_base_cache ();
-  let par = Experiment.run_all ~workers:4 machines Level.all subjects in
+  let par = Experiment.run_all_with ~workers:4 Opts.default machines Level.all subjects in
   Helpers.check_int "cell count" (List.length seq) (List.length par);
   List.iter2
     (fun a b ->
@@ -142,14 +142,14 @@ let test_run_all_workers_invariant () =
    evaluation (no sharing at all). *)
 let test_run_subject_vs_monolithic () =
   let s = List.hd (subjects_subset ()) in
-  let cells = Experiment.run_subject machines Level.all s in
+  let cells = Experiment.run_subject_with Opts.default machines Level.all s in
   let base =
-    Compile.measure Level.Conv Machine.issue_1 (Helpers.lower s.Experiment.ast)
+    Compile.measure_with Opts.default Level.Conv Machine.issue_1 (Helpers.lower s.Experiment.ast)
   in
   List.iter
     (fun (c : Experiment.cell) ->
       let m =
-        Compile.measure c.Experiment.level c.Experiment.machine
+        Compile.measure_with Opts.default c.Experiment.level c.Experiment.machine
           (Helpers.lower s.Experiment.ast)
       in
       let name =
@@ -166,12 +166,12 @@ let test_base_cache () =
   Experiment.clear_base_cache ();
   let s = List.hd (subjects_subset ()) in
   let uncached =
-    Compile.measure Level.Conv Machine.issue_1 (Helpers.lower s.Experiment.ast)
+    Compile.measure_with Opts.default Level.Conv Machine.issue_1 (Helpers.lower s.Experiment.ast)
   in
-  let cached = Experiment.base_measurement s in
+  let cached = Experiment.base_measurement_with Opts.default s in
   same_measurement "base cache" uncached cached;
   (* Second hit must come from the cache and be physically the same. *)
-  Helpers.check_bool "cache hit" true (Experiment.base_measurement s == cached)
+  Helpers.check_bool "cache hit" true (Experiment.base_measurement_with Opts.default s == cached)
 
 (* ---- Pre-decoded simulator vs reference interpreter ---- *)
 
@@ -191,7 +191,7 @@ let test_sim_conformance () =
           List.iter
             (fun machine ->
               let p =
-                Compile.compile level machine
+                Compile.compile_with Opts.default level machine
                   (Helpers.lower w.Impact_workloads.Suite.ast)
               in
               let fast = Impact_sim.Sim.run machine p in
@@ -216,7 +216,7 @@ let test_stall_counter_conformance () =
           List.iter
             (fun machine ->
               let p =
-                Compile.compile level machine
+                Compile.compile_with Opts.default level machine
                   (Helpers.lower w.Impact_workloads.Suite.ast)
               in
               let rf, pf = Impact_sim.Sim.run_profiled machine p in

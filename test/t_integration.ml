@@ -67,11 +67,11 @@ let experiment_tests =
   [
     test "run_all produces a full matrix" (fun () ->
       let cells =
-        Experiment.run_all [ Machine.issue_2; Machine.issue_8 ] Level.all subjects
+        Experiment.run_all_with Opts.default [ Machine.issue_2; Machine.issue_8 ] Level.all subjects
       in
       check_int "3 subjects x 2 machines x 5 levels" 30 (List.length cells));
     test "filters select the expected slices" (fun () ->
-      let cells = Experiment.run_all [ Machine.issue_8 ] Level.all subjects in
+      let cells = Experiment.run_all_with Opts.default [ Machine.issue_8 ] Level.all subjects in
       check_int "per level" 3
         (List.length (Experiment.filter_cells ~level:Level.Lev4 cells));
       check_int "doall subset" 5
@@ -79,7 +79,7 @@ let experiment_tests =
       check_int "non-doall subset" 10
         (List.length (Experiment.filter_cells ~group:"non-doall" cells)));
     test "histograms bucket by bin lower bounds" (fun () ->
-      let cells = Experiment.run_all [ Machine.issue_8 ] Level.all subjects in
+      let cells = Experiment.run_all_with Opts.default [ Machine.issue_8 ] Level.all subjects in
       let dist =
         Experiment.speedup_distribution ~bounds:Experiment.fig10_bounds Machine.issue_8
           cells
@@ -89,16 +89,16 @@ let experiment_tests =
             (Array.fold_left ( + ) 0 counts))
         dist);
     test "averages are sane" (fun () ->
-      let cells = Experiment.run_all [ Machine.issue_8 ] Level.all subjects in
+      let cells = Experiment.run_all_with Opts.default [ Machine.issue_8 ] Level.all subjects in
       let s = Experiment.avg_speedup (Experiment.filter_cells ~level:Level.Lev4 cells) in
       check_bool "positive" true (s > 1.0 && s < 64.0));
     test "csv report has one row per cell plus header" (fun () ->
-      let cells = Experiment.run_all [ Machine.issue_8 ] [ Level.Conv ] subjects in
+      let cells = Experiment.run_all_with Opts.default [ Machine.issue_8 ] [ Level.Conv ] subjects in
       let csv = Report.cells_csv cells in
       let lines = String.split_on_char '\n' (String.trim csv) in
       check_int "rows" 4 (List.length lines));
     test "distribution table renders all levels" (fun () ->
-      let cells = Experiment.run_all [ Machine.issue_8 ] Level.all subjects in
+      let cells = Experiment.run_all_with Opts.default [ Machine.issue_8 ] Level.all subjects in
       let dist =
         Experiment.speedup_distribution ~bounds:Experiment.fig8_bounds Machine.issue_8 cells
       in

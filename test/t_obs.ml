@@ -317,7 +317,7 @@ let test_conservation_vecadd () =
       List.iter
         (fun issue ->
           let machine = Machine.make ~issue () in
-          let prog = Compile.compile level machine (Helpers.lower ast) in
+          let prog = Compile.compile_with Opts.default level machine (Helpers.lower ast) in
           let r, p = Sim.run_profiled machine prog in
           check_profile
             (Printf.sprintf "vecadd/%s/issue-%d" (Level.to_string level) issue)
@@ -332,7 +332,7 @@ let test_conservation_other_kernels () =
     (fun (name, ast, sched) ->
       let machine = Machine.issue_8 in
       let prog =
-        Compile.compile ~sched Level.Lev4 machine (Helpers.lower ast)
+        Compile.compile_with (Opts.make ~sched ()) Level.Lev4 machine (Helpers.lower ast)
       in
       let r, p = Sim.run_profiled machine prog in
       check_profile name machine r p)
@@ -364,7 +364,7 @@ let test_fast_vs_ref_profile () =
   List.iter
     (fun issue ->
       let machine = Machine.make ~issue () in
-      let prog = Compile.compile Level.Lev3 machine (Helpers.lower ast) in
+      let prog = Compile.compile_with Opts.default Level.Lev3 machine (Helpers.lower ast) in
       let _, pf = Sim.run_profiled machine prog in
       let _, pr = Sim.run_ref_profiled machine prog in
       same_profile (Printf.sprintf "dotprod/issue-%d" issue) pf pr)
@@ -399,7 +399,7 @@ let prop_telemetry_invariant =
   QCheck.Test.make ~count:40 ~name:"telemetry never changes results"
     config_arb
     (fun ((_, ast), level, machine) ->
-      let prog () = Compile.compile level machine (Helpers.lower ast) in
+      let prog () = Compile.compile_with Opts.default level machine (Helpers.lower ast) in
       let off =
         with_switches ~collecting:false ~tracing:false @@ fun () ->
         Sim.run machine (prog ())

@@ -16,7 +16,7 @@ let test name f = Alcotest.test_case name `Quick f
 
 let to_alcotest = QCheck_alcotest.to_alcotest
 
-let transform_conv ast = Compile.transform Level.Conv (lower ast)
+let transform_conv ast = Compile.transform_with Impact_core.Opts.default Level.Conv (lower ast)
 
 (* First innermost loop of a program. *)
 let find_innermost (p : Prog.t) : Block.loop =
@@ -137,7 +137,7 @@ let prop_pipe_preserves =
       let machine = List.nth machines mi in
       let level = List.nth Level.all li in
       let base = run (lower w.Suite.ast) in
-      let tp = Compile.transform level (lower w.Suite.ast) in
+      let tp = Compile.transform_with Impact_core.Opts.default level (lower w.Suite.ast) in
       let scheduled = Pipe.run machine tp in
       same_observables
         (Printf.sprintf "%s/%s/%s" w.Suite.name (Level.to_string level)

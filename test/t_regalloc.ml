@@ -73,7 +73,7 @@ let tests =
       List.iter
         (fun ast ->
           let p =
-            Impact_core.Compile.compile Impact_core.Level.Lev4 Machine.issue_8 (lower ast)
+            Impact_core.Compile.compile_with Impact_core.Opts.default Impact_core.Level.Lev4 Machine.issue_8 (lower ast)
           in
           let assignment, graph = Regalloc.coloring p in
           let color_of r = List.assoc r assignment in
@@ -116,7 +116,7 @@ let tests =
       List.iter
         (fun (k : Impact_workloads.Suite.t) ->
           let p =
-            Impact_core.Compile.compile Impact_core.Level.Lev4 Machine.issue_8
+            Impact_core.Compile.compile_with Impact_core.Opts.default Impact_core.Level.Lev4 Machine.issue_8
               (lower k.ast)
           in
           let fast = Regalloc.measure p in

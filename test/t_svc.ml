@@ -9,8 +9,8 @@
    - Service: a batch with malformed, unknown-loop and valid lines is
      answered in order with structured records and no exception; cache
      dispositions go miss -> hit.
-   - Opts wrappers: the deprecated optional-argument entry points equal
-     their [_with] replacements under default options. *)
+   - Opts: [Opts.make] defaults match [Opts.default] and [Opts.base]
+     always forces list scheduling. *)
 
 open Impact_ir
 open Impact_core
@@ -442,19 +442,19 @@ let test_serve_ooo_query () =
   Helpers.check_bool "rob without core rejected" true
     (field bad "error" = Json.Str "malformed query")
 
-(* ---- Deprecated wrappers ---- *)
+(* ---- Opts ---- *)
 
-let test_opts_wrappers () =
-  let p = Helpers.lower vecadd in
-  same_measurement "measure vs measure_with"
-    (Compile.measure Level.Lev3 Machine.issue_4 p)
-    (Compile.measure_with Opts.default Level.Lev3 Machine.issue_4 p);
-  let s = { Experiment.sname = "svc-wrap"; group = "doall"; ast = vecadd } in
-  same_measurement "base_measurement vs _with"
-    (Experiment.base_measurement s)
-    (Experiment.base_measurement_with Opts.default s);
+let test_opts () =
+  Helpers.check_bool "make () = default" true (Opts.make () = Opts.default);
+  let o = Opts.make ~unroll:4 ~sched:`Pipe ~fuel:9 () in
+  Helpers.check_bool "base keeps unroll/fuel" true
+    (let b = Opts.base o in b.Opts.unroll = Some 4 && b.Opts.fuel = Some 9);
   Helpers.check_bool "Opts.base forces list scheduling" true
-    ((Opts.base (Opts.make ~sched:`Pipe ())).Opts.sched = `List)
+    ((Opts.base o).Opts.sched = `List);
+  (* The digest must see every knob: options are part of the cache key. *)
+  let q opts = Query.of_ast ~ast:vecadd ~opts Level.Lev2 Machine.issue_2 in
+  Helpers.check_bool "digest distinguishes opts" true
+    (Query.digest (q Opts.default) <> Query.digest (q o))
 
 (* ---- Crash recovery ----
 
@@ -599,5 +599,5 @@ let suite =
           test_read_lines_bound;
       ] );
     ( "svc: opts",
-      [ Alcotest.test_case "deprecated wrappers" `Quick test_opts_wrappers ] );
+      [ Alcotest.test_case "make/base/digest" `Quick test_opts ] );
   ]
