@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-cold bench-serve smoke pipe ooo profile serve soak soak-sharded check clean
+.PHONY: all build test bench bench-cold bench-serve smoke pipe oracle oracle-smoke ooo profile serve soak soak-sharded check clean
 
 all: build
 
@@ -17,6 +17,20 @@ smoke: build
 # list-scheduled kernel cycles across the suite (see EXPERIMENTS.md).
 pipe: build
 	IMPACT_JOBS=2 dune exec bench/main.exe -- pipe
+
+# Exact-oracle certification of the pipeliner: every analyzable
+# innermost loop across the matrix machines gets a certified-optimal II
+# or an explicit bounded gap from lib/exact's branch-and-bound solver;
+# refreshes BENCH_oracle.json, whose body is byte-identical at any -j
+# (see DESIGN.md "Exact scheduling oracle"). CI diffs it against the
+# committed baseline with scripts/check_bench_regression.py --oracle.
+oracle: build
+	IMPACT_JOBS=8 dune exec bench/main.exe -- oracle
+
+# Budgeted smoke subset of the same certification for CI: the pipe-smoke
+# kernels across the matrix, table only, no artifact.
+oracle-smoke: build
+	IMPACT_JOBS=2 dune exec bench/main.exe -- oracle-smoke
 
 # Out-of-order machine-model evaluation: both cores across the full
 # level x issue matrix at ROB 8/32/128, the Lev1-vs-Lev2 collapse

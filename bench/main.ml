@@ -402,6 +402,33 @@ let print_pipe_smoke () =
        [ Machine.issue_4 ]
        (List.filter (fun s -> List.mem s.Experiment.sname smoke_names) subjects))
 
+(* Exact-oracle certification of the pipeliner (see DESIGN.md "Exact
+   scheduling oracle"): every analyzable innermost loop across the
+   matrix machines gets a certified optimal II (or an explicit bounded
+   gap) from lib/exact's branch-and-bound solver, one executor-pool
+   task per subject x machine. `oracle` refreshes BENCH_oracle.json —
+   the body is deterministic at any -j, so CI diffs it against the
+   committed baseline; `oracle-smoke` certifies the pipe-smoke subset
+   under a reduced budget and writes nothing. *)
+let oracle_smoke_budget = 20_000
+
+let run_oracle mode =
+  let budget, only =
+    match mode with
+    | `Full -> (Impact_exact.Exact.default_budget, None)
+    | `Smoke -> (oracle_smoke_budget, Some Impact_exact.Oracle.smoke_names)
+  in
+  let rows = Impact_exact.Oracle.run ~budget ?only () in
+  print_string (Impact_exact.Oracle.table ~budget rows);
+  match mode with
+  | `Smoke -> ()
+  | `Full ->
+    let path = "BENCH_oracle.json" in
+    let oc = open_out path in
+    output_string oc (Impact_exact.Oracle.doc ~budget rows);
+    close_out oc;
+    Printf.eprintf "wrote %s\n%!" path
+
 (* Extension figure (ours): average speedup per level across issue rates
    1..16, showing the paper's claim that the demand for higher
    transformation levels grows with the issue rate. *)
@@ -855,8 +882,8 @@ let run_bechamel () =
 let usage () =
   prerr_string
     "usage: main.exe [-j N] [--trace-out FILE] [table1 table2 fig8..fig15 \
-     summary ablation csv issue-sweep overhead pipe pipe-smoke ooo ooo-smoke \
-     bechamel json]\n"
+     summary ablation csv issue-sweep overhead pipe pipe-smoke oracle \
+     oracle-smoke ooo ooo-smoke bechamel json]\n"
 
 (* Chrome trace destination from --trace-out, when given. *)
 let trace_out = ref None
@@ -940,7 +967,8 @@ let () =
     [
       "table1"; "table2"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13";
       "fig14"; "fig15"; "summary"; "ablation"; "csv"; "issue-sweep"; "overhead";
-      "pipe"; "pipe-smoke"; "ooo"; "ooo-smoke"; "bechamel"; "json";
+      "pipe"; "pipe-smoke"; "oracle"; "oracle-smoke"; "ooo"; "ooo-smoke";
+      "bechamel"; "json";
     ]
   in
   (match List.find_opt (fun a -> not (List.mem a known)) args with
@@ -969,6 +997,8 @@ let () =
       | "overhead" -> print_overhead ()
       | "pipe" -> print_pipe ()
       | "pipe-smoke" -> print_pipe_smoke ()
+      | "oracle" -> run_oracle `Full
+      | "oracle-smoke" -> run_oracle `Smoke
       | "ooo" -> run_ooo `Full
       | "ooo-smoke" -> run_ooo `Smoke
       | "bechamel" -> run_bechamel ()

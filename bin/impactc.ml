@@ -6,6 +6,7 @@
      run     -l NAME          compile, simulate and report one loop nest
      sweep   -l NAME          run one loop nest across all levels/machines
      profile NAME             stall attribution + pass telemetry report
+     certify NAME             exact-oracle certification of the pipeliner's II
      run-file FILE            compile and run a mini-Fortran source file
      show-file FILE           print a source file's generated code
      serve   [FILE]           answer a batch of JSON queries (one per line)
@@ -741,12 +742,72 @@ let profile_cmd =
              slot-attribution stall table, ILP histogram, hottest \
              instructions, pass telemetry and the level x issue matrix.")
   in
+  let oracle_arg =
+    Arg.(
+      value & flag
+      & info [ "oracle" ]
+          ~doc:
+            "With $(b,--sched pipe): certify every pipelined loop against the \
+             exact modulo-scheduling oracle while profiling, so the pass \
+             telemetry includes $(b,pipe.oracle.*) counters (loops certified, \
+             proved optimal/suboptimal, certified gap cycles) and a per-loop \
+             optimality note.")
+  in
+  let run name json_out oracle co =
+    if oracle then Impact_exact.Exact.install ();
+    Fun.protect
+      ~finally:(fun () -> Impact_pipe.Pipe.set_oracle None)
+      (fun () -> run name json_out co)
+  in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
          "Report stall attribution, ILP histogram and pass telemetry for one \
           loop nest")
-    Term.(const run $ profile_loop_arg $ json_arg $ common_opts_term)
+    Term.(const run $ profile_loop_arg $ json_arg $ oracle_arg $ common_opts_term)
+
+(* -- certify -- *)
+
+let certify_cmd =
+  let run name budget co =
+    let w = find_workload name in
+    with_trace co @@ fun () ->
+    let machine = machine_of co in
+    let opts = opts_of co in
+    let tp =
+      Compile.transform_with opts co.co_level
+        (Impact_fir.Lower.lower w.Impact_workloads.Suite.ast)
+    in
+    let _, reps = Impact_pipe.Pipe.run_with_problems machine tp in
+    Printf.printf "certify %s at %s on %s\n" name (Level.to_string co.co_level)
+      machine.Machine.name;
+    let rows =
+      List.map
+        (Impact_exact.Oracle.certify_loop ~budget ~subject:name
+           ~machine:machine.Machine.name)
+        reps
+    in
+    print_string (Impact_exact.Oracle.table ~budget rows)
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt int Impact_exact.Exact.default_budget
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Node budget for the exact search across each loop's II walk: \
+             every row assignment the solver tries costs one node. Within \
+             budget every verdict is a proof; past it the loop reports an \
+             explicit bounded gap instead of a wrong answer.")
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Certify the software pipeliner's initiation intervals for one loop \
+          nest against the exact modulo-scheduling oracle: per-loop heuristic \
+          II, certified optimal II (or bounds), gap, proof status and search \
+          nodes")
+    Term.(const run $ profile_loop_arg $ budget_arg $ common_opts_term)
 
 (* -- run-file / show-file -- *)
 
@@ -1270,5 +1331,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "impactc" ~doc)
-          [ list_cmd; show_cmd; run_cmd; sweep_cmd; profile_cmd; run_file_cmd;
-            show_file_cmd; serve_cmd ]))
+          [ list_cmd; show_cmd; run_cmd; sweep_cmd; profile_cmd; certify_cmd;
+            run_file_cmd; show_file_cmd; serve_cmd ]))

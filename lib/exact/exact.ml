@@ -1,0 +1,239 @@
+open Impact_pipe
+
+type verdict = Sat of int array | Unsat | Budget
+
+let default_budget = 200_000
+
+(* Mathematical modulo (OCaml's [mod] keeps the dividend's sign). *)
+let md x k = ((x mod k) + k) mod k
+
+(* Height-based branching priority at a fixed II, mirroring the IMS
+   scheduler's: operations feeding long dependence chains first. *)
+let heights n (edges : Pipe.edge array) ii =
+  let h = Array.make n 0 in
+  for _ = 1 to n + 1 do
+    Array.iter
+      (fun (e : Pipe.edge) ->
+        let w = e.Pipe.lat - (ii * e.Pipe.dist) in
+        if h.(e.Pipe.src) < h.(e.Pipe.dst) + w then h.(e.Pipe.src) <- h.(e.Pipe.dst) + w)
+      edges
+  done;
+  h
+
+let check_schedule (p : Pipe.problem) ~ii (t : int array) =
+  ii >= 1
+  && Array.length t = p.Pipe.p_n
+  && List.for_all
+       (fun (e : Pipe.edge) ->
+         t.(e.Pipe.dst) - t.(e.Pipe.src) >= e.Pipe.lat - (ii * e.Pipe.dist))
+       p.Pipe.p_edges
+  &&
+  let mrt = Array.make ii 0 in
+  Array.iter (fun x -> mrt.(md x ii) <- mrt.(md x ii) + 1) t;
+  Array.for_all (fun c -> c <= p.Pipe.p_issue) mrt
+
+let decide ?(budget = default_budget) (p : Pipe.problem) ~ii =
+  let n = p.Pipe.p_n and issue = p.Pipe.p_issue in
+  if ii < 1 || n > issue * ii then (Unsat, 0)
+  else if not (Pipe.ii_feasible ~n p.Pipe.p_edges ii) then (Unsat, 0)
+  else begin
+    let edges = Array.of_list p.Pipe.p_edges in
+    let ne = Array.length edges in
+    let rho = Array.make n (-1) in
+    let rowfill = Array.make ii 0 in
+    (* Longest-path potentials from the all-zero source, kept at the
+       fixpoint of the current adjusted weights. Assigning a row only
+       tightens weights, so a parent's fixpoint warm-starts the child
+       and [n] extra sweeps still suffice; change past that bound is a
+       genuine positive cycle. *)
+    let d = Array.make n 0 in
+    let adj k =
+      let e = edges.(k) in
+      let w = e.Pipe.lat - (ii * e.Pipe.dist) in
+      if rho.(e.Pipe.src) >= 0 && rho.(e.Pipe.dst) >= 0 then
+        w + md (rho.(e.Pipe.dst) - rho.(e.Pipe.src) - w) ii
+      else w
+    in
+    let propagate () =
+      let changed = ref true in
+      let rounds = ref 0 in
+      while !changed && !rounds <= n + 1 do
+        changed := false;
+        for k = 0 to ne - 1 do
+          let e = edges.(k) in
+          let a = adj k in
+          if d.(e.Pipe.src) + a > d.(e.Pipe.dst) then begin
+            d.(e.Pipe.dst) <- d.(e.Pipe.src) + a;
+            changed := true
+          end
+        done;
+        incr rounds
+      done;
+      not !changed
+    in
+    if not (propagate ()) then (Unsat, 0)
+    else begin
+      let h = heights n edges ii in
+      let order = Array.init n Fun.id in
+      Array.sort
+        (fun a b -> if h.(a) <> h.(b) then compare h.(b) h.(a) else compare a b)
+        order;
+      (* Interchangeable operations (identical in/out edge signatures,
+         ubiquitous in wide DOALL bodies) admit a factorial symmetry:
+         any schedule can reorder a twin class arbitrarily, so demand
+         nondecreasing rows along each class in index order. [twin.(j)]
+         is j's predecessor in its class, branched earlier (equal
+         heights tie-break on index). *)
+      let twin = Array.make n (-1) in
+      let signature j =
+        let ins =
+          List.filter_map
+            (fun (e : Pipe.edge) ->
+              if e.Pipe.dst = j && e.Pipe.src <> j then
+                Some (e.Pipe.src, e.Pipe.lat, e.Pipe.dist)
+              else None)
+            p.Pipe.p_edges
+        and outs =
+          List.filter_map
+            (fun (e : Pipe.edge) ->
+              if e.Pipe.src = j && e.Pipe.dst <> j then
+                Some (e.Pipe.dst, e.Pipe.lat, e.Pipe.dist)
+              else None)
+            p.Pipe.p_edges
+        and selfs =
+          List.filter_map
+            (fun (e : Pipe.edge) ->
+              if e.Pipe.src = j && e.Pipe.dst = j then
+                Some (e.Pipe.lat, e.Pipe.dist)
+              else None)
+            p.Pipe.p_edges
+        in
+        (List.sort compare ins, List.sort compare outs, List.sort compare selfs)
+      in
+      let sigs = Array.init n signature in
+      for j = 0 to n - 1 do
+        let rec back k =
+          if k < 0 then ()
+          else if sigs.(k) = sigs.(j) then twin.(j) <- k
+          else back (k - 1)
+        in
+        back (j - 1)
+      done;
+      let nodes = ref 0 in
+      let witness = ref [||] in
+      (* 0 = unsat in this subtree, 1 = sat, 2 = budget hit. *)
+      let rec dfs depth =
+        if depth = n then begin
+          let t = Array.init n (fun i -> d.(i) + md (rho.(i) - d.(i)) ii) in
+          let tmin = Array.fold_left min max_int t in
+          witness := Array.map (fun x -> x - tmin) t;
+          1
+        end
+        else begin
+          let i = order.(depth) in
+          let saved = Array.copy d in
+          (* Row capacities are uniform, so rotating every row by a
+             constant maps schedules to schedules: pin the first
+             branched operation to row 0. *)
+          if depth = 0 then try_rows depth i saved [ 0 ]
+          else begin
+            let lo = if twin.(i) >= 0 then rho.(twin.(i)) else 0 in
+            let lo = if lo < 0 then 0 else lo in
+            (* Rows congruent to the current earliest start first: they
+               add no slack on the tight incoming chain, so satisfying
+               assignments surface early; the full 0-slack..max-slack
+               sweep keeps Unsat proofs exhaustive. *)
+            let rs = ref [] in
+            for o = ii - 1 downto 0 do
+              let r = md (d.(i) + o) ii in
+              if r >= lo then rs := r :: !rs
+            done;
+            try_rows depth i saved !rs
+          end
+        end
+      and try_rows depth i saved = function
+        | [] -> 0
+        | r :: rest ->
+          if rowfill.(r) >= issue then try_rows depth i saved rest
+          else if !nodes >= budget then 2
+          else begin
+            incr nodes;
+            rho.(i) <- r;
+            rowfill.(r) <- rowfill.(r) + 1;
+            let res = if propagate () then dfs (depth + 1) else 0 in
+            if res = 1 then 1
+            else begin
+              rho.(i) <- -1;
+              rowfill.(r) <- rowfill.(r) - 1;
+              Array.blit saved 0 d 0 n;
+              if res = 2 then 2 else try_rows depth i saved rest
+            end
+          end
+      in
+      match dfs 0 with
+      | 1 -> (Sat !witness, !nodes)
+      | 2 -> (Budget, !nodes)
+      | _ -> (Unsat, !nodes)
+    end
+  end
+
+type cert = {
+  ct_lb : int;
+  ct_ub : int option;
+  ct_proved : bool;
+  ct_nodes : int;
+  ct_witness : int array option;
+}
+
+let certify ?(budget = default_budget) (p : Pipe.problem) ~heur_ii =
+  let cap =
+    match heur_ii with Some h -> h - 1 | None -> p.Pipe.p_list_ci - 1
+  in
+  let nodes = ref 0 in
+  let rec walk k =
+    if k > cap then
+      {
+        ct_lb = max (cap + 1) p.Pipe.p_mii;
+        ct_ub = heur_ii;
+        ct_proved = true;
+        ct_nodes = !nodes;
+        ct_witness = None;
+      }
+    else
+      match decide ~budget:(budget - !nodes) p ~ii:k with
+      | Sat t, nd ->
+        nodes := !nodes + nd;
+        assert (check_schedule p ~ii:k t);
+        {
+          ct_lb = k;
+          ct_ub = Some k;
+          ct_proved = true;
+          ct_nodes = !nodes;
+          ct_witness = Some t;
+        }
+      | Unsat, nd ->
+        nodes := !nodes + nd;
+        walk (k + 1)
+      | Budget, nd ->
+        nodes := !nodes + nd;
+        {
+          ct_lb = k;
+          ct_ub = heur_ii;
+          ct_proved = false;
+          ct_nodes = !nodes;
+          ct_witness = None;
+        }
+  in
+  walk (max 1 p.Pipe.p_mii)
+
+let oracle_of_cert c =
+  {
+    Pipe.oc_lb = c.ct_lb;
+    oc_ub = c.ct_ub;
+    oc_proved = c.ct_proved;
+    oc_nodes = c.ct_nodes;
+  }
+
+let install ?budget () =
+  Pipe.set_oracle
+    (Some (fun p ~heur_ii -> oracle_of_cert (certify ?budget p ~heur_ii)))

@@ -63,13 +63,23 @@ let md x k = ((x mod k) + k) mod k
 
 (* ---- Dependence edges for the modulo scheduler ---- *)
 
-type medge = { src : int; dst : int; lat : int; dist : int }
+type edge = { src : int; dst : int; lat : int; dist : int }
+
+type problem = {
+  p_n : int;
+  p_edges : edge list;
+  p_issue : int;
+  p_res_mii : int;
+  p_rec_mii : int;
+  p_mii : int;
+  p_list_ci : int;
+}
 
 (* Within-iteration Flow/Mem edges plus carried Flow/Mem edges over the
    branch-free body. Carried latencies are clamped to 1 so equal-time
    placements can never reorder an earlier-iteration access behind a
    later-iteration one in the emitted sequential code. *)
-let build_edges ~pre_env (insns : Insn.t array) : medge list =
+let build_edges ~pre_env (insns : Insn.t array) : edge list =
   let items = Array.map (fun i -> Block.Ins i) insns in
   let sb = Sb.make ~head:"\000mhead" ~exit_lbl:"\000mexit" items in
   let dg = Ddg.build ~pre_env sb in
@@ -122,10 +132,14 @@ let feasible n edges ii =
 
 (* RecMII: the smallest II with no positive cycle — exactly the maximum
    ceil(latency/distance) over all recurrence circuits. *)
-let rec_mii_exact n edges =
+let rec_mii_exact_int n edges =
   let latsum = List.fold_left (fun a e -> a + e.lat) 1 edges in
   let rec go ii = if ii >= latsum || feasible n edges ii then ii else go (ii + 1) in
   go 1
+
+let rec_mii_exact ~n edges = rec_mii_exact_int n edges
+
+let ii_feasible ~n edges ii = feasible n edges ii
 
 (* Height-based priority under weights (lat - II * dist). *)
 let heights n edges ii =
@@ -138,6 +152,22 @@ let heights n edges ii =
       edges
   done;
   h
+
+(* Depth-based priority (longest path from the sources): the retry
+   ordering when height priority fails at an II. Height places late
+   consumers of long chains first and can wedge tight reservation
+   tables in eviction cycles; depth fills rows producer-first, which
+   the exact oracle showed unwedges several issue-8 loops at MII. *)
+let depths n edges ii =
+  let d = Array.make n 0 in
+  for _ = 1 to n + 1 do
+    List.iter
+      (fun e ->
+        let w = e.lat - (ii * e.dist) in
+        if d.(e.dst) < d.(e.src) + w then d.(e.dst) <- d.(e.src) + w)
+      edges
+  done;
+  d
 
 (* One budgeted scheduling attempt at a fixed II: place the highest
    unscheduled operation at its earliest legal slot, force it into a
@@ -215,14 +245,27 @@ let modulo_schedule ~issue n edges mii max_ii =
     if ii > max_ii then None
     else if not (feasible n edges ii) then go (ii + 1)
     else
-      let h = heights n edges ii in
-      match attempt ~issue n succs preds h ii with
-      | Some time ->
-        let tmin = Array.fold_left min max_int time in
-        Some (Array.map (fun t -> t - tmin) time, ii)
-      | None -> go (ii + 1)
+      let try_priority prio =
+        match attempt ~issue n succs preds prio ii with
+        | Some time ->
+          let tmin = Array.fold_left min max_int time in
+          Some (Array.map (fun t -> t - tmin) time, ii)
+        | None -> None
+      in
+      (* Two restarts per II before escalating: height priority first
+         (the classic IMS order), then depth priority, which the exact
+         oracle proved recovers MII on loops the first order wedges. *)
+      match try_priority (heights n edges ii) with
+      | Some r -> Some r
+      | None -> (
+        match try_priority (depths n edges ii) with
+        | Some r -> Some r
+        | None -> go (ii + 1))
   in
   go mii
+
+let ims_schedule ~issue ~n edges ~mii ~max_ii =
+  modulo_schedule ~issue n edges mii max_ii
 
 (* ---- Eligibility ---- *)
 
@@ -446,10 +489,11 @@ let fallback machine ~live_at_target ~pre_env (l : Block.loop) =
   ]
 
 let pipeline_loop ctx machine ~live_at_target ~pre_env ~global_targets
-    (l : Block.loop) : Block.item list * report =
-  let skip ?list_ci reason =
+    (l : Block.loop) : Block.item list * report * problem option =
+  let skip ?list_ci ?problem reason =
     ( fallback machine ~live_at_target ~pre_env l,
-      { lid = l.Block.lid; status = Skipped { reason; list_ci } } )
+      { lid = l.Block.lid; status = Skipped { reason; list_ci } },
+      problem )
   in
   match extract_body ~global_targets l with
   | Error reason -> skip reason
@@ -475,23 +519,28 @@ let pipeline_loop ctx machine ~live_at_target ~pre_env ~global_targets
       let res_mii =
         max ((n + issue - 1) / issue) ((1 + machine.Machine.branch_slots - 1) / machine.Machine.branch_slots)
       in
-      let rec_mii = rec_mii_exact n edges in
+      let rec_mii = rec_mii_exact_int n edges in
       let mii = max res_mii rec_mii in
+      let problem =
+        { p_n = n; p_edges = edges; p_issue = issue; p_res_mii = res_mii;
+          p_rec_mii = rec_mii; p_mii = mii; p_list_ci = list_ci }
+      in
       if mii >= list_ci then
-        skip ~list_ci (Printf.sprintf "MII %d not below list schedule" mii)
+        skip ~list_ci ~problem (Printf.sprintf "MII %d not below list schedule" mii)
       else
         match modulo_schedule ~issue n edges mii (list_ci - 1) with
-        | None -> skip ~list_ci "no schedule within budget below the list bound"
+        | None -> skip ~list_ci ~problem "no schedule within budget below the list bound"
         | Some (time, ii) -> (
           match codegen ctx l a time ~ii ~trip with
-          | None -> skip ~list_ci "schedule exceeds size or trip caps"
+          | None -> skip ~list_ci ~problem "schedule exceeds size or trip caps"
           | Some (items, stages, kunroll) ->
             ( items,
               {
                 lid = l.Block.lid;
                 status =
                   Pipelined { ii; mii; res_mii; rec_mii; stages; kunroll; trip; list_ci };
-              } ))))
+              },
+              Some problem ))))
 
 let report_to_string (r : report) : string =
   match r.status with
@@ -505,7 +554,58 @@ let report_to_string (r : report) : string =
 
 (* ---- Whole-program traversal (mirrors List_sched.run) ---- *)
 
-let run_with_report (machine : Machine.t) (p : Prog.t) : Prog.t * report list =
+type oracle_cert = {
+  oc_lb : int;
+  oc_ub : int option;
+  oc_proved : bool;
+  oc_nodes : int;
+}
+
+(* The exact-oracle hook (lib/exact installs it): consulted per
+   analyzable loop while telemetry collects, so `impactc profile
+   --oracle` shows certified gaps without lib/pipe depending on the
+   solver. *)
+let oracle : (problem -> heur_ii:int option -> oracle_cert) option ref = ref None
+
+let set_oracle f = oracle := f
+
+let consult_oracle machine (rep : report) = function
+  | None -> ()
+  | Some problem -> (
+    match !oracle with
+    | None -> ()
+    | Some certify ->
+      let heur_ii =
+        match rep.status with Pipelined i -> Some i.ii | Skipped _ -> None
+      in
+      let c = certify problem ~heur_ii in
+      Impact_obs.Obs.count "pipe.oracle.loops";
+      Impact_obs.Obs.count ~n:c.oc_nodes "pipe.oracle.nodes";
+      if c.oc_proved then Impact_obs.Obs.count "pipe.oracle.proved";
+      (match heur_ii with
+      | Some ii when c.oc_proved ->
+        if ii = c.oc_lb then Impact_obs.Obs.count "pipe.oracle.optimal"
+        else begin
+          Impact_obs.Obs.count "pipe.oracle.suboptimal";
+          Impact_obs.Obs.count ~n:(ii - c.oc_lb) "pipe.oracle.gap_cycles"
+        end
+      | Some ii -> Impact_obs.Obs.count ~n:(ii - c.oc_lb) "pipe.oracle.gap_bound_cycles"
+      | None -> ());
+      Impact_obs.Obs.note
+        (Printf.sprintf "pipe.oracle.%s.loop%d" machine.Machine.name rep.lid)
+        (Printf.sprintf "optimal II %s (heuristic %s, %d nodes)"
+           (match (c.oc_proved, c.oc_ub) with
+           | true, Some u when u = c.oc_lb -> Printf.sprintf "= %d" c.oc_lb
+           | true, None -> Printf.sprintf ">= %d (none below list bound)" c.oc_lb
+           | _, Some u -> Printf.sprintf "in [%d, %d]" c.oc_lb u
+           | _, None -> Printf.sprintf ">= %d (search incomplete)" c.oc_lb)
+           (match rep.status with
+           | Pipelined i -> string_of_int i.ii
+           | Skipped _ -> "skipped")
+           c.oc_nodes))
+
+let run_with_problems (machine : Machine.t) (p : Prog.t) :
+    Prog.t * (report * problem option) list =
   Impact_obs.Obs.stage "pipe" (fun () ->
     let live = Liveness.of_prog p in
     let live_at_target i = Some (Liveness.live_at_target live i) in
@@ -524,7 +624,7 @@ let run_with_report (machine : Machine.t) (p : Prog.t) : Prog.t * report list =
         | Block.Loop l :: rest when Block.is_innermost l ->
           let pre_env = Linval.env_of_items (List.rev acc) in
           let t0 = if Impact_obs.Obs.enabled () then Impact_obs.Obs.now () else 0.0 in
-          let items, rep =
+          let items, rep, problem =
             pipeline_loop ctx machine ~live_at_target ~pre_env ~global_targets l
           in
           if Impact_obs.Obs.enabled () then begin
@@ -539,9 +639,10 @@ let run_with_report (machine : Machine.t) (p : Prog.t) : Prog.t * report list =
               | Skipped _ -> "pipe.skipped");
             Impact_obs.Obs.note
               (Printf.sprintf "pipe.%s.loop%d" machine.Machine.name rep.lid)
-              (report_to_string rep)
+              (report_to_string rep);
+            consult_oracle machine rep problem
           end;
-          reports := rep :: !reports;
+          reports := (rep, problem) :: !reports;
           go (List.rev_append items acc) rest
         | Block.Loop l :: rest ->
           go (Block.Loop { l with Block.body = go_block l.Block.body } :: acc) rest
@@ -551,5 +652,9 @@ let run_with_report (machine : Machine.t) (p : Prog.t) : Prog.t * report list =
     in
     let entry = go_block p.Prog.entry in
     (Prog.with_entry p entry, List.rev !reports))
+
+let run_with_report machine p =
+  let p', pairs = run_with_problems machine p in
+  (p', List.map fst pairs)
 
 let run machine p = fst (run_with_report machine p)

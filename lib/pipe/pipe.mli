@@ -40,6 +40,66 @@ type status =
 
 type report = { lid : int; status : status }
 
+(** {1 The modulo-scheduling problem}
+
+    The abstract per-loop scheduling problem the IMS heuristic solves,
+    exposed so an exact oracle (lib/exact) can certify the achieved II
+    against the provable optimum {e on the same constraint system}: a
+    schedule assigns each of [p_n] operations a time
+    [t = slot + II * stage] such that every edge satisfies
+    [t.(dst) - t.(src) >= lat - II * dist] and no more than [p_issue]
+    operations share a row ([t mod II]). *)
+
+type edge = { src : int; dst : int; lat : int; dist : int }
+(** One dependence of the modulo constraint system: the consumer must
+    start at least [lat - II * dist] cycles after the producer
+    ([dist = 0] within an iteration, [dist >= 1] loop-carried). *)
+
+type problem = {
+  p_n : int;  (** operations (the back-branch excluded) *)
+  p_edges : edge list;  (** sorted, deterministic *)
+  p_issue : int;  (** row capacity: the machine's issue width *)
+  p_res_mii : int;
+  p_rec_mii : int;
+  p_mii : int;  (** [max p_res_mii p_rec_mii] *)
+  p_list_ci : int;  (** list-scheduled cycles/iteration (profit bound) *)
+}
+
+val rec_mii_exact : n:int -> edge list -> int
+(** Smallest II with no positive-weight cycle under
+    [lat - II * dist] — the exact recurrence-constrained lower bound. *)
+
+val ii_feasible : n:int -> edge list -> int -> bool
+(** [ii_feasible ~n edges ii]: does the precedence system (resources
+    ignored) admit a schedule at [ii]? Exact Bellman-Ford check. *)
+
+val ims_schedule :
+  issue:int -> n:int -> edge list -> mii:int -> max_ii:int ->
+  (int array * int) option
+(** The iterative-modulo-scheduling heuristic core on a bare problem:
+    escalate II from [mii] to [max_ii] until the budgeted eviction
+    scheduler places all [n] operations; returns (times normalized to
+    min 0, achieved II). Exposed for differential testing against the
+    exact solver. *)
+
+(** {1 Certification hook}
+
+    An installed oracle is consulted once per analyzable innermost loop
+    while telemetry is collecting; its verdict is recorded as
+    [pipe.oracle.*] counters and notes so [impactc profile] can show
+    certified optimality gaps next to the heuristic's reports. The hook
+    keeps the dependency arrow pointing outward: lib/exact depends on
+    lib/pipe, never the reverse. *)
+
+type oracle_cert = {
+  oc_lb : int;  (** optimal II is [>= oc_lb] (proved) *)
+  oc_ub : int option;  (** smallest known-feasible II, if any *)
+  oc_proved : bool;  (** [oc_lb] meets the known optimum (search complete) *)
+  oc_nodes : int;  (** search nodes spent on this loop *)
+}
+
+val set_oracle : (problem -> heur_ii:int option -> oracle_cert) option -> unit
+
 val run : Machine.t -> Prog.t -> Prog.t
 (** Schedule a transformed program: modulo-schedule every eligible
     innermost loop, list-schedule everything else. A drop-in
@@ -48,5 +108,13 @@ val run : Machine.t -> Prog.t -> Prog.t
 val run_with_report : Machine.t -> Prog.t -> Prog.t * report list
 (** Like {!run}, also returning one report per innermost loop in
     program order. *)
+
+val run_with_problems :
+  Machine.t -> Prog.t -> Prog.t * (report * problem option) list
+(** Like {!run_with_report}, additionally returning the extracted
+    modulo-scheduling problem next to each report — [None] when the
+    loop never reached dependence analysis (structural or trip-count
+    ineligibility), so an oracle knows exactly which loops are
+    certifiable. *)
 
 val report_to_string : report -> string

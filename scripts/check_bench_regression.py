@@ -24,9 +24,19 @@ there to catch order-of-magnitude regressions (a reintroduced
 thread-per-connection design, a Nagle stall), not percent-level
 drift.
 
+With --oracle, the files are BENCH_oracle.json certification reports
+(schema impact-bench-oracle/1) instead, and the comparison is exact,
+not tolerance-based — certified optimality is deterministic. Both
+files are schema-validated first. Then, per loop (keyed by
+subject/machine/lid): a proved verdict may not regress to unproved, a
+certified gap may not widen, the known-feasible upper bound may not
+grow, and no loop may disappear or turn skip-missed. New loops (a
+grown corpus) are fine; silently widening a certified gap is not.
+
 Usage:
   check_bench_regression.py --baseline OLD.json --fresh NEW.json \
-      [--tolerance 0.25] [--min-seconds 0.05] [--check-summary] [--serve]
+      [--tolerance 0.25] [--min-seconds 0.05] [--check-summary] [--serve] \
+      [--oracle]
 
 Exit status 1 if any compared metric regresses past tolerance.
 """
@@ -79,6 +89,115 @@ def check_serve(base, fresh, tolerance):
     return 0
 
 
+ORACLE_SCHEMA = "impact-bench-oracle/1"
+ORACLE_STATUSES = {"optimal", "suboptimal", "bounded", "skip-confirmed",
+                   "skip-missed", "skip-open", "ineligible"}
+ORACLE_SUMMARY_KEYS = {"loops", "optimal", "suboptimal", "bounded",
+                       "skip_confirmed", "skip_missed", "skip_open",
+                       "ineligible", "gap_cycles", "gap_bound_cycles",
+                       "nodes"}
+
+
+def validate_oracle_schema(doc, label):
+    """Structural validation of an impact-bench-oracle/1 document."""
+    problems = []
+    if doc.get("schema") != ORACLE_SCHEMA:
+        problems.append(f"schema: want {ORACLE_SCHEMA!r}, got {doc.get('schema')!r}")
+    if not isinstance(doc.get("budget"), int) or doc.get("budget", -1) < 0:
+        problems.append("budget: missing or not a non-negative int")
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        problems.append("summary: missing")
+    else:
+        for key in sorted(ORACLE_SUMMARY_KEYS - set(summary)):
+            problems.append(f"summary.{key}: missing")
+    loops = doc.get("loops")
+    if not isinstance(loops, list) or not loops:
+        problems.append("loops: missing or empty")
+        loops = []
+    seen = set()
+    for i, loop in enumerate(loops):
+        where = f"loops[{i}]"
+        for key in ("subject", "machine"):
+            if not isinstance(loop.get(key), str):
+                problems.append(f"{where}.{key}: missing")
+        if not isinstance(loop.get("lid"), int):
+            problems.append(f"{where}.lid: missing")
+        if loop.get("status") not in ORACLE_STATUSES:
+            problems.append(f"{where}.status: bad value {loop.get('status')!r}")
+        if not isinstance(loop.get("nodes"), int) or loop.get("nodes", -1) < 0:
+            problems.append(f"{where}.nodes: missing or negative")
+        if loop.get("status") != "ineligible":
+            for key in ("mii", "lb"):
+                if not isinstance(loop.get(key), int):
+                    problems.append(f"{where}.{key}: missing for {loop.get('status')}")
+            if not isinstance(loop.get("proved"), bool):
+                problems.append(f"{where}.proved: missing")
+        key = (loop.get("subject"), loop.get("machine"), loop.get("lid"))
+        if key in seen:
+            problems.append(f"{where}: duplicate loop key {key}")
+        seen.add(key)
+    if isinstance(summary, dict) and summary.get("loops") not in (None, len(loops)):
+        problems.append(f"summary.loops {summary.get('loops')} != "
+                        f"{len(loops)} loop records")
+    if problems:
+        print(f"{label}: schema validation failed:")
+        for p in problems:
+            print(f"  {p}")
+        return False
+    print(f"{label}: schema ok ({len(loops)} loops)")
+    return True
+
+
+def check_oracle(base, fresh):
+    """Exact per-loop guard: a future PR cannot silently widen a
+    certified gap, lose a proof, or start skipping a loop the oracle
+    proved schedulable."""
+    if not (validate_oracle_schema(base, "baseline")
+            and validate_oracle_schema(fresh, "fresh")):
+        return 1
+
+    def by_key(doc):
+        return {(l["subject"], l["machine"], l["lid"]): l
+                for l in doc["loops"]}
+
+    bmap, fmap = by_key(base), by_key(fresh)
+    failures = []
+    for key in sorted(bmap):
+        b = bmap[key]
+        f = fmap.get(key)
+        name = "/".join(map(str, key))
+        if f is None:
+            failures.append(f"{name}: loop disappeared from the report")
+            continue
+        if f["status"] == "skip-missed":
+            failures.append(f"{name}: oracle proves a schedule exists below "
+                            f"the list bound but the pipeliner skips it")
+        if b.get("proved") and not f.get("proved"):
+            failures.append(f"{name}: proved verdict regressed to unproved")
+        bg, fg = b.get("gap"), f.get("gap")
+        if bg is not None and fg is not None and fg > bg:
+            failures.append(f"{name}: certified gap widened {bg} -> {fg}")
+        bu, fu = b.get("ub"), f.get("ub")
+        if bu is not None and (fu is None or fu > bu):
+            failures.append(f"{name}: known-feasible II regressed {bu} -> {fu}")
+    for key in sorted(set(fmap) - set(bmap)):
+        print(f"  new loop {'/'.join(map(str, key))}: "
+              f"{fmap[key]['status']} (ok)")
+
+    if failures:
+        print("oracle certification regression:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    bs, fs = base["summary"], fresh["summary"]
+    print(f"oracle guard ok: {fs['optimal']} optimal "
+          f"(baseline {bs['optimal']}), gap {fs['gap_cycles']} cycles "
+          f"(baseline {bs['gap_cycles']}), "
+          f"{len(fmap)} loops certified")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--baseline", required=True)
@@ -93,10 +212,16 @@ def main():
     ap.add_argument("--serve", action="store_true",
                     help="compare BENCH_serve.json summaries (throughput and "
                          "client p99) instead of eval stage times")
+    ap.add_argument("--oracle", action="store_true",
+                    help="compare BENCH_oracle.json certification reports "
+                         "(exact: schema, no lost proofs, no widened gaps)")
     args = ap.parse_args()
 
     base = load(args.baseline)
     fresh = load(args.fresh)
+
+    if args.oracle:
+        return check_oracle(base, fresh)
 
     if args.serve:
         return check_serve(base, fresh, args.tolerance)

@@ -375,6 +375,26 @@ let test_executor_stats () =
   Helpers.check_int "post-shutdown rejected" 3
     (Pool.executor_stats ex).Pool.rejected
 
+(* ---- exact-oracle certification as a pool stress workload ----
+
+   The heaviest pool tasks yet: branch-and-bound search with wildly
+   uneven per-task cost (0 nodes for bound-trivial loops, the full
+   budget for tight packings). The BENCH_oracle.json body must still be
+   byte-identical at any worker count — rows join in input order and
+   the document carries no timestamp or worker count. The subset
+   includes NAS-1 (budget-bound search) and nasa7-2 (analyzable skip)
+   so both extremes of task cost are on the pool at once. *)
+let test_oracle_workers_invariant () =
+  let only = [ "add"; "dotprod"; "NAS-1"; "APS-2"; "nasa7-2" ] in
+  let budget = 4_000 in
+  let doc workers =
+    Impact_exact.Oracle.doc ~budget
+      (Impact_exact.Oracle.run ~workers ~budget ~only ())
+  in
+  let d1 = doc 1 and d8 = doc 8 in
+  Helpers.check_bool "doc nonempty" true (String.length d1 > 0);
+  Helpers.check_bool "byte-identical at -j 1 vs -j 8" true (d1 = d8)
+
 let suite =
   [
     ( "exec.pool",
@@ -407,6 +427,11 @@ let suite =
         Alcotest.test_case "run_subject matches per-cell measure" `Slow
           test_run_subject_vs_monolithic;
         Alcotest.test_case "base measurement cache" `Quick test_base_cache;
+      ] );
+    ( "exec.oracle",
+      [
+        Alcotest.test_case "certify run byte-identical at -j 1 vs -j 8" `Slow
+          test_oracle_workers_invariant;
       ] );
     ( "exec.sim",
       [

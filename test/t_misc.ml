@@ -129,6 +129,43 @@ let machine_tests =
       check_string "name" "issue-16" (Machine.make ~issue:16 ()).Machine.name);
   ]
 
+(* ---- bench CLI contract ----
+
+   The bench driver rejects unknown modes with exit 2 and prints the
+   mode list, and that list names the oracle modes — the dune test
+   stanza depends on ../bench/main.exe so the binary is always fresh. *)
+
+let run_bench args =
+  let cmd =
+    Filename.quote_command "../bench/main.exe" args ~stderr:"bench_cli_err.tmp"
+  in
+  let status = Sys.command (cmd ^ " > /dev/null") in
+  let ic = open_in "bench_cli_err.tmp" in
+  let len = in_channel_length ic in
+  let err = really_input_string ic len in
+  close_in ic;
+  Sys.remove "bench_cli_err.tmp";
+  (status, err)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let bench_cli_tests =
+  [
+    test "unknown mode exits 2 with the mode list" (fun () ->
+      let status, err = run_bench [ "no-such-mode" ] in
+      check_int "exit code" 2 status;
+      check_bool "names the offender" true (contains err "unknown argument no-such-mode");
+      check_bool "prints usage" true (contains err "usage:");
+      check_bool "usage lists oracle" true (contains err "oracle");
+      check_bool "usage lists oracle-smoke" true (contains err "oracle-smoke"));
+    test "malformed -j exits 2" (fun () ->
+      let status, _ = run_bench [ "-j"; "zero" ] in
+      check_int "exit code" 2 status);
+  ]
+
 let suite =
   [
     ("misc.pp", pp_tests);
@@ -136,4 +173,5 @@ let suite =
     ("misc.walk", walk_tests);
     ("misc.ast", ast_tests);
     ("misc.machine", machine_tests);
+    ("misc.bench-cli", bench_cli_tests);
   ]

@@ -14,6 +14,7 @@ let () =
          T_trans.suite;
          T_sched.suite;
          T_pipe.suite;
+         T_exact.suite;
          T_regalloc.suite;
          T_workloads.suite;
          T_props.suite;
